@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every module regenerates one figure or claim of the paper (the
+experiment ids of DESIGN.md §2). Structural results are printed through
+:func:`report` so `pytest benchmarks/ --benchmark-only -s` shows the
+regenerated figure/series next to the timing table.
+"""
+
+from __future__ import annotations
+
+
+def report(experiment_id: str, title: str, body: str) -> None:
+    """Print one experiment's regenerated output, clearly delimited."""
+    bar = "=" * 72
+    print(f"\n{bar}\n[{experiment_id}] {title}\n{bar}\n{body}\n")
+
+
+def series_table(header: tuple, rows: list[tuple]) -> str:
+    """Render a small aligned table for printed series."""
+    widths = [
+        max(len(str(cell)) for cell in column)
+        for column in zip(header, *rows)
+    ]
+    def fmt(row):
+        return "  ".join(str(cell).rjust(width) for cell, width in zip(row, widths))
+
+    lines = [fmt(header), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""[C4] Ablation: incremental vs whole-database consistency checking.
+
+"Whenever an update operation is executed, SEED checks all consistency
+rules ... that apply to the data being updated." The design choice under
+test is the *scoping*: checking only the touched items (SEED) versus
+re-validating the whole database after every update (the naive way to
+"permanently ensure consistency"). Both give the same guarantee — the
+property suite proves incremental ≡ global — so the ablation measures
+what the scoping buys as the database grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import SeedDatabase
+from repro.spades import SpadesTool, spades_schema
+from repro.workloads import SpecShape, generate_spec, load_into_spades
+
+from conftest import report, series_table
+
+
+def populated_db(size: int) -> SeedDatabase:
+    spec = generate_spec(
+        SpecShape(actions=size, data=size, flows=size, vague_fraction=0.0),
+        seed=404,
+    )
+    return load_into_spades(spec, SpadesTool(f"abl{size}")).db
+
+
+def one_update(db: SeedDatabase, serial: int) -> None:
+    target = db.objects("Data", include_specials=False)[0]
+    target.add_sub_object("Note", f"note {serial}")
+
+
+def test_c4_incremental_update_cost(benchmark):
+    db = populated_db(40)
+    serial = [0]
+
+    def update():
+        serial[0] += 1
+        one_update(db, serial[0])
+
+    benchmark(update)
+    assert db.check_consistency() == []
+
+
+def test_c4_global_validation_cost(benchmark):
+    db = populated_db(40)
+
+    def full_validation():
+        return db.check_consistency()
+
+    violations = benchmark(full_validation)
+    assert violations == []
+
+
+def test_c4_scaling_sweep(benchmark):
+    """Incremental cost stays flat while global cost grows with size."""
+    rows = []
+    incremental_costs = []
+    global_costs = []
+    for size in (10, 20, 40):
+        db = populated_db(size)
+
+        start = time.perf_counter()
+        for serial in range(20):
+            one_update(db, serial)
+        incremental = (time.perf_counter() - start) / 20
+
+        start = time.perf_counter()
+        for __ in range(5):
+            db.check_consistency()
+        global_cost = (time.perf_counter() - start) / 5
+
+        incremental_costs.append(incremental)
+        global_costs.append(global_cost)
+        rows.append(
+            (
+                size,
+                f"{incremental * 1e6:.0f}",
+                f"{global_cost * 1e6:.0f}",
+                f"x{global_cost / incremental:.1f}",
+            )
+        )
+    # shape: the advantage of incremental checking grows with size
+    assert global_costs[-1] / incremental_costs[-1] > global_costs[0] / incremental_costs[0]
+    report(
+        "C4",
+        "per-update cost: incremental (SEED) vs whole-database validation (µs)",
+        series_table(
+            ("size", "incremental µs", "global µs", "global/incremental"), rows
+        ),
+    )
+    db = populated_db(10)
+    serial = [100]
+
+    def update():
+        serial[0] += 1
+        one_update(db, serial[0])
+
+    benchmark(update)

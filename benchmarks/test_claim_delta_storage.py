@@ -1,0 +1,137 @@
+"""[C2] "When creating a version we do not save the complete database."
+
+Measures the delta version store against the full-copy baseline and the
+file-level (RCS-style) related-work approach on identical evolution
+histories: a specification of N items undergoes S sessions, each
+touching a small fraction, snapshotting after every session.
+
+Expected shape (the paper's design argument): delta storage grows with
+*change volume* (≈ initial size + S × touches), full-copy storage with
+*database volume* (≈ S × size); the gap widens with database size. The
+file store must re-serialise everything per check-in and cannot answer
+item-history queries directly.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import FileVersionStore
+from repro.spades import SpadesTool, print_spec
+from repro.workloads import (
+    EvolutionShape,
+    SpecShape,
+    generate_spec,
+    load_into_spades,
+    run_evolution,
+)
+
+from conftest import report, series_table
+
+SESSIONS = 8
+TOUCHES = 4
+
+
+def build_tool(size: int) -> SpadesTool:
+    spec = generate_spec(
+        SpecShape(actions=size, data=size, flows=size, vague_fraction=0.0),
+        seed=202,
+    )
+    return load_into_spades(spec, SpadesTool(f"evo{size}"))
+
+
+def test_c2_delta_vs_fullcopy_sweep(benchmark):
+    rows = []
+    results = {}
+    for size in (10, 20, 40):
+        tool = build_tool(size)
+        result = run_evolution(
+            tool.db,
+            EvolutionShape(sessions=SESSIONS, touches_per_session=TOUCHES),
+            seed=202,
+        )
+        results[size] = result
+        rows.append(
+            (
+                size,
+                result.live_items_final,
+                result.delta_states,
+                result.fullcopy_states,
+                f"x{result.savings_factor:.1f}",
+            )
+        )
+    # shape assertions: delta always smaller, and the savings factor
+    # grows with database size (full copies scale with size, deltas with
+    # change volume)
+    factors = [results[size].savings_factor for size in (10, 20, 40)]
+    assert all(f > 1.0 for f in factors)
+    assert factors[-1] > factors[0]
+    report(
+        "C2",
+        "delta vs full-copy snapshot storage "
+        f"({SESSIONS} sessions x {TOUCHES} touches)",
+        series_table(
+            ("size", "live items", "delta states", "fullcopy states", "savings"),
+            rows,
+        ),
+    )
+
+    # benchmark the delta snapshot operation itself on the largest db
+    tool = build_tool(40)
+    target = tool.db.objects("Data", include_specials=False)[0]
+    toggle = [0]
+
+    def one_session_snapshot():
+        toggle[0] += 1
+        target.add_sub_object("Note", f"session {toggle[0]}")
+        return tool.db.create_version()
+
+    benchmark(one_session_snapshot)
+
+
+def test_c2_file_level_versioning_comparison(benchmark):
+    """File-level check-in re-serialises the whole document each time."""
+    tool = build_tool(20)
+    store = FileVersionStore()
+
+    def check_in_session(session):
+        target = tool.db.objects("Data", include_specials=False)[
+            session % 10
+        ]
+        target.add_sub_object("Note", f"session {session}")
+        store.check_in(print_spec(tool), log=f"session {session}")
+
+    for session in range(SESSIONS):
+        check_in_session(session)
+    assert store.head_number == SESSIONS
+
+    # item-history on the file level = reconstruct and scan every
+    # revision; on SEED it is one cell lookup
+    def file_item_history():
+        return store.item_history("Alarm0")
+
+    benchmark(file_item_history)
+
+    name = tool.db.objects("Data", include_specials=False)[0].simple_name
+    revisions = store.item_history(name)
+    assert revisions  # found by scanning
+    report(
+        "C2",
+        "file-level (RCS-style) comparison",
+        f"{SESSIONS} check-ins, stored lines: {store.stored_line_count()}; "
+        f"item history of {name!r} needs {store.head_number} full "
+        "check-outs — SEED answers from one version cell",
+    )
+
+
+def test_c2_seed_item_history_direct(benchmark):
+    tool = build_tool(20)
+    for session in range(SESSIONS):
+        target = tool.db.objects("Data", include_specials=False)[session % 10]
+        target.add_sub_object("Note", f"session {session}")
+        tool.db.create_version()
+    oid = tool.db.objects("Data", include_specials=False)[0].oid
+
+    def seed_item_history():
+        return tool.db.history.versions_of_item(("o", oid))
+
+    entries = benchmark(seed_item_history)
+    assert entries

@@ -1,0 +1,143 @@
+"""[C3] "Any update of a pattern automatically propagates to all
+inheritors of that pattern."
+
+The paper's deadline example, measured: N procedure objects share a
+deadline. With patterns, an update is one write and consistency of the
+shared value holds by construction; with manual copies (the only option
+in a pattern-less store) an update is N writes, and a missed copy
+silently diverges.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ManualCopySharing
+from repro.core import SeedDatabase
+from repro.spades import spades_schema
+
+from conftest import report, series_table
+
+MEMBERS = 50
+
+
+def build_pattern_family(members: int):
+    db = SeedDatabase(spades_schema(), "patterns")
+    template = db.create_object("Action", "DeadlineTemplate", pattern=True)
+    deadline = db.create_sub_object(template, "Deadline", "1986-06-01")
+    inheritors = []
+    for i in range(members):
+        procedure = db.create_object("Action", f"Procedure{i}")
+        procedure.add_sub_object("Description", f"procedure {i}")
+        db.inherit(template, procedure)
+        inheritors.append(procedure)
+    return db, deadline, inheritors
+
+
+def build_manual_family(members: int):
+    db = SeedDatabase(spades_schema(), "manual")
+    sharing = ManualCopySharing(db, "Deadline")
+    for i in range(members):
+        procedure = db.create_object("Action", f"Procedure{i}")
+        procedure.add_sub_object("Description", f"procedure {i}")
+        sharing.add_member(procedure, "1986-06-01")
+    return db, sharing
+
+
+def test_c3_pattern_update_is_one_write(benchmark):
+    db, deadline, inheritors = build_pattern_family(MEMBERS)
+    dates = ["1986-07-01", "1986-08-01"]
+    counter = [0]
+
+    def update_pattern():
+        counter[0] += 1
+        deadline.set_value(dates[counter[0] % 2])
+
+    benchmark(update_pattern)
+    # propagation is automatic and total
+    import datetime
+
+    expected = datetime.date.fromisoformat(dates[counter[0] % 2])
+    for procedure in inheritors:
+        values = [d.value for d in procedure.effective_sub_objects("Deadline")]
+        assert values == [expected]
+
+
+def test_c3_manual_update_is_n_writes(benchmark):
+    db, sharing = build_manual_family(MEMBERS)
+    dates = ["1986-07-01", "1986-08-01"]
+    counter = [0]
+
+    def update_all_copies():
+        counter[0] += 1
+        return sharing.update_all(dates[counter[0] % 2])
+
+    updated = benchmark(update_all_copies)
+    assert updated == MEMBERS
+
+
+def test_c3_divergence_impossible_with_patterns(benchmark):
+    """The failure mode manual copying allows and patterns rule out."""
+    db, sharing = build_manual_family(12)
+    sharing.update_some("1986-09-01", skip_every=4)
+    assert not sharing.is_consistent()
+    manual_divergence = sharing.divergence()
+
+    pattern_db, deadline, inheritors = build_pattern_family(12)
+    deadline.set_value("1986-09-01")
+    values = {
+        str(d.value)
+        for procedure in inheritors
+        for d in procedure.effective_sub_objects("Deadline")
+    }
+    assert len(values) == 1  # patterns cannot diverge
+
+    rows = [
+        ("patterns", 1, 1, "impossible (single source)"),
+        ("manual copies", 12, 12, f"{manual_divergence} distinct values "
+                                  "after one missed update"),
+    ]
+    report(
+        "C3",
+        "shared-deadline maintenance (12 members)",
+        series_table(("scheme", "writes/update", "copies", "divergence risk"), rows),
+    )
+
+    def uniformity_check():
+        return {
+            str(d.value)
+            for procedure in inheritors
+            for d in procedure.effective_sub_objects("Deadline")
+        }
+
+    benchmark(uniformity_check)
+
+
+def test_c3_write_cost_sweep(benchmark):
+    """The update-cost gap grows linearly with family size."""
+    import time
+
+    rows = []
+    for members in (10, 40, 160):
+        __, deadline, __ = build_pattern_family(members)
+        start = time.perf_counter()
+        deadline.set_value("1986-10-01")
+        pattern_cost = time.perf_counter() - start
+
+        __, sharing = build_manual_family(members)
+        start = time.perf_counter()
+        sharing.update_all("1986-10-01")
+        manual_cost = time.perf_counter() - start
+        rows.append(
+            (
+                members,
+                f"{pattern_cost * 1e6:.0f}",
+                f"{manual_cost * 1e6:.0f}",
+                f"x{manual_cost / pattern_cost:.1f}",
+            )
+        )
+    report(
+        "C3",
+        "update cost vs family size (µs, one update of the shared value)",
+        series_table(("members", "pattern µs", "manual µs", "ratio"), rows),
+    )
+    db, deadline, __ = build_pattern_family(10)
+    benchmark(lambda: deadline.set_value("1986-11-11"))

@@ -1,0 +1,101 @@
+"""[C5] The motivating rejections: strict stores reject what SEED admits.
+
+The paper's two examples, executed against real code:
+
+(1) "We cannot store the information that there is a dataflow from
+    'AlarmHandler' to 'Alarms' unless we precisely know whether it is a
+    read or a write" — the figure-2 schema has no category for it; the
+    figure-3 schema's generalized ``Access`` stores it.
+(2) "We cannot enter 'Alarms' as an object of class 'Data' without also
+    entering a 'Read'- and a 'Write'-relationship" — the strict store
+    (minimum cardinalities enforced on every update) rejects the lone
+    object; SEED admits it and reports the gaps via completeness
+    checking instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import StrictStore
+from repro.core import ConsistencyError, SeedDatabase, figure2_schema, figure3_schema
+
+from conftest import report
+
+
+def test_c5_strict_store_rejects_lone_data_object(benchmark):
+    def attempt():
+        store = StrictStore(figure2_schema())
+        try:
+            store.create_object("Data", "Alarms")
+            return False
+        except ConsistencyError:
+            return store.find_object("Alarms") is None
+
+    rejected_and_rolled_back = benchmark(attempt)
+    assert rejected_and_rolled_back
+
+
+def test_c5_seed_admits_and_reports(benchmark):
+    def attempt():
+        db = SeedDatabase(figure2_schema(), "c5")
+        db.create_object("Data", "Alarms")
+        return db, db.check_completeness()
+
+    db, gaps = benchmark(attempt)
+    assert db.find_object("Alarms") is not None  # admitted
+    assert db.check_consistency() == []          # and consistent
+    missing = {gap.element for gap in gaps.by_kind("relationship-minimum")}
+    assert missing == {"Read", "Write"}          # gaps reported, not refused
+    report(
+        "C5",
+        "example (2): lone 'Alarms' object",
+        "strict store: rejected (rolled back)\n"
+        f"SEED: admitted; completeness report: {gaps.summary()}",
+    )
+
+
+def test_c5_vague_dataflow_only_with_generalization(benchmark):
+    # figure 2: no category for the vague dataflow
+    fig2 = figure2_schema()
+    assert not fig2.has_association("Access")
+
+    # figure 3: the Access category stores it
+    def vague_flow():
+        db = SeedDatabase(figure3_schema(), "c5b")
+        alarms = db.create_object("Data", "Alarms")
+        handler = db.create_object("Action", "AlarmHandler")
+        handler.add_sub_object("Description", "handles")
+        return db.relate("Access", data=alarms, by=handler)
+
+    rel = benchmark(vague_flow)
+    assert rel.association_name == "Access"
+    report(
+        "C5",
+        "example (1): dataflow of unknown direction",
+        "figure-2 schema: no admissible category (cannot be stored)\n"
+        "figure-3 schema: stored as Access, refinable to Read/Write later",
+    )
+
+
+def test_c5_strict_entry_order_dilemma(benchmark):
+    """Under strict checking even the 'right' order fails item by item —
+    only an all-at-once compound works, which is exactly the paper's
+    point about evolutionary development."""
+    store = StrictStore(figure2_schema())
+    for class_name, name in (("Data", "Alarms"), ("Action", "Handler")):
+        with pytest.raises(ConsistencyError):
+            store.create_object(class_name, name)
+
+    def compound_entry():
+        fresh = StrictStore(figure2_schema())
+        with fresh.compound():
+            alarms = fresh.create_object("Data", "Alarms")
+            handler = fresh.create_object("Action", "Handler")
+            fresh.create_sub_object(handler, "Description", "handles")
+            fresh.relate("Read", {"from": alarms, "by": handler})
+            fresh.relate("Write", {"to": alarms, "by": handler})
+        return fresh
+
+    fresh = benchmark(compound_entry)
+    assert fresh.find_object("Alarms") is not None

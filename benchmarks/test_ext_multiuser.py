@@ -1,0 +1,114 @@
+"""[C6] The two-level multi-user sketch (paper, "Open problems").
+
+Exercises the client/server architecture the paper proposes: retrieval
+against the central database, local copies for update with central
+write locks, check-in as one server transaction, conflict detection,
+and local+global versions. Benchmarks the check-out/update/check-in
+cycle and the lock-conflict fast path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LockError
+from repro.multiuser import SeedServer
+from repro.spades import spades_schema
+from repro.workloads import SpecShape, generate_spec, load_into_spades
+from repro.spades import SpadesTool
+
+from conftest import report
+
+
+def build_server() -> SeedServer:
+    server = SeedServer(spades_schema())
+    spec = generate_spec(
+        SpecShape(actions=10, data=10, flows=15, vague_fraction=0.0), seed=606
+    )
+    tool = SpadesTool("central", db=server.master)
+    load_into_spades(spec, tool)
+    server.create_global_version()
+    return server
+
+
+def test_c6_checkout_update_checkin_cycle(benchmark):
+    server = build_server()
+    name = server.master.objects("Data", include_specials=False)[0].simple_name
+    serial = [0]
+
+    def cycle():
+        serial[0] += 1
+        client = server.connect(f"client{serial[0]}")
+        local = client.check_out(name)
+        local.get_object(name).add_sub_object("Note", f"edit {serial[0]}")
+        client.check_in()
+        server.disconnect(f"client{serial[0]}")
+
+    benchmark(cycle)
+    notes = server.master.get_object(name).sub_objects("Note")
+    assert len(notes) >= 1
+
+
+def test_c6_lock_conflict_detection(benchmark):
+    server = build_server()
+    name = server.master.objects("Data", include_specials=False)[0].simple_name
+    alice = server.connect("alice")
+    alice.check_out(name)
+    bob = server.connect("bob")
+
+    def conflicting_checkout():
+        try:
+            bob.check_out(name)
+            return False
+        except LockError:
+            return True
+
+    conflict_detected = benchmark(conflicting_checkout)
+    assert conflict_detected
+    assert not bob.has_copy
+
+
+def test_c6_serialised_updates_compose(benchmark):
+    server = build_server()
+    names = [
+        obj.simple_name
+        for obj in server.master.objects("Data", include_specials=False)[:3]
+    ]
+
+    def three_clients_sequential():
+        for position, name in enumerate(names):
+            client = server.connect(f"seq{position}-{id(object())}")
+            local = client.check_out(name)
+            local.get_object(name).add_sub_object("Note", f"by {position}")
+            client.check_in()
+            server.disconnect(client.client_id)
+
+    benchmark.pedantic(three_clients_sequential, rounds=3, iterations=1)
+    for name in names:
+        assert server.master.get_object(name).sub_objects("Note")
+    assert len(server.locks) == 0
+    report(
+        "C6",
+        "two-level multi-user sketch",
+        "write locks taken at check-out; conflicting check-out fails "
+        "fast; check-in applied as a single master transaction; locks "
+        f"released after check-in (held now: {len(server.locks)})",
+    )
+
+
+def test_c6_global_and_local_versions(benchmark):
+    server = build_server()
+    name = server.master.objects("Data", include_specials=False)[0].simple_name
+
+    def session_with_versions():
+        client = server.connect(f"v{id(object())}")
+        local = client.check_out(name)
+        local.get_object(name).add_sub_object("Note", "draft")
+        client.save_local_version()          # user-controlled local version
+        local.get_object(name).sub_objects("Note")[0].set_value("final")
+        client.check_in()
+        server.disconnect(client.client_id)
+        return server.create_global_version()  # server-controlled global
+
+    version = benchmark.pedantic(session_with_versions, rounds=3, iterations=1)
+    assert version in server.global_versions()

@@ -1,0 +1,91 @@
+"""[F1] Figure 1: the sample object-relationship structure.
+
+Regenerates the paper's figure 1 through the public API: independent
+object 'Alarms' (Data), relationship 'Read' relating 'AlarmHandler' and
+'Alarms' in roles 'by' and 'from', the dependent-object tree
+Alarms.Text -> Body/Selector, and the indexed Keywords[0]/Keywords[1]
+leaves — then asserts every structural fact the figure states, and
+benchmarks the construction and retrieval paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SeedDatabase, figure2_schema
+from repro.spades.reports import render_database_figure
+
+from conftest import report
+
+
+def build_figure1(db: SeedDatabase) -> None:
+    alarms = db.create_object("Data", "Alarms")
+    handler = db.create_object("Action", "AlarmHandler")
+    handler.add_sub_object("Description", "Handles alarms")
+    db.relate("Read", {"from": alarms, "by": handler})
+    text = alarms.add_sub_object("Text")
+    body = text.add_sub_object("Body")
+    body.add_sub_object(
+        "Contents", "Alarms are represented in an alarm display matrix"
+    )
+    body.add_sub_object("Keywords", "Alarmhandling")
+    body.add_sub_object("Keywords", "Display")
+    text.add_sub_object("Selector", "Representation")
+
+
+def assert_figure1_facts(db: SeedDatabase) -> None:
+    # (1) 'Alarms' is an independent object with name 'Alarms'
+    alarms = db.get_object("Alarms")
+    assert alarms.is_independent and alarms.class_name == "Data"
+    # (2) the 'Read' relationship relates AlarmHandler/Alarms as by/from
+    read = db.relationships("Read")[0]
+    assert read.bound("from") is alarms
+    assert read.bound("by").simple_name == "AlarmHandler"
+    # (3) dependent object 'Alarms.Text' composed of Body and Selector,
+    #     Selector holds "Representation"
+    selector = db.get_object("Alarms.Text.Selector")
+    assert selector.value == "Representation"
+    # (4) 'Alarms.Text.Body.Keywords[1]' holds "Display"
+    keyword = db.get_object("Alarms.Text.Body.Keywords[1]")
+    assert keyword.value == "Display"
+    assert str(keyword.name) == "Alarms.Text[0].Body.Keywords[1]"
+
+
+def test_fig1_structure_construction(benchmark):
+    def run():
+        db = SeedDatabase(figure2_schema(), "fig1")
+        build_figure1(db)
+        return db
+
+    db = benchmark(run)
+    assert_figure1_facts(db)
+    assert db.check_consistency() == []
+    report("F1", "figure 1 regenerated from the public API",
+           render_database_figure(db))
+
+
+def test_fig1_retrieval_by_name(benchmark):
+    db = SeedDatabase(figure2_schema(), "fig1")
+    build_figure1(db)
+
+    def lookup():
+        return (
+            db.get_object("Alarms.Text.Body.Keywords[1]").value,
+            db.get_object("Alarms.Text.Selector").value,
+        )
+
+    display, representation = benchmark(lookup)
+    assert display == "Display"
+    assert representation == "Representation"
+
+
+def test_fig1_navigation(benchmark):
+    db = SeedDatabase(figure2_schema(), "fig1")
+    build_figure1(db)
+    handler = db.get_object("AlarmHandler")
+
+    def navigate():
+        return db.navigate(handler, "Read", "from")
+
+    results = benchmark(navigate)
+    assert [str(o.name) for o in results] == ["Alarms"]

@@ -1,0 +1,72 @@
+"""[F2] Figure 2: the sample SEED schema.
+
+Regenerates the figure-2 schema (classes Data/Action with the dependent
+Text/Body/Contents/Keywords/Selector tree, associations Read/Write with
+their role cardinalities, and the ACYCLIC Contained association), then
+asserts every declaration the figure shows and benchmarks schema
+construction, validation, and DDL-style round-trips through the
+serialiser.
+"""
+
+from __future__ import annotations
+
+from repro.core import figure2_schema
+from repro.core.storage import schema_from_dict, schema_to_dict
+
+from conftest import report
+
+
+def assert_figure2_facts(schema) -> None:
+    # hierarchically structured class 'Data' with Text 0..16
+    text = schema.entity_class("Data.Text")
+    assert str(text.cardinality) == "0..16"
+    assert schema.entity_class("Data.Text.Selector").value_sort.name == "STRING"
+    assert schema.entity_class("Data.Text.Body.Contents").value_sort.name == "STRING"
+    # Read: from Data [1..*], by Action [0..*]
+    read = schema.association("Read")
+    assert str(read.role("from").cardinality) == "1..*"
+    assert str(read.role("by").cardinality) == "0..*"
+    assert read.role("from").target.name == "Data"
+    # Write mirrors Read on the writing side
+    write = schema.association("Write")
+    assert str(write.role("to").cardinality) == "1..*"
+    # Contained imposes a tree structure: ACYCLIC + 0..1 for the
+    # contained role
+    contained = schema.association("Contained")
+    assert contained.acyclic
+    assert str(contained.role("contained").cardinality) == "0..1"
+
+
+def render_schema(schema) -> str:
+    lines = []
+    for entity_class in schema.all_classes():
+        indent = "  " * (entity_class.full_name.count("."))
+        sort = f" : {entity_class.value_sort.name}" if entity_class.value_sort else ""
+        card = f" [{entity_class.cardinality}]" if entity_class.cardinality else ""
+        lines.append(f"{indent}{entity_class.name}{sort}{card}")
+    for association in schema.associations:
+        lines.append(association.describe())
+    return "\n".join(lines)
+
+
+def test_fig2_schema_construction(benchmark):
+    schema = benchmark(figure2_schema)
+    assert_figure2_facts(schema)
+    assert schema.validate() == []
+    report("F2", "figure 2 schema regenerated", render_schema(schema))
+
+
+def test_fig2_schema_validation(benchmark):
+    schema = figure2_schema()
+    problems = benchmark(schema.validate)
+    assert problems == []
+
+
+def test_fig2_schema_serialisation_roundtrip(benchmark):
+    schema = figure2_schema()
+
+    def roundtrip():
+        return schema_from_dict(schema_to_dict(schema))
+
+    rebuilt = benchmark(roundtrip)
+    assert_figure2_facts(rebuilt)

@@ -1,0 +1,119 @@
+"""[F4] Figure 4: versions, views, and alternatives.
+
+Regenerates figures 4a/4b/4c: the AlarmHandler description evolving
+through versions 1.0 and 2.0 plus a current state; the view rule ("the
+objects and relationships having the greatest version number that is
+less than or equal to n, provided they are not marked as deleted"); and
+an alternative branched off version 1.0. Benchmarks snapshot creation,
+view materialisation, and history retrieval.
+"""
+
+from __future__ import annotations
+
+from repro.core import SeedDatabase, figure2_schema
+from repro.spades.reports import render_version_history
+
+from conftest import report
+
+
+def build_figure4(db: SeedDatabase) -> None:
+    alarms = db.create_object("Data", "Alarms")
+    handler = db.create_object("Action", "AlarmHandler")
+    handler.add_sub_object("Description", "Handles alarms")
+    db.relate("Read", {"from": alarms, "by": handler})
+    db.create_version("1.0")
+    db.get_object("AlarmHandler.Description").set_value(
+        "Handles alarms derived from ProcessData"
+    )
+    db.create_version("2.0")
+    db.get_object("AlarmHandler.Description").set_value(
+        "Generates alarms from process data, triggers Operator Alert"
+    )
+
+
+def test_fig4_views(benchmark):
+    db = SeedDatabase(figure2_schema(), "fig4")
+    build_figure4(db)
+
+    def views():
+        return (
+            db.version_view("1.0").get("AlarmHandler.Description").value,
+            db.version_view("2.0").get("AlarmHandler.Description").value,
+            db.get_object("AlarmHandler.Description").value,
+        )
+
+    v1, v2, current = benchmark(views)
+    # figure 4c
+    assert v1 == "Handles alarms"
+    # intermediate version
+    assert v2 == "Handles alarms derived from ProcessData"
+    # figure 4b (current)
+    assert current == "Generates alarms from process data, triggers Operator Alert"
+    # delta storage: version 2.0 stored exactly one changed item
+    assert db.versions.delta_size("2.0") == 1
+    report(
+        "F4",
+        "figure 4a version cluster of AlarmHandler",
+        render_version_history(db, "AlarmHandler"),
+    )
+
+
+def test_fig4_alternative_branch(benchmark):
+    def run():
+        db = SeedDatabase(figure2_schema(), "fig4alt")
+        build_figure4(db)
+        db.create_version("3.0")
+        db.select_version("1.0")
+        db.get_object("AlarmHandler.Description").set_value("Alternative handling")
+        alternative = db.create_version()
+        return db, alternative
+
+    db, alternative = benchmark(run)
+    assert str(alternative) == "1.0.1"
+    assert (
+        db.version_view("1.0.1").get("AlarmHandler.Description").value
+        == "Alternative handling"
+    )
+    assert (
+        db.version_view("3.0").get("AlarmHandler.Description").value
+        == "Generates alarms from process data, triggers Operator Alert"
+    )
+    report("F4", "alternatives: classification tree reflects history",
+           db.versions.tree.render())
+
+
+def test_fig4_history_retrieval(benchmark):
+    db = SeedDatabase(figure2_schema(), "fig4hist")
+    build_figure4(db)
+    db.create_version("3.0")
+    oid = db.get_object("AlarmHandler.Description").oid
+
+    def history():
+        # "find all versions of object 'AlarmHandler' beginning with 2.0"
+        return db.history.versions_of_item(("o", oid), beginning_with="2.0")
+
+    entries = benchmark(history)
+    assert [str(e.version) for e in entries] == ["2.0", "3.0"]
+
+
+def test_fig4_snapshot_cost_scales_with_change(benchmark):
+    """Creating a version costs O(changed items), not O(database)."""
+    db = SeedDatabase(figure2_schema(), "fig4cost")
+    handler = db.create_object("Action", "Handler")
+    handler.add_sub_object("Description", "x")
+    for i in range(300):
+        data = db.create_object("Data", f"D{i}")
+        db.relate("Read", {"from": data, "by": handler})
+    db.create_version()
+    target = db.get_object("D0")
+
+    def one_change_snapshot():
+        text = target.find_sub_object("Text")
+        if text is None:
+            target.add_sub_object("Text")
+        else:
+            db.delete(text)
+        return db.create_version()
+
+    version = benchmark(one_change_snapshot)
+    assert db.versions.delta_size(version) <= 3

@@ -1,0 +1,136 @@
+"""[F5] Figure 5: variants defined by means of patterns.
+
+Regenerates the figure: a common part connected to pattern objects
+PO1/PO2 by pattern relationships PR1/PR2; variants A and B inherit both
+patterns and thereby provably share their relationships to the common
+part. Benchmarks family construction and the uniformity guarantee, and
+demonstrates the paper's claim that this "could not be assured with
+ordinary relationships".
+"""
+
+from __future__ import annotations
+
+from repro.core import SeedDatabase
+from repro.core.variants import VariantFamily
+from repro.spades import spades_schema
+
+from conftest import report
+
+
+def build_figure5():
+    db = SeedDatabase(spades_schema(), "fig5")
+    kernel = db.create_object("Module", "KernelModules")
+    protocol = db.create_object("Module", "ProtocolModules")
+    family = VariantFamily(db, "Configuration", variant_class="Action")
+    family.add_shared_relationship(            # PO1 / PR1
+        "AllocatedTo", {"module": kernel}, variant_role="action"
+    )
+    family.add_shared_relationship(            # PO2 / PR2
+        "AllocatedTo", {"module": protocol}, variant_role="action"
+    )
+    for name, hardware in (("VariantA", "alpine"), ("VariantB", "desert")):
+        variant = db.create_object("Action", name)
+        variant.add_sub_object("Description", f"configuration for {hardware} hardware")
+        family.add_variant(variant)
+        driver = db.create_object("Module", f"{name}Drivers")
+        db.relate("AllocatedTo", {"action": variant, "module": driver})
+    return db, family
+
+
+def test_fig5_family_construction(benchmark):
+    db, family = benchmark(build_figure5)
+    # both variants share relationships to the full common part
+    assert family.check_uniformity() == []
+    for variant in family.variants:
+        shared = {
+            str(m.name)
+            for m in db.navigate(variant, "AllocatedTo", "module")
+            if "Drivers" not in str(m.name)
+        }
+        assert shared == {"KernelModules", "ProtocolModules"}
+    # the variant parts differ
+    a_modules = {
+        str(m.name)
+        for m in db.navigate(db.get_object("VariantA"), "AllocatedTo", "module")
+    }
+    b_modules = {
+        str(m.name)
+        for m in db.navigate(db.get_object("VariantB"), "AllocatedTo", "module")
+    }
+    assert a_modules.symmetric_difference(b_modules) == {
+        "VariantADrivers",
+        "VariantBDrivers",
+    }
+    lines = [
+        f"common part: KernelModules, ProtocolModules "
+        f"(via {len(family.pattern_objects)} pattern objects)",
+    ]
+    for variant in family.variants:
+        modules = sorted(
+            str(m.name) for m in db.navigate(variant, "AllocatedTo", "module")
+        )
+        lines.append(f"{variant.simple_name}: {', '.join(modules)}")
+    report("F5", "figure 5 variants family", "\n".join(lines))
+
+
+def test_fig5_pattern_update_reaches_all_variants(benchmark):
+    db, family = build_figure5()
+    network = db.create_object("Module", "NetworkModules")
+
+    def extend_common_part():
+        return family.add_shared_relationship(
+            "AllocatedTo", {"module": network}, variant_role="action"
+        )
+
+    benchmark.pedantic(extend_common_part, rounds=1, iterations=1)
+    for variant in family.variants:
+        modules = {
+            str(m.name) for m in db.navigate(variant, "AllocatedTo", "module")
+        }
+        assert "NetworkModules" in modules
+    assert family.check_uniformity() == []
+
+
+def test_fig5_ordinary_relationships_cannot_assure_sharing(benchmark):
+    """The no-pattern construction drifts: forgetting one variant when
+    the common part grows leaves the family non-uniform, silently."""
+
+    def drifting_family():
+        db = SeedDatabase(spades_schema(), "drift")
+        kernel = db.create_object("Module", "KernelModules")
+        variants = []
+        for name in ("VariantA", "VariantB"):
+            variant = db.create_object("Action", name)
+            variant.add_sub_object("Description", "x")
+            db.relate("AllocatedTo", {"action": variant, "module": kernel})
+            variants.append(variant)
+        # the common part grows; the tool forgets VariantB
+        network = db.create_object("Module", "NetworkModules")
+        db.relate("AllocatedTo", {"action": variants[0], "module": network})
+        shared_sets = [
+            frozenset(
+                str(m.name) for m in db.navigate(v, "AllocatedTo", "module")
+            )
+            for v in variants
+        ]
+        return shared_sets
+
+    shared_sets = benchmark(drifting_family)
+    assert shared_sets[0] != shared_sets[1]  # the drift the paper warns about
+
+
+def test_fig5_uniformity_check_at_scale(benchmark):
+    db = SeedDatabase(spades_schema(), "fig5scale")
+    modules = [db.create_object("Module", f"Common{i}") for i in range(10)]
+    family = VariantFamily(db, "Fleet", variant_class="Action")
+    for module in modules:
+        family.add_shared_relationship(
+            "AllocatedTo", {"module": module}, variant_role="action"
+        )
+    for i in range(20):
+        variant = db.create_object("Action", f"Variant{i}")
+        variant.add_sub_object("Description", "x")
+        family.add_variant(variant)
+
+    problems = benchmark(family.check_uniformity)
+    assert problems == []

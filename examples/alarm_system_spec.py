@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""A full specification session with the SPADES miniature.
+
+Models the paper's application domain end to end: an alarm-handling
+subsystem of a process-control system is specified evolutionarily —
+vague statements first, structure and precision later — with session
+snapshots, a completeness report driving the work, and a released
+version at the end.
+
+Run:  python examples/alarm_system_spec.py
+"""
+
+from repro.spades import (
+    SpadesTool,
+    parse_spec,
+    render_version_history,
+    render_workspace_summary,
+)
+
+INITIAL_NOTES = """
+# First analyst session: rough notes, mostly vague
+thing Alarms "Alarms are represented in an alarm display matrix"
+thing OperatorConsole
+action AlarmHandler "Handles alarms"
+action Sensor "Reads hardware sensors"
+action OperatorAlert "Alerts the operator"
+data ProcessData input
+flow AlarmHandler ? Alarms
+read Sensor <- ProcessData
+contain AlarmHandler (Sensor, OperatorAlert)
+trigger AlarmHandler => OperatorAlert
+deadline Alarms 1986-06-01
+"""
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # session 1: capture the notes, however vague
+    # ------------------------------------------------------------------
+    tool = parse_spec(INITIAL_NOTES, SpadesTool("alarm-system"))
+    tool.begin_session()
+    print("=== after session 1 (vague capture) ===")
+    print(render_workspace_summary(tool))
+    tool.end_session()
+
+    # ------------------------------------------------------------------
+    # session 2: refinement, driven by the completeness report
+    # ------------------------------------------------------------------
+    tool.begin_session()
+    print("\n=== gaps driving session 2 ===")
+    for gap in tool.completeness_report():
+        print(" ", gap)
+
+    # the vague dataflow turns out to be a write; Alarms is an output
+    tool.refine_to_output("Alarms")
+    # OperatorConsole turns out to be data read by OperatorAlert
+    tool.note_dataflow("OperatorConsole", "OperatorAlert")
+    tool.refine_to_output("OperatorConsole")
+    # close the remaining minima
+    tool.read_flow("Alarms", "OperatorAlert")
+    tool.read_flow("OperatorConsole", "AlarmHandler")
+    tool.write_flow("ProcessData", "Sensor", times=1)
+    tool.read_flow("ProcessData", "AlarmHandler")
+    tool.end_session()
+
+    print("\n=== after session 2 (refined) ===")
+    print(render_workspace_summary(tool))
+
+    # ------------------------------------------------------------------
+    # release: only possible once complete
+    # ------------------------------------------------------------------
+    version = tool.release()
+    print(f"\nreleased specification as version {version}")
+    print("\n=== version history of Alarms ===")
+    print(render_version_history(tool.db, "Alarms"))
+
+    # ------------------------------------------------------------------
+    # design space exploration: work continues on the main line, then an
+    # alternative decomposition is tried from the released version
+    # ------------------------------------------------------------------
+    tool.annotate("AlarmHandler", "main line: considering priority queues")
+
+    tool.explore_alternative(version)  # snapshots the main line, rebases
+    tool.declare_action("AlarmFilter", "suppresses duplicate alarms")
+    tool.decompose("AlarmHandler", "AlarmFilter")
+    tool.read_flow("Alarms", "AlarmFilter")
+    alternative = tool.db.create_version()
+    print(f"\nexplored alternative {alternative} branched off {version}:")
+    print(render_version_history(tool.db))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` for PEP
+660 editable installs; this offline environment lacks it, so
+``python setup.py develop`` (driven by the same pyproject metadata)
+provides the editable install instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Reproduction of *SEED — A DBMS for Software Engineering Applications
+Based on the Entity-Relationship Approach* (Glinz & Ludewig, ICDE 1986).
+
+Packages:
+
+* :mod:`repro.core` — the SEED DBMS itself (schema, objects,
+  consistency/completeness, generalization-based vague data, versions,
+  patterns and variants, query layer, persistence);
+* :mod:`repro.spades` — a miniature of the SPADES specification tool the
+  paper integrated SEED into;
+* :mod:`repro.baselines` — comparators used by the benchmark harness
+  (strict conventional store, full-copy versioning, file-level
+  versioning, hand-coded tool storage, manual value copying);
+* :mod:`repro.multiuser` — the client/server multi-user extension the
+  paper sketches under "Open problems";
+* :mod:`repro.workloads` — deterministic synthetic workload generators.
+"""
+
+from repro.core import (
+    Cardinality,
+    CompletenessReport,
+    ConsistencyError,
+    SchemaBuilder,
+    SeedDatabase,
+    SeedError,
+    VersionId,
+    figure2_schema,
+    figure3_schema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cardinality",
+    "CompletenessReport",
+    "ConsistencyError",
+    "SchemaBuilder",
+    "SeedDatabase",
+    "SeedError",
+    "VersionId",
+    "figure2_schema",
+    "figure3_schema",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Baseline comparators for the benchmark harness.
+
+Each baseline isolates one claim of the paper:
+
+* :class:`~repro.baselines.strictstore.StrictStore` — the conventional
+  strict-consistency approach that rejects vague/incomplete data (the
+  motivating examples of the paper's section on vague information);
+* :class:`~repro.baselines.fullcopy.FullCopyVersioning` — snapshot-by-
+  copying, against SEED's delta version store;
+* :class:`~repro.baselines.filestore.FileVersionStore` — file-level
+  (RCS-style) versioning, the Katz/Lehman–Tichy related work;
+* :class:`~repro.baselines.handcoded.HandCodedSpecStore` — the fixed-
+  schema pre-SEED tool storage ("considerably slower, but much more
+  flexible" needs both sides measured);
+* :class:`~repro.baselines.manualcopy.ManualCopySharing` — value sharing
+  by copying, against the pattern mechanism.
+"""
+
+from repro.baselines.filestore import FileVersionStore, Revision
+from repro.baselines.fullcopy import FullCopyVersioning
+from repro.baselines.handcoded import HandCodedSpecStore
+from repro.baselines.manualcopy import ManualCopySharing
+from repro.baselines.strictstore import StrictStore
+
+__all__ = [
+    "FileVersionStore",
+    "Revision",
+    "FullCopyVersioning",
+    "HandCodedSpecStore",
+    "ManualCopySharing",
+    "StrictStore",
+]

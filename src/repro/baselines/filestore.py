@@ -1,0 +1,148 @@
+"""File-level version management à la Tichy's RCS (related work).
+
+"Katz and Lehman and Tichy deal with version and configuration
+management on the level of files. ... The version concept of SEED works
+on the database, not on files." To make that contrast measurable, this
+module implements the file-level approach: a specification is serialised
+to *text* (the SPADES spec language or any other renderer), and whole
+text files are checked in; storage uses RCS-style reverse deltas (full
+text for the newest revision, line-edit scripts to reconstruct older
+ones).
+
+What the comparison shows (benchmark C2/F4 discussion): file-level
+versioning must re-serialise and diff the entire document per check-in
+(cost grows with document size), and it cannot answer item-level history
+questions ("all versions of object AlarmHandler") without reconstructing
+and scanning every revision — SEED answers them directly from the item's
+version cell.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import VersionError
+
+__all__ = ["FileVersionStore", "Revision"]
+
+#: one edit of a reverse delta: replace lines [start:stop) by `lines`
+Edit = tuple[int, int, tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class Revision:
+    """Metadata of one checked-in revision."""
+
+    number: int
+    log: str
+
+
+def _reverse_delta(new: list[str], old: list[str]) -> list[Edit]:
+    """Edit script turning *new* back into *old* (line granularity)."""
+    matcher = difflib.SequenceMatcher(a=new, b=old, autojunk=False)
+    edits: list[Edit] = []
+    for tag, new_start, new_stop, old_start, old_stop in matcher.get_opcodes():
+        if tag != "equal":
+            edits.append((new_start, new_stop, tuple(old[old_start:old_stop])))
+    return edits
+
+
+def _apply_delta(lines: list[str], edits: list[Edit]) -> list[str]:
+    """Apply an edit script (edits are in ascending, non-overlapping order)."""
+    result: list[str] = []
+    cursor = 0
+    for start, stop, replacement in edits:
+        result.extend(lines[cursor:start])
+        result.extend(replacement)
+        cursor = stop
+    result.extend(lines[cursor:])
+    return result
+
+
+class FileVersionStore:
+    """RCS-style reverse-delta store for one text document."""
+
+    def __init__(self) -> None:
+        self._head: Optional[list[str]] = None
+        self._head_number = 0
+        #: revision number -> edit script reconstructing it from its successor
+        self._reverse_deltas: dict[int, list[Edit]] = {}
+        self._revisions: list[Revision] = []
+
+    # -- check-in ------------------------------------------------------------
+
+    def check_in(self, text: str, log: str = "") -> int:
+        """Store a new revision of the document; returns its number.
+
+        The whole document is diffed on every check-in — the cost that
+        distinguishes file-level from database-level versioning.
+        """
+        lines = text.splitlines(keepends=True)
+        if self._head is None:
+            self._head = lines
+            self._head_number = 1
+        else:
+            self._reverse_deltas[self._head_number] = _reverse_delta(
+                lines, self._head
+            )
+            self._head = lines
+            self._head_number += 1
+        self._revisions.append(Revision(self._head_number, log))
+        return self._head_number
+
+    # -- check-out -------------------------------------------------------------------
+
+    def check_out(self, number: Optional[int] = None) -> str:
+        """Reconstruct a revision's full text (newest by default).
+
+        Older revisions apply the chain of reverse deltas — the cost
+        that makes file-level history retrieval expensive.
+        """
+        if self._head is None:
+            raise VersionError("no revision has been checked in")
+        if number is None:
+            number = self._head_number
+        if not 1 <= number <= self._head_number:
+            raise VersionError(
+                f"revision {number} does not exist (1..{self._head_number})"
+            )
+        lines = list(self._head)
+        for revision in range(self._head_number - 1, number - 1, -1):
+            lines = _apply_delta(lines, self._reverse_deltas[revision])
+        return "".join(lines)
+
+    # -- queries ---------------------------------------------------------------------------
+
+    def revisions(self) -> list[Revision]:
+        """All revisions, oldest first."""
+        return list(self._revisions)
+
+    @property
+    def head_number(self) -> int:
+        """The newest revision number (0 when empty)."""
+        return self._head_number
+
+    def stored_line_count(self) -> int:
+        """Lines held in storage (head text + all delta lines).
+
+        The file-level analogue of the delta store's state count.
+        """
+        count = len(self._head or [])
+        for edits in self._reverse_deltas.values():
+            for __, __, replacement in edits:
+                count += len(replacement)
+        return count
+
+    def item_history(self, needle: str) -> list[int]:
+        """Revisions whose text mentions *needle*.
+
+        The best a file store can do for "find all versions of object
+        X": reconstruct and scan every revision (O(revisions × size)).
+        """
+        return [
+            number
+            for number in range(1, self._head_number + 1)
+            if needle in self.check_out(number)
+        ]

@@ -1,0 +1,102 @@
+"""Sharing by manual copying: the no-pattern baseline (claim C3).
+
+The paper's deadline example: "If a user wishes to express that some
+procedures have a common deadline and wants to maintain that deadline
+value consistently for these objects, he/she cannot do so" — without
+patterns, the only option is to copy the value into every object and
+update every copy on change. This module does exactly that against a
+SEED database, so benchmark C3 can compare:
+
+* one pattern update (propagates automatically, cannot diverge) versus
+* N per-object updates (cost grows with N, and any missed object leaves
+  the shared value silently inconsistent — :meth:`divergence` measures
+  that failure mode).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.database import SeedDatabase
+from repro.core.objects import SeedObject
+
+__all__ = ["ManualCopySharing"]
+
+
+class ManualCopySharing:
+    """Maintains a 'shared' sub-object value by copying it everywhere."""
+
+    def __init__(self, db: SeedDatabase, role: str) -> None:
+        self._db = db
+        self._role = role
+        self._members: list[SeedObject] = []
+
+    # -- membership --------------------------------------------------------
+
+    def add_member(self, obj: SeedObject, value: Any) -> SeedObject:
+        """Give *obj* its own copy of the shared value."""
+        existing = obj.find_sub_object(self._role)
+        if existing is None:
+            self._db.create_sub_object(obj, self._role, value)
+        else:
+            existing.set_value(value)
+        self._members.append(obj)
+        return obj
+
+    @property
+    def members(self) -> list[SeedObject]:
+        """All objects holding a copy."""
+        return list(self._members)
+
+    # -- updates ---------------------------------------------------------------
+
+    def update_all(self, value: Any) -> int:
+        """Propagate a new value by updating every copy; returns the count.
+
+        This is the O(N) update the pattern mechanism replaces with one
+        write.
+        """
+        updated = 0
+        for member in self._members:
+            copy = member.find_sub_object(self._role)
+            if copy is None:
+                self._db.create_sub_object(member, self._role, value)
+            else:
+                copy.set_value(value)
+            updated += 1
+        return updated
+
+    def update_some(self, value: Any, *, skip_every: int) -> int:
+        """A buggy propagation that misses every *skip_every*-th member.
+
+        Models the real failure mode of manual copying (a tool or user
+        forgetting some objects); used by tests/benchmarks to show the
+        divergence patterns rule out by construction.
+        """
+        updated = 0
+        for position, member in enumerate(self._members):
+            if skip_every and position % skip_every == 0:
+                continue
+            copy = member.find_sub_object(self._role)
+            if copy is not None:
+                copy.set_value(value)
+                updated += 1
+        return updated
+
+    # -- verification -------------------------------------------------------------
+
+    def values(self) -> list[Any]:
+        """The current copies, in membership order."""
+        result = []
+        for member in self._members:
+            copy = member.find_sub_object(self._role)
+            result.append(copy.value if copy is not None else None)
+        return result
+
+    def divergence(self) -> int:
+        """Number of distinct values across the copies (1 = consistent)."""
+        return len({repr(value) for value in self.values()})
+
+    def is_consistent(self) -> bool:
+        """True when every member holds the same value."""
+        return self.divergence() <= 1

@@ -1,0 +1,134 @@
+"""A conventional strict-consistency ER store (the paper's foil).
+
+"The normal approach to database consistency is to require all data in
+the database to fully comply with the structures and constraints given
+in the schema. However, this approach prevents the entry of incomplete
+and vague information into the database."
+
+:class:`StrictStore` is that normal approach, over the same schema
+machinery SEED uses: **every** schema rule — minimum *and* maximum
+cardinalities, covering conditions, membership — is enforced on every
+update, and there are no generalized escape categories because vague
+categories only help if the store lets items live in them (a strict
+store treats an item parked in a covering general class as a violation).
+
+It exists so benchmarks and tests can demonstrate the paper's two
+motivating rejections on real code:
+
+1. a dataflow of unknown direction cannot be stored (no ``Access``-like
+   category is admissible);
+2. a ``Data`` object cannot be stored before its mandatory ``Read`` and
+   ``Write`` relationships exist — and those relationships need the
+   object, so nothing can ever be entered step by step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.database import SeedDatabase
+from repro.core.errors import ConsistencyError
+from repro.core.objects import SeedObject
+from repro.core.relationships import SeedRelationship
+from repro.core.schema.schema import Schema
+
+__all__ = ["StrictStore"]
+
+
+class StrictStore:
+    """A strict-consistency wrapper: completeness rules become consistency.
+
+    The store reuses :class:`SeedDatabase` for structure but upgrades
+    every completeness condition to a hard constraint checked after
+    every operation; any gap rolls the operation back. The public
+    surface mirrors the SEED operational interface so benchmarks can run
+    identical scripts against both.
+    """
+
+    def __init__(self, schema: Schema, name: str = "strict") -> None:
+        self._db = SeedDatabase(schema, name)
+
+    # -- operations (each strict-checked) ---------------------------------
+
+    def create_object(self, class_name: str, name: str) -> SeedObject:
+        """Create an object; rejected unless immediately complete."""
+        with self._strict_operation():
+            return self._db.create_object(class_name, name)
+
+    def create_sub_object(
+        self, parent: SeedObject, role: str, value: Any = None
+    ) -> SeedObject:
+        """Create a sub-object; rejected unless parent stays complete."""
+        with self._strict_operation():
+            return self._db.create_sub_object(parent, role, value)
+
+    def relate(
+        self, association: str, bindings: dict[str, SeedObject], **kwargs: SeedObject
+    ) -> SeedRelationship:
+        """Create a relationship; rejected unless endpoints stay complete."""
+        with self._strict_operation():
+            return self._db.relate(association, bindings, **kwargs)
+
+    def set_value(self, obj: SeedObject, value: Any) -> None:
+        """Set a value; clearing a mandatory value is rejected."""
+        with self._strict_operation():
+            self._db.set_value(obj, value)
+
+    def delete(self, item: SeedObject | SeedRelationship) -> None:
+        """Delete an item; rejected when survivors become incomplete."""
+        with self._strict_operation():
+            self._db.delete(item)
+
+    def compound(self):
+        """Group several operations into one strict check (a transaction).
+
+        Even with compound operations the strict store cannot accept
+        *vague* information — there is no admissible category for it —
+        but it can at least enter mutually dependent items together.
+        """
+        return self._strict_operation()
+
+    # -- retrieval (read-only passthrough) ------------------------------------
+
+    def find_object(self, name: str) -> Optional[SeedObject]:
+        """Exact-name lookup."""
+        return self._db.find_object(name)
+
+    def objects(self, class_name: Optional[str] = None) -> list[SeedObject]:
+        """Class extent."""
+        return self._db.objects(class_name)
+
+    def relationships(self, association: Optional[str] = None) -> list[SeedRelationship]:
+        """Association extent."""
+        return self._db.relationships(association)
+
+    def statistics(self) -> dict[str, int]:
+        """Underlying store statistics."""
+        return self._db.statistics()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _strict_operation(self):
+        from contextlib import contextmanager, nullcontext
+
+        if self._db.in_transaction:
+            # already inside a compound(): the outer context checks at
+            # its end; individual operations pass through unchecked
+            return nullcontext()
+
+        @contextmanager
+        def run():
+            with self._db.transaction() as txn:
+                yield txn
+                # consistency was deferred to commit by the transaction;
+                # completeness we enforce here, inside, so a failure
+                # aborts the transaction via the raised error
+                report = self._db.check_completeness()
+                if not report.is_complete:
+                    raise ConsistencyError(
+                        "strict store rejects incomplete state:\n  "
+                        + "\n  ".join(str(gap) for gap in report.gaps),
+                        [],
+                    )
+
+        return run()

@@ -1,0 +1,129 @@
+"""Command-line interface: work with SEED databases and SPADES specs.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro load SPEC.spades -o DB.seed    # spec text -> database
+    python -m repro report DB.seed                 # workspace summary
+    python -m repro completeness DB.seed           # what is still missing
+    python -m repro flows DB.seed                  # dataflow report
+    python -m repro history DB.seed [NAME]         # version tree / cluster
+    python -m repro snapshot DB.seed [-v VERSION]  # create a version
+    python -m repro print DB.seed                  # database -> spec text
+    python -m repro ddl DB.seed                    # schema as DDL text
+
+The CLI operates on the SPADES schema (the paper's application); it is a
+thin layer over the library so scripted use mirrors programmatic use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.errors import SeedError
+from repro.core.schema.ddl import print_ddl
+from repro.core.storage import load_database, save_database
+from repro.spades import (
+    SpadesTool,
+    parse_spec,
+    print_spec,
+    render_version_history,
+    render_workspace_summary,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SEED (ICDE 1986) reproduction - specification databases",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    load = commands.add_parser("load", help="parse a spec script into a database")
+    load.add_argument("spec", type=Path, help="specification text file")
+    load.add_argument("-o", "--output", type=Path, required=True,
+                      help="database file to write")
+
+    for name, help_text in (
+        ("report", "one-screen workspace summary"),
+        ("completeness", "completeness analysis report"),
+        ("flows", "dataflow report"),
+        ("print", "regenerate the specification text"),
+        ("ddl", "print the schema as DDL text"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("database", type=Path, help="database file")
+
+    history = commands.add_parser("history", help="version tree or item cluster")
+    history.add_argument("database", type=Path)
+    history.add_argument("name", nargs="?", default=None,
+                         help="object name for a per-item version cluster")
+
+    snapshot = commands.add_parser("snapshot", help="create a version")
+    snapshot.add_argument("database", type=Path)
+    snapshot.add_argument("-v", "--version", default=None,
+                          help="explicit decimal version id (e.g. 2.0)")
+    return parser
+
+
+def _open_tool(path: Path) -> SpadesTool:
+    return SpadesTool(db=load_database(path))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (SeedError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "load":
+        tool = parse_spec(args.spec.read_text())
+        tool.db.create_version()
+        size = save_database(tool.db, args.output)
+        stats = tool.db.statistics()
+        print(
+            f"loaded {stats['objects']} objects, "
+            f"{stats['relationships']} relationships -> "
+            f"{args.output} ({size} bytes)"
+        )
+        return 0
+    if args.command == "report":
+        print(render_workspace_summary(_open_tool(args.database)))
+        return 0
+    if args.command == "completeness":
+        report = _open_tool(args.database).completeness_report()
+        print(report.render())
+        return 0 if report.is_complete else 2
+    if args.command == "flows":
+        for line in _open_tool(args.database).dataflow_report():
+            print(line)
+        return 0
+    if args.command == "print":
+        print(print_spec(_open_tool(args.database)), end="")
+        return 0
+    if args.command == "ddl":
+        print(print_ddl(load_database(args.database).schema), end="")
+        return 0
+    if args.command == "history":
+        db = load_database(args.database)
+        print(render_version_history(db, args.name))
+        return 0
+    if args.command == "snapshot":
+        db = load_database(args.database)
+        version = db.create_version(args.version)
+        save_database(db, args.database)
+        print(f"saved version {version}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

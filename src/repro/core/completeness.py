@@ -1,0 +1,255 @@
+"""Completeness analysis: checked **on demand**, never blocking updates.
+
+Minimum cardinalities and covering conditions for generalizations are
+*completeness* information (paper, section "Incomplete data"): they
+describe the desired **final** state of the data, so they must not
+prevent the entry of incomplete information. "Formal detection of
+incompleteness is provided by operations which check the rules that are
+derivable from the completeness conditions in the schema" — that is this
+module.
+
+The analysis produces a :class:`CompletenessReport` of :class:`Gap`
+records; it raises nothing. Use
+:meth:`repro.core.database.SeedDatabase.require_complete` to turn a
+non-empty report into a :class:`~repro.core.errors.CompletenessError`.
+
+Gap kinds:
+
+``sub-object-minimum``
+    a parent has fewer sub-objects of a dependent class than its
+    minimum cardinality requires;
+``undefined-value``
+    a value-typed object exists but its value is still undefined;
+``relationship-minimum``
+    an object participates in fewer relationships of an association
+    than the role minimum requires (instances of specializations count:
+    figure 3's ``Access by 1..*`` is satisfied by a ``Read`` *or* a
+    ``Write``);
+``covering``
+    an item is still classified in a covering general element and must
+    eventually be specialized;
+``attribute-minimum``
+    a mandatory association attribute has no value yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, TYPE_CHECKING
+
+from repro.core.schema.association import Association
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.database import SeedDatabase
+    from repro.core.objects import SeedObject
+    from repro.core.relationships import SeedRelationship
+
+__all__ = ["Gap", "CompletenessReport", "CompletenessEngine"]
+
+
+@dataclass(frozen=True)
+class Gap:
+    """One piece of missing information.
+
+    Attributes:
+        kind: gap category (see module docstring).
+        item: textual reference to the incomplete item.
+        element: name of the schema element whose condition is unmet.
+        message: human explanation of what is still missing.
+    """
+
+    kind: str
+    item: str
+    element: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.item}: {self.message}"
+
+
+@dataclass
+class CompletenessReport:
+    """The result of a completeness analysis."""
+
+    gaps: list[Gap] = field(default_factory=list)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when no information is missing."""
+        return not self.gaps
+
+    def by_kind(self, kind: str) -> list[Gap]:
+        """All gaps of one category."""
+        return [gap for gap in self.gaps if gap.kind == kind]
+
+    def for_item(self, item_ref: str) -> list[Gap]:
+        """All gaps concerning the item referenced by *item_ref*."""
+        return [gap for gap in self.gaps if gap.item == item_ref]
+
+    def kinds(self) -> dict[str, int]:
+        """Histogram of gap kinds (for reports and benchmarks)."""
+        histogram: dict[str, int] = {}
+        for gap in self.gaps:
+            histogram[gap.kind] = histogram.get(gap.kind, 0) + 1
+        return histogram
+
+    def summary(self) -> str:
+        """One line: either 'complete' or the gap-kind histogram."""
+        if self.is_complete:
+            return "complete"
+        parts = ", ".join(f"{kind}: {count}" for kind, count in sorted(self.kinds().items()))
+        return f"{len(self.gaps)} gaps ({parts})"
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        if self.is_complete:
+            return "complete — no missing information"
+        lines = [self.summary()]
+        lines.extend(f"  {gap}" for gap in self.gaps)
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[Gap]:
+        return iter(self.gaps)
+
+    def __len__(self) -> int:
+        return len(self.gaps)
+
+
+class CompletenessEngine:
+    """Derives completeness rules from the schema and checks them."""
+
+    def __init__(self, database: "SeedDatabase") -> None:
+        self._db = database
+
+    # -- entry points ------------------------------------------------------
+
+    def check_database(self) -> CompletenessReport:
+        """Analyse every live, normal (non-pattern) item."""
+        report = CompletenessReport()
+        for obj in self._db.objects(include_patterns=False):
+            report.gaps.extend(self.object_gaps(obj))
+        for rel in self._db.relationships(include_patterns=False):
+            report.gaps.extend(self.relationship_gaps(rel))
+        return report
+
+    def check_items(self, items: Iterable[object]) -> CompletenessReport:
+        """Analyse selected items only (and their sub-trees for objects)."""
+        report = CompletenessReport()
+        for item in items:
+            if hasattr(item, "walk"):  # an object: include its sub-tree
+                for obj in item.walk():
+                    report.gaps.extend(self.object_gaps(obj))
+            else:
+                report.gaps.extend(self.relationship_gaps(item))
+        return report
+
+    # -- objects --------------------------------------------------------------
+
+    def object_gaps(self, obj: "SeedObject") -> list[Gap]:
+        """All completeness gaps of one object."""
+        if obj.deleted or obj.in_pattern_context:
+            return []
+        gaps: list[Gap] = []
+        name = str(obj.name)
+        gaps.extend(self._sub_object_minima(obj, name))
+        gaps.extend(self._undefined_value(obj, name))
+        gaps.extend(self._relationship_minima(obj, name))
+        gaps.extend(self._covering(obj, name))
+        return gaps
+
+    def _sub_object_minima(self, obj: "SeedObject", name: str) -> Iterable[Gap]:
+        for element in obj.entity_class.kind_chain():
+            for dependent in getattr(element, "dependents", []):
+                minimum = dependent.cardinality.minimum
+                if minimum == 0:
+                    continue
+                count = len(
+                    self._db.patterns.effective_sub_objects(obj, dependent.name)
+                )
+                if count < minimum:
+                    yield Gap(
+                        "sub-object-minimum",
+                        name,
+                        dependent.full_name,
+                        f"has {count} {dependent.name!r} sub-objects, "
+                        f"minimum is {minimum}",
+                    )
+
+    def _undefined_value(self, obj: "SeedObject", name: str) -> Iterable[Gap]:
+        if obj.entity_class.has_value and obj.value is None:
+            yield Gap(
+                "undefined-value",
+                name,
+                obj.entity_class.full_name,
+                "exists but its value is still undefined",
+            )
+
+    def _relationship_minima(self, obj: "SeedObject", name: str) -> Iterable[Gap]:
+        for association in self._db.schema.associations:
+            for position in (0, 1):
+                role = association.role_at(position)
+                minimum = role.cardinality.minimum
+                if minimum == 0:
+                    continue
+                if not obj.entity_class.is_kind_of(role.target):
+                    continue
+                count = self._db.patterns.count_participations(
+                    obj, association, position
+                )
+                if count < minimum:
+                    yield Gap(
+                        "relationship-minimum",
+                        name,
+                        association.name,
+                        f"participates in {count} {association.name!r} "
+                        f"relationships at role {role.name!r}, minimum is "
+                        f"{minimum}",
+                    )
+
+    def _covering(self, obj: "SeedObject", name: str) -> Iterable[Gap]:
+        if obj.entity_class.covering:
+            specials = ", ".join(
+                special.name for special in obj.entity_class.specials
+            )
+            yield Gap(
+                "covering",
+                name,
+                obj.entity_class.name,
+                f"is still classified in covering class "
+                f"{obj.entity_class.name!r}; must be specialized "
+                f"(to one of: {specials})",
+            )
+
+    # -- relationships ------------------------------------------------------------
+
+    def relationship_gaps(self, rel: "SeedRelationship") -> list[Gap]:
+        """All completeness gaps of one relationship."""
+        if rel.deleted or rel.in_pattern_context:
+            return []
+        gaps: list[Gap] = []
+        ref = f"{rel.association.name}#{rel.rid}"
+        if rel.association.covering:
+            specials = ", ".join(
+                special.name for special in rel.association.specials
+            )
+            gaps.append(
+                Gap(
+                    "covering",
+                    ref,
+                    rel.association.name,
+                    f"is still classified in covering association "
+                    f"{rel.association.name!r}; must be specialized "
+                    f"(to one of: {specials})",
+                )
+            )
+        for attribute in rel.association.all_attributes():
+            if attribute.mandatory and not rel.has_attribute(attribute.name):
+                gaps.append(
+                    Gap(
+                        "attribute-minimum",
+                        ref,
+                        rel.association.name,
+                        f"mandatory attribute {attribute.name!r} has no value",
+                    )
+                )
+        return gaps

@@ -1,0 +1,346 @@
+"""The consistency engine: checks enforced on **every** update.
+
+The paper partitions schema information into *consistency* information —
+class and association membership, maximum cardinalities, ACYCLIC
+conditions, and attached procedures — and *completeness* information
+(minimum cardinalities, covering conditions). This engine implements the
+consistency half: it is invoked by the database after every update (or
+at transaction commit) and any violation causes the update to be rolled
+back, so "SEED permanently ensures database consistency" while still
+admitting incomplete data.
+
+Pattern items are exempt ("patterns ... are not checked for consistency
+unless they are inherited by a 'normal' data item"); when a pattern *is*
+inherited, its content is validated in the context of every inheritor,
+which the engine does by working on *effective* structure (own plus
+pattern-inherited sub-objects and relationships) as computed by the
+pattern manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, TYPE_CHECKING
+
+from repro.core.errors import ConsistencyError, ValueTypeError
+from repro.core.schema.association import Association
+from repro.core.schema.attached import UpdateContext
+from repro.core.schema.entity_class import EntityClass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.database import SeedDatabase
+    from repro.core.objects import SeedObject
+    from repro.core.relationships import SeedRelationship
+
+__all__ = ["Violation", "ConsistencyEngine"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One consistency violation.
+
+    Attributes:
+        kind: category — ``membership``, ``max-cardinality``, ``acyclic``,
+            ``value-sort``, ``structure``, or ``procedure``.
+        item: textual reference to the offending item (name or id).
+        message: human explanation.
+    """
+
+    kind: str
+    item: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.item}: {self.message}"
+
+
+class ConsistencyEngine:
+    """Validates objects and relationships against consistency rules."""
+
+    def __init__(self, database: "SeedDatabase") -> None:
+        self._db = database
+
+    # -- objects ---------------------------------------------------------
+
+    def validate_object(self, obj: "SeedObject") -> list[Violation]:
+        """All consistency violations of *obj* in its current state.
+
+        Checks sub-object role membership, dependent-class maximum
+        cardinalities (on effective structure, i.e. including
+        pattern-inherited sub-objects), and value-sort conformance.
+        Relationship-side checks live in :meth:`validate_relationship`.
+        """
+        violations: list[Violation] = []
+        if obj.deleted:
+            return violations
+        name = str(obj.name)
+        violations.extend(self._check_children_membership(obj, name))
+        violations.extend(self._check_children_maxima(obj, name))
+        violations.extend(self._check_value(obj, name))
+        return violations
+
+    def _check_children_membership(
+        self, obj: "SeedObject", name: str
+    ) -> Iterable[Violation]:
+        for child in obj.sub_objects():
+            declared = self.resolve_dependent_class(obj.entity_class, child.simple_name)
+            if declared is None:
+                yield Violation(
+                    "membership",
+                    name,
+                    f"sub-object role {child.simple_name!r} is not declared "
+                    f"for class {obj.entity_class.name!r} or its generals",
+                )
+            elif child.entity_class is not declared:
+                yield Violation(
+                    "membership",
+                    name,
+                    f"sub-object {child.simple_name!r} is classified as "
+                    f"{child.entity_class.full_name!r} but the schema "
+                    f"declares {declared.full_name!r}",
+                )
+
+    def _check_children_maxima(
+        self, obj: "SeedObject", name: str
+    ) -> Iterable[Violation]:
+        counted: set[str] = set()
+        for child in self._db.patterns.effective_sub_objects(obj):
+            role = child.simple_name
+            if role in counted:
+                continue
+            counted.add(role)
+            declared = self.resolve_dependent_class(obj.entity_class, role)
+            if declared is None or declared.cardinality is None:
+                continue  # membership check reports unknown roles
+            count = len(self._db.patterns.effective_sub_objects(obj, role))
+            if not declared.cardinality.allows_more(count - 1):
+                yield Violation(
+                    "max-cardinality",
+                    name,
+                    f"{count} sub-objects in role {role!r} exceed the "
+                    f"maximum of cardinality {declared.cardinality}",
+                )
+
+    def _check_value(self, obj: "SeedObject", name: str) -> Iterable[Violation]:
+        if obj.value is None:
+            return
+        if not obj.entity_class.has_value:
+            yield Violation(
+                "value-sort",
+                name,
+                f"class {obj.entity_class.full_name!r} is not value-typed "
+                "but the object carries a value",
+            )
+            return
+        try:
+            obj.entity_class.value_sort.coerce(obj.value)
+        except ValueTypeError as exc:
+            yield Violation("value-sort", name, str(exc))
+
+    def resolve_dependent_class(
+        self, entity_class: EntityClass, role: str
+    ) -> Optional[EntityClass]:
+        """The dependent class *role* resolves to along the kind chain.
+
+        An ``OutputData`` object owns ``Text`` sub-objects because its
+        general ``Data`` declares them; the lookup therefore walks the
+        generalization chain from the object's own class upward.
+        """
+        for element in entity_class.kind_chain():
+            if isinstance(element, EntityClass) and element.has_dependent(role):
+                return element.dependent(role)
+        return None
+
+    # -- relationships -------------------------------------------------------
+
+    def validate_relationship(self, rel: "SeedRelationship") -> list[Violation]:
+        """All consistency violations of *rel* in its current state."""
+        violations: list[Violation] = []
+        if rel.deleted:
+            return violations
+        ref = f"{rel.association.name}#{rel.rid}"
+        for role in rel.association.roles:
+            bound = rel.bound(role.name)
+            if bound.deleted:
+                violations.append(
+                    Violation(
+                        "structure",
+                        ref,
+                        f"role {role.name!r} binds deleted object {bound.name}",
+                    )
+                )
+            if not role.accepts(bound.entity_class):
+                violations.append(
+                    Violation(
+                        "membership",
+                        ref,
+                        f"role {role.name!r} requires {role.target.name!r} "
+                        f"but {bound.name} is a {bound.entity_class.name!r}",
+                    )
+                )
+        violations.extend(self._check_attributes(rel, ref))
+        if not rel.in_pattern_context:
+            violations.extend(self._check_participation_maxima(rel, ref))
+        return violations
+
+    def _check_attributes(
+        self, rel: "SeedRelationship", ref: str
+    ) -> Iterable[Violation]:
+        for attr_name, value in rel.attributes().items():
+            if not rel.association.has_attribute(attr_name):
+                yield Violation(
+                    "structure",
+                    ref,
+                    f"association {rel.association.name!r} declares no "
+                    f"attribute {attr_name!r}",
+                )
+                continue
+            try:
+                rel.association.attribute(attr_name).sort.coerce(value)
+            except ValueTypeError as exc:
+                yield Violation("value-sort", ref, str(exc))
+
+    def _check_participation_maxima(
+        self, rel: "SeedRelationship", ref: str
+    ) -> Iterable[Violation]:
+        # A Read relationship counts toward Read's own maxima and toward
+        # the maxima of every general (Access): walk the kind chain.
+        for element in rel.association.kind_chain():
+            association = element
+            if not isinstance(association, Association):  # pragma: no cover
+                continue
+            for position in (0, 1):
+                role = association.role_at(position)
+                if role.cardinality.is_unbounded:
+                    continue
+                bound = rel.bound_at(position)
+                if bound.in_pattern_context:
+                    continue
+                count = self._db.patterns.count_participations(
+                    bound, association, position
+                )
+                if not role.cardinality.allows_more(count - 1):
+                    yield Violation(
+                        "max-cardinality",
+                        ref,
+                        f"object {bound.name} participates in {count} "
+                        f"{association.name!r} relationships at role "
+                        f"{role.name!r}, exceeding cardinality "
+                        f"{role.cardinality}",
+                    )
+
+    # -- ACYCLIC ------------------------------------------------------------------
+
+    def validate_acyclic(self, association: Association) -> list[Violation]:
+        """Check the ACYCLIC condition over the association's family graph.
+
+        Edges are the *effective* (pattern-expanded) relationships of the
+        association family rooted at *association*'s family root,
+        directed from role position 0 to role position 1 (figure 2's
+        ``Contained``: contained → container).
+        """
+        root = association.family_root()
+        if not isinstance(root, Association):  # pragma: no cover - defensive
+            return []
+        edges: dict[int, list[int]] = {}
+        for source_oid, target_oid in self._db.patterns.effective_edges(root):
+            edges.setdefault(source_oid, []).append(target_oid)
+        cycle = _find_cycle(edges)
+        if cycle is None:
+            return []
+        names = " -> ".join(
+            str(self._db.object_by_oid(oid).name) for oid in cycle
+        )
+        return [
+            Violation(
+                "acyclic",
+                root.name,
+                f"association {root.name!r} is ACYCLIC but the update "
+                f"creates the cycle {names}",
+            )
+        ]
+
+    # -- attached procedures ----------------------------------------------------------
+
+    def run_attached_procedures(
+        self,
+        item: object,
+        operation: str,
+        detail: Optional[dict] = None,
+    ) -> list[Violation]:
+        """Run every attached procedure observing *operation* on *item*.
+
+        Procedures attached to any element of the item's kind chain fire
+        (an update of a ``Read`` relationship triggers procedures on
+        ``Access`` too). Messages returned by procedures and
+        :class:`ConsistencyError` raised by them become violations.
+        """
+        element = getattr(item, "association", None) or getattr(
+            item, "entity_class", None
+        )
+        if element is None:  # pragma: no cover - defensive
+            return []
+        violations: list[Violation] = []
+        ref = _item_ref(item)
+        for procedure in element.procedures_including_inherited():
+            if not procedure.applies_to(operation):
+                continue
+            context = UpdateContext(
+                database=self._db,
+                operation=operation,
+                item=item,
+                element=element,
+                detail=dict(detail or {}),
+            )
+            try:
+                messages = procedure.run(context)
+            except ConsistencyError as exc:
+                messages = [str(exc)]
+            violations.extend(
+                Violation("procedure", ref, f"{procedure.name}: {message}")
+                for message in messages
+            )
+        return violations
+
+
+def _item_ref(item: object) -> str:
+    name = getattr(item, "name", None)
+    if name is not None:
+        return str(name)
+    return repr(item)
+
+
+def _find_cycle(edges: dict[int, list[int]]) -> Optional[list[int]]:
+    """Return one directed cycle in *edges*, or None. Iterative DFS."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: dict[int, int] = {}
+    parent: dict[int, int] = {}
+    for start in edges:
+        if colour.get(start, WHITE) != WHITE:
+            continue
+        stack: list[tuple[int, Iterable[int]]] = [(start, iter(edges.get(start, ())))]
+        colour[start] = GREY
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                state = colour.get(successor, WHITE)
+                if state == GREY:
+                    # reconstruct the cycle successor -> ... -> node -> successor
+                    cycle = [successor]
+                    walker = node
+                    while walker != successor:
+                        cycle.append(walker)
+                        walker = parent[walker]
+                    cycle.reverse()
+                    return cycle
+                if state == WHITE:
+                    colour[successor] = GREY
+                    parent[successor] = node
+                    stack.append((successor, iter(edges.get(successor, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None

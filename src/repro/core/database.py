@@ -1,0 +1,1101 @@
+"""The SEED database: the operational interface of the paper's prototype.
+
+"SEED has been designed to support the data management tasks of software
+development tools. Hence, SEED has an operational interface that
+consists of a set of procedures. The SEED prototype provides the
+procedures for data creation, update, and simple retrieval by name."
+
+:class:`SeedDatabase` is that interface, extended with the paper's
+version, pattern, and completeness operations:
+
+* creation: :meth:`create_object`, :meth:`create_sub_object`,
+  :meth:`relate`;
+* update: :meth:`set_value`, :meth:`set_attribute`, :meth:`delete`,
+  :meth:`reclassify`, :meth:`rename`;
+* retrieval by name: :meth:`find_object`, :meth:`get_object`,
+  :meth:`objects`, :meth:`relationships`, :meth:`navigate`;
+* consistency: every update is checked against the consistency half of
+  the schema; a violating update is rolled back and reported via
+  :class:`~repro.core.errors.ConsistencyError`. :meth:`transaction`
+  groups several updates into one check-then-commit unit (needed e.g. to
+  reclassify an object and its relationship together);
+* completeness: :meth:`check_completeness` / :meth:`require_complete`;
+* versions: :meth:`create_version`, :meth:`select_version`,
+  :meth:`version_view`, :meth:`delete_version`, :attr:`history`;
+* patterns: :meth:`mark_pattern`, :meth:`inherit`, :meth:`uninherit`;
+* schema evolution: :meth:`migrate_schema` (generates a schema version).
+
+All mutation funnels through the private ``_operation`` context so that
+undo logging (atomicity), dirty tracking (delta versioning), and
+consistency validation happen uniformly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Union
+
+from repro.core.completeness import CompletenessEngine, CompletenessReport
+from repro.core.consistency import ConsistencyEngine, Violation
+from repro.core.errors import (
+    CompletenessError,
+    ConsistencyError,
+    PatternError,
+    SchemaError,
+    SeedError,
+    TransactionError,
+    VersionError,
+)
+from repro.core.identifiers import DottedName, check_simple_name
+from repro.core.objects import SeedObject
+from repro.core.patterns import PatternManager
+from repro.core.relationships import SeedRelationship
+from repro.core.schema.generalization import check_reclassification
+from repro.core.schema.schema import Schema
+from repro.core.versions.history import HistoryNavigator
+from repro.core.versions.manager import VersionManager
+from repro.core.versions.store import ItemKey
+from repro.core.versions.version_id import VersionId
+from repro.core.versions.view import VersionView
+
+__all__ = ["SeedDatabase"]
+
+Item = Union[SeedObject, SeedRelationship]
+
+
+class _Transaction:
+    """Bookkeeping for one (explicit or implicit) update transaction."""
+
+    __slots__ = ("undo", "touched", "dirty_added")
+
+    def __init__(self) -> None:
+        #: undo closures in application order
+        self.undo: list = []
+        #: item key -> (item, set of operations applied to it)
+        self.touched: dict[ItemKey, tuple[Item, set[str]]] = {}
+        #: dirty keys newly added by this transaction (for rollback)
+        self.dirty_added: set[ItemKey] = set()
+
+    def touch(self, item: Item, operation: str) -> None:
+        key = _key_of(item)
+        entry = self.touched.get(key)
+        if entry is None:
+            self.touched[key] = (item, {operation})
+        else:
+            entry[1].add(operation)
+
+
+def _key_of(item: Item) -> ItemKey:
+    if isinstance(item, SeedObject):
+        return ("o", item.oid)
+    return ("r", item.rid)
+
+
+class SeedDatabase:
+    """A single-user SEED database over a fixed (but evolvable) schema."""
+
+    def __init__(self, schema: Schema, name: str = "db") -> None:
+        schema.check()
+        self.schema = schema
+        self.name = name
+        self._objects: dict[int, SeedObject] = {}
+        self._relationships: dict[int, SeedRelationship] = {}
+        self._name_index: dict[str, int] = {}
+        self._incidence: dict[int, list[int]] = {}
+        self._next_id = 1
+        self._dirty: set[ItemKey] = set()
+        self._txn: Optional[_Transaction] = None
+        self.consistency = ConsistencyEngine(self)
+        self.completeness = CompletenessEngine(self)
+        self.patterns = PatternManager(self)
+        self.versions = VersionManager(self)
+        self.history = HistoryNavigator(self.versions)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while an explicit transaction is open."""
+        return self._txn is not None
+
+    @contextmanager
+    def transaction(self) -> Iterator[_Transaction]:
+        """Group updates; consistency is checked once, at commit.
+
+        On any exception, or when the combined result violates
+        consistency, *all* updates of the transaction are rolled back.
+        The paper's refinement example needs this: re-classifying
+        ``Alarms`` to ``OutputData`` and its ``Access`` relationship to
+        ``Write`` is only consistent as a unit.
+        """
+        if self._txn is not None:
+            raise TransactionError("transactions cannot be nested")
+        txn = _Transaction()
+        self._txn = txn
+        try:
+            yield txn
+        except BaseException:
+            self._txn = None
+            self._rollback(txn)
+            raise
+        self._txn = None
+        violations = self._validate(txn)
+        if violations:
+            self._rollback(txn)
+            raise ConsistencyError(
+                "transaction violates consistency:\n  "
+                + "\n  ".join(str(violation) for violation in violations),
+                violations,
+            )
+
+    @contextmanager
+    def _operation(self) -> Iterator[_Transaction]:
+        """One primitive update: immediate check unless inside a transaction."""
+        if self._txn is not None:
+            txn = self._txn
+            undo_mark = len(txn.undo)
+            try:
+                yield txn
+            except BaseException:
+                self._undo_to(txn, undo_mark)
+                raise
+            return
+        txn = _Transaction()
+        self._txn = txn
+        try:
+            yield txn
+        except BaseException:
+            self._txn = None
+            self._rollback(txn)
+            raise
+        self._txn = None
+        violations = self._validate(txn)
+        if violations:
+            self._rollback(txn)
+            raise ConsistencyError(
+                "update violates consistency:\n  "
+                + "\n  ".join(str(violation) for violation in violations),
+                violations,
+            )
+
+    def _rollback(self, txn: _Transaction) -> None:
+        self._undo_to(txn, 0)
+        self._dirty -= txn.dirty_added
+
+    def _undo_to(self, txn: _Transaction, mark: int) -> None:
+        while len(txn.undo) > mark:
+            txn.undo.pop()()
+
+    def _mark_dirty(self, txn: _Transaction, item: Item) -> None:
+        key = _key_of(item)
+        if key not in self._dirty:
+            self._dirty.add(key)
+            txn.dirty_added.add(key)
+
+    # ------------------------------------------------------------------
+    # validation at commit
+    # ------------------------------------------------------------------
+
+    def _validate(self, txn: _Transaction) -> list[Violation]:
+        violations: list[Violation] = []
+        checked_objects: set[int] = set()
+        acyclic_roots: dict[str, Any] = {}
+        for key, (item, operations) in txn.touched.items():
+            if isinstance(item, SeedObject):
+                violations.extend(self._validate_object_context(item, checked_objects))
+                # pattern inheritance can introduce virtual edges, so
+                # touched objects pull their effective relationships'
+                # ACYCLIC families into the check set too
+                if not item.deleted:
+                    for rel in self.patterns.effective_relationships(item):
+                        association = rel.association  # type: ignore[union-attr]
+                        if association.effective_acyclic():
+                            acyclic_roots[association.family_root().name] = association
+            else:
+                violations.extend(self.consistency.validate_relationship(item))
+                for endpoint in item.bound_objects():
+                    violations.extend(
+                        self._validate_object_context(endpoint, checked_objects)
+                    )
+                association = item.association
+                if association.effective_acyclic():
+                    acyclic_roots[association.family_root().name] = association
+            for operation in operations:
+                violations.extend(
+                    self.consistency.run_attached_procedures(item, operation)
+                )
+        for association in acyclic_roots.values():
+            violations.extend(self.consistency.validate_acyclic(association))
+        return violations
+
+    def _validate_object_context(
+        self, obj: SeedObject, checked: set[int]
+    ) -> list[Violation]:
+        """Validate an object; patterns validate via their inheritors."""
+        violations: list[Violation] = []
+        if obj.oid in checked:
+            return violations
+        checked.add(obj.oid)
+        if obj.deleted:
+            return violations
+        if obj.in_pattern_context:
+            # a pattern is checked in the context of each inheritor
+            root = obj
+            node: Optional[SeedObject] = obj
+            while node is not None:
+                if node.is_pattern:
+                    root = node
+                node = node.parent
+            for inheritor in self.patterns.inheritors_of(root):
+                violations.extend(
+                    self._validate_object_context(inheritor, checked)
+                )
+            return violations
+        violations.extend(self.consistency.validate_object(obj))
+        return violations
+
+    # ------------------------------------------------------------------
+    # creation
+    # ------------------------------------------------------------------
+
+    def create_object(
+        self, class_name: str, name: str, *, pattern: bool = False
+    ) -> SeedObject:
+        """Create an independent object of *class_name* named *name*.
+
+        Names of independent objects are unique among live objects.
+        ``pattern=True`` creates the object as a pattern (invisible to
+        retrieval, exempt from consistency checks until inherited).
+        """
+        with self._operation() as txn:
+            entity_class = self.schema.entity_class(class_name)
+            if entity_class.is_dependent:
+                raise SchemaError(
+                    f"class {class_name!r} is dependent; use "
+                    "create_sub_object on a parent object"
+                )
+            check_simple_name(name, "object name")
+            if name in self._name_index:
+                raise ConsistencyError(
+                    f"an object named {name!r} already exists",
+                    [Violation("structure", name, "duplicate independent name")],
+                )
+            obj = SeedObject(self, self._allocate_id(), entity_class, name)
+            obj.is_pattern = pattern
+            self._objects[obj.oid] = obj
+            self._name_index[name] = obj.oid
+            txn.undo.append(lambda: self._unregister_object(obj))
+            txn.touch(obj, "create")
+            self._mark_dirty(txn, obj)
+            return obj
+
+    def _unregister_object(self, obj: SeedObject) -> None:
+        self._objects.pop(obj.oid, None)
+        if obj.parent is None and self._name_index.get(obj.simple_name) == obj.oid:
+            del self._name_index[obj.simple_name]
+        if obj.parent is not None:
+            siblings = obj.parent._children_of_role(obj.simple_name)
+            if obj in siblings:
+                siblings.remove(obj)
+
+    def create_sub_object(
+        self,
+        parent: SeedObject,
+        role: str,
+        value: Any = None,
+        *,
+        index: Optional[int] = None,
+    ) -> SeedObject:
+        """Create a sub-object of *parent* in dependent-class *role*.
+
+        For dependent classes admitting several instances per parent, an
+        *index* may be given explicitly; by default indices are assigned
+        consecutively (``Keywords[0]``, ``Keywords[1]``...). A *value*
+        may be supplied directly for value-typed leaf classes.
+        """
+        with self._operation() as txn:
+            self._require_live(parent)
+            dependent_class = self.consistency.resolve_dependent_class(
+                parent.entity_class, role
+            )
+            if dependent_class is None:
+                raise SchemaError(
+                    f"class {parent.entity_class.name!r} declares no "
+                    f"dependent class {role!r}"
+                )
+            multi = (
+                dependent_class.cardinality is None
+                or dependent_class.cardinality.maximum != 1
+            )
+            if multi:
+                index = self._assign_index(parent, role, index)
+            elif index is not None:
+                raise SchemaError(
+                    f"dependent class {dependent_class.full_name!r} admits "
+                    "a single instance; indices are not used"
+                )
+            obj = SeedObject(
+                self,
+                self._allocate_id(),
+                dependent_class,
+                role,
+                parent=parent,
+                index=index,
+            )
+            if value is not None:
+                obj.value = dependent_class.accepts_value(value)
+            self._objects[obj.oid] = obj
+            parent._attach_child(obj)
+            txn.undo.append(lambda: self._unregister_object(obj))
+            txn.touch(obj, "create")
+            txn.touch(parent, "update")
+            self._mark_dirty(txn, obj)
+            self._mark_dirty(txn, parent)
+            return obj
+
+    def _assign_index(
+        self, parent: SeedObject, role: str, index: Optional[int]
+    ) -> int:
+        existing = parent._children_of_role(role)
+        if index is None:
+            return max((c.index for c in existing if c.index is not None), default=-1) + 1
+        if any(c.index == index and not c.deleted for c in existing):
+            raise ConsistencyError(
+                f"object {parent.name} already has a live sub-object "
+                f"{role}[{index}]",
+                [Violation("structure", str(parent.name), "duplicate index")],
+            )
+        return index
+
+    def relate(
+        self,
+        association_name: str,
+        bindings: Optional[dict[str, SeedObject]] = None,
+        *,
+        attributes: Optional[dict[str, Any]] = None,
+        pattern: bool = False,
+        **binding_kwargs: SeedObject,
+    ) -> SeedRelationship:
+        """Create a relationship of *association_name*.
+
+        Bindings map role names to objects; they may be passed as a dict
+        (needed for roles named like Python keywords, e.g. ``from``) or
+        as keyword arguments::
+
+            db.relate("Read", {"from": alarms, "by": handler})
+            db.relate("Contained", contained=alert, container=handler)
+        """
+        with self._operation() as txn:
+            association = self.schema.association(association_name)
+            all_bindings = dict(bindings or {})
+            all_bindings.update(binding_kwargs)
+            expected = set(association.role_names())
+            if set(all_bindings) != expected:
+                raise SchemaError(
+                    f"association {association_name!r} requires bindings "
+                    f"for roles {sorted(expected)}, got {sorted(all_bindings)}"
+                )
+            for role_name, obj in all_bindings.items():
+                self._require_live(obj)
+            rel = SeedRelationship(
+                self, self._allocate_id(), association, all_bindings
+            )
+            rel.is_pattern = pattern
+            self._relationships[rel.rid] = rel
+            for obj in rel.bound_objects():
+                self._incidence.setdefault(obj.oid, []).append(rel.rid)
+            txn.undo.append(lambda: self._unregister_relationship(rel))
+            txn.touch(rel, "create")
+            self._mark_dirty(txn, rel)
+            if attributes:
+                for attr_name, attr_value in attributes.items():
+                    self._set_attribute_inner(txn, rel, attr_name, attr_value)
+            return rel
+
+    def _unregister_relationship(self, rel: SeedRelationship) -> None:
+        self._relationships.pop(rel.rid, None)
+        for obj in rel.bound_objects():
+            incident = self._incidence.get(obj.oid)
+            if incident and rel.rid in incident:
+                incident.remove(rel.rid)
+
+    # ------------------------------------------------------------------
+    # update
+    # ------------------------------------------------------------------
+
+    def set_value(self, obj: SeedObject, value: Any) -> None:
+        """Set the value of a value-typed object (None clears it)."""
+        with self._operation() as txn:
+            self._require_live(obj)
+            if value is not None:
+                value = obj.entity_class.accepts_value(value)
+            old_value = obj.value
+            obj.value = value
+            txn.undo.append(lambda: setattr(obj, "value", old_value))
+            txn.touch(obj, "update")
+            self._mark_dirty(txn, obj)
+
+    def set_attribute(self, rel: SeedRelationship, name: str, value: Any) -> None:
+        """Set a relationship attribute declared on its association chain."""
+        with self._operation() as txn:
+            self._require_live(rel)
+            self._set_attribute_inner(txn, rel, name, value)
+
+    def _set_attribute_inner(
+        self, txn: _Transaction, rel: SeedRelationship, name: str, value: Any
+    ) -> None:
+        attribute = rel.association.attribute(name)  # raises for unknown names
+        had = name in rel._attributes
+        old_value = rel._attributes.get(name)
+        if value is None:
+            rel._attributes.pop(name, None)
+        else:
+            rel._attributes[name] = attribute.sort.coerce(value)
+
+        def undo() -> None:
+            if had:
+                rel._attributes[name] = old_value
+            else:
+                rel._attributes.pop(name, None)
+
+        txn.undo.append(undo)
+        txn.touch(rel, "update")
+        self._mark_dirty(txn, rel)
+
+    def rename(self, obj: SeedObject, new_name: str) -> None:
+        """Rename an independent object (names stay unique)."""
+        with self._operation() as txn:
+            self._require_live(obj)
+            if obj.parent is not None:
+                raise SeedError(
+                    "dependent objects are named by their role; only "
+                    "independent objects can be renamed"
+                )
+            check_simple_name(new_name, "object name")
+            if new_name == obj.simple_name:
+                return
+            if new_name in self._name_index:
+                raise ConsistencyError(
+                    f"an object named {new_name!r} already exists",
+                    [Violation("structure", new_name, "duplicate independent name")],
+                )
+            old_name = obj.simple_name
+            del self._name_index[old_name]
+            self._name_index[new_name] = obj.oid
+            obj._rename(new_name)
+
+            def undo() -> None:
+                del self._name_index[new_name]
+                self._name_index[old_name] = obj.oid
+                obj._rename(old_name)
+
+            txn.undo.append(undo)
+            txn.touch(obj, "update")
+            self._mark_dirty(txn, obj)
+
+    def delete(self, item: Item) -> None:
+        """Tombstone an item.
+
+        Deleting an object deletes its sub-tree and every relationship
+        bound to a deleted object (items are marked, never physically
+        removed — the version store needs the tombstones). Patterns with
+        live inheritors refuse deletion.
+        """
+        with self._operation() as txn:
+            self._require_live(item)
+            if isinstance(item, SeedObject):
+                for node in item.walk():
+                    if node.is_pattern and self.patterns.has_inheritors(node):
+                        inheritors = ", ".join(
+                            str(inh.name)
+                            for inh in self.patterns.inheritors_of(node)
+                        )
+                        raise PatternError(
+                            f"pattern {node.name} is inherited by "
+                            f"{inheritors}; remove the inherits links first"
+                        )
+                for node in list(item.walk()):
+                    self._tombstone_object(txn, node)
+            else:
+                self._tombstone_relationship(txn, item)
+
+    def _tombstone_object(self, txn: _Transaction, obj: SeedObject) -> None:
+        for rid in list(self._incidence.get(obj.oid, ())):
+            rel = self._relationships[rid]
+            if not rel.deleted:
+                self._tombstone_relationship(txn, rel)
+        removed_links: list[tuple[SeedObject, int]] = []
+        for inheritor_oid in [
+            inheritor.oid for inheritor in self.patterns.inheritors_of(obj)
+        ]:  # pragma: no cover - guarded by delete()
+            inheritor = self._objects[inheritor_oid]
+            inheritor.inherited_patterns.remove(obj.oid)
+            self.patterns.unregister_inheritance(obj.oid, inheritor_oid)
+            removed_links.append((inheritor, obj.oid))
+        # drop this object's own inherits links
+        own_links = list(obj.inherited_patterns)
+        for pattern_oid in own_links:
+            self.patterns.unregister_inheritance(pattern_oid, obj.oid)
+        obj.inherited_patterns = []
+        obj.deleted = True
+        if obj.parent is None and self._name_index.get(obj.simple_name) == obj.oid:
+            del self._name_index[obj.simple_name]
+
+        def undo() -> None:
+            obj.deleted = False
+            obj.inherited_patterns = own_links
+            for pattern_oid in own_links:
+                self.patterns.register_inheritance(pattern_oid, obj.oid)
+            for inheritor, pattern_oid in removed_links:
+                inheritor.inherited_patterns.append(pattern_oid)
+                self.patterns.register_inheritance(pattern_oid, inheritor.oid)
+            if obj.parent is None:
+                self._name_index[obj.simple_name] = obj.oid
+
+        txn.undo.append(undo)
+        txn.touch(obj, "delete")
+        self._mark_dirty(txn, obj)
+
+    def _tombstone_relationship(self, txn: _Transaction, rel: SeedRelationship) -> None:
+        rel.deleted = True
+        txn.undo.append(lambda: setattr(rel, "deleted", False))
+        txn.touch(rel, "delete")
+        self._mark_dirty(txn, rel)
+        for endpoint in rel.bound_objects():
+            if not endpoint.deleted:
+                txn.touch(endpoint, "update")
+
+    def reclassify(
+        self, item: Item, new_name: str, *, allow_generalize: bool = False
+    ) -> None:
+        """Move an item within its generalization hierarchy.
+
+        This is the paper's vague-to-precise refinement operation:
+        ``Thing`` → ``Data`` → ``OutputData`` for objects, ``Access`` →
+        ``Write`` for relationships. Downward moves are always legal;
+        upward/sideways moves require ``allow_generalize=True``.
+        """
+        with self._operation() as txn:
+            self._require_live(item)
+            if isinstance(item, SeedObject):
+                new_class = self.schema.entity_class(new_name)
+                check_reclassification(
+                    item.entity_class, new_class, allow_generalize=allow_generalize
+                )
+                old_class = item.entity_class
+                item.entity_class = new_class
+                txn.undo.append(lambda: setattr(item, "entity_class", old_class))
+                txn.touch(item, "reclassify")
+                self._mark_dirty(txn, item)
+                for rid in self._incidence.get(item.oid, ()):
+                    rel = self._relationships[rid]
+                    if not rel.deleted:
+                        txn.touch(rel, "update")
+            else:
+                new_association = self.schema.association(new_name)
+                check_reclassification(
+                    item.association,
+                    new_association,
+                    allow_generalize=allow_generalize,
+                )
+                old_association = item.association
+                old_bindings = dict(item._bindings)
+                old_attributes = dict(item._attributes)
+                # roles correspond positionally; rebind under the new names
+                new_bindings = {
+                    new_association.role_at(position).name: item.bound_at(position)
+                    for position in (0, 1)
+                }
+                item.association = new_association
+                item._bindings = new_bindings
+                # attributes not declared on the new chain are dropped —
+                # validation reports them if this loses information
+                item._attributes = {
+                    attr_name: attr_value
+                    for attr_name, attr_value in old_attributes.items()
+                    if new_association.has_attribute(attr_name)
+                }
+
+                def undo() -> None:
+                    item.association = old_association
+                    item._bindings = old_bindings
+                    item._attributes = old_attributes
+
+                txn.undo.append(undo)
+                txn.touch(item, "reclassify")
+                self._mark_dirty(txn, item)
+
+    # ------------------------------------------------------------------
+    # patterns
+    # ------------------------------------------------------------------
+
+    def mark_pattern(self, item: Item) -> None:
+        """Mark a data item as a pattern (paper: any item can be one)."""
+        with self._operation() as txn:
+            self._require_live(item)
+            if item.is_pattern:
+                raise PatternError("item is already a pattern")
+            if isinstance(item, SeedObject) and item.inherited_patterns:
+                raise PatternError(
+                    "an object inheriting patterns cannot itself become a "
+                    "pattern"
+                )
+            item.is_pattern = True
+            if isinstance(item, SeedObject) and item.parent is None:
+                # patterns are invisible to retrieval by name
+                pass
+            txn.undo.append(lambda: setattr(item, "is_pattern", False))
+            txn.touch(item, "update")
+            self._mark_dirty(txn, item)
+
+    def unmark_pattern(self, item: Item) -> None:
+        """Turn a pattern back into a normal item (no inheritors allowed)."""
+        with self._operation() as txn:
+            self._require_live(item)
+            if not item.is_pattern:
+                raise PatternError("item is not a pattern")
+            if isinstance(item, SeedObject) and self.patterns.has_inheritors(item):
+                raise PatternError(
+                    "the pattern is inherited; remove the inherits links first"
+                )
+            item.is_pattern = False
+            txn.undo.append(lambda: setattr(item, "is_pattern", True))
+            txn.touch(item, "update")
+            self._mark_dirty(txn, item)
+
+    def inherit(self, pattern: SeedObject, inheritor: SeedObject) -> None:
+        """Establish the inherits-relationship pattern → inheritor.
+
+        Afterwards all retrieval views the pattern's content as if it
+        were inserted in the inheritor's context, and the inheritor's
+        consistency is checked including that content.
+        """
+        with self._operation() as txn:
+            self._require_live(pattern)
+            self._require_live(inheritor)
+            self.patterns.check_inheritance_allowed(pattern, inheritor)
+            inheritor.inherited_patterns.append(pattern.oid)
+            self.patterns.register_inheritance(pattern.oid, inheritor.oid)
+
+            def undo() -> None:
+                inheritor.inherited_patterns.remove(pattern.oid)
+                self.patterns.unregister_inheritance(pattern.oid, inheritor.oid)
+
+            txn.undo.append(undo)
+            txn.touch(inheritor, "update")
+            self._mark_dirty(txn, inheritor)
+
+    def uninherit(self, pattern: SeedObject, inheritor: SeedObject) -> None:
+        """Remove an inherits-relationship."""
+        with self._operation() as txn:
+            self._require_live(inheritor)
+            if pattern.oid not in inheritor.inherited_patterns:
+                raise PatternError(
+                    f"object {inheritor.name} does not inherit "
+                    f"pattern {pattern.name}"
+                )
+            inheritor.inherited_patterns.remove(pattern.oid)
+            self.patterns.unregister_inheritance(pattern.oid, inheritor.oid)
+
+            def undo() -> None:
+                inheritor.inherited_patterns.append(pattern.oid)
+                self.patterns.register_inheritance(pattern.oid, inheritor.oid)
+
+            txn.undo.append(undo)
+            txn.touch(inheritor, "update")
+            self._mark_dirty(txn, inheritor)
+
+    # ------------------------------------------------------------------
+    # retrieval by name (the prototype's level)
+    # ------------------------------------------------------------------
+
+    def find_object(
+        self, name: str | DottedName, *, include_patterns: bool = False
+    ) -> Optional[SeedObject]:
+        """Resolve a dotted name to a live object, or None.
+
+        Patterns are invisible unless ``include_patterns=True``.
+        """
+        dotted = DottedName.parse(name) if isinstance(name, str) else name
+        oid = self._name_index.get(str(dotted.root))
+        if oid is None:
+            return None
+        obj = self._objects[oid]
+        if obj.is_pattern and not include_patterns:
+            return None
+        for part in dotted.parts[1:]:
+            child = obj.find_sub_object(part.name, part.index)
+            if child is None:
+                return None
+            obj = child
+        return obj
+
+    def get_object(
+        self, name: str | DottedName, *, include_patterns: bool = False
+    ) -> SeedObject:
+        """Like :meth:`find_object` but raises :class:`SeedError`."""
+        obj = self.find_object(name, include_patterns=include_patterns)
+        if obj is None:
+            raise SeedError(f"no object named {name!s}")
+        return obj
+
+    def objects(
+        self,
+        class_name: Optional[str] = None,
+        *,
+        include_specials: bool = True,
+        include_patterns: bool = False,
+        independent_only: bool = False,
+    ) -> list[SeedObject]:
+        """Live objects, optionally filtered by class.
+
+        ``include_specials=True`` (default) treats instances of
+        specializations as instances of the given class, matching the
+        'is-a' semantics of generalization.
+        """
+        wanted = self.schema.entity_class(class_name) if class_name else None
+        results = []
+        for obj in self._objects.values():
+            if obj.deleted:
+                continue
+            if obj.in_pattern_context and not include_patterns:
+                continue
+            if independent_only and obj.parent is not None:
+                continue
+            if wanted is not None:
+                if include_specials:
+                    if not obj.entity_class.is_kind_of(wanted):
+                        continue
+                elif obj.entity_class is not wanted:
+                    continue
+            results.append(obj)
+        return results
+
+    def relationships(
+        self,
+        association: Optional[str] = None,
+        *,
+        include_specials: bool = True,
+        include_patterns: bool = False,
+    ) -> list[SeedRelationship]:
+        """Live relationships, optionally filtered by association."""
+        wanted = self.schema.association(association) if association else None
+        results = []
+        for rel in self._relationships.values():
+            if rel.deleted:
+                continue
+            if rel.in_pattern_context and not include_patterns:
+                continue
+            if wanted is not None:
+                if include_specials:
+                    if not rel.association.is_kind_of(wanted):
+                        continue
+                elif rel.association is not wanted:
+                    continue
+            results.append(rel)
+        return results
+
+    def relationships_of_object(
+        self,
+        obj: SeedObject,
+        association: Optional[str] = None,
+        role: Optional[str] = None,
+        *,
+        include_patterns: bool = False,
+    ) -> list[SeedRelationship]:
+        """Live relationships binding *obj*, with optional filters."""
+        wanted = self.schema.association(association) if association else None
+        results = []
+        for rid in self._incidence.get(obj.oid, ()):
+            rel = self._relationships[rid]
+            if rel.deleted:
+                continue
+            if rel.in_pattern_context and not include_patterns:
+                continue
+            if wanted is not None and not rel.association.is_kind_of(wanted):
+                continue
+            if role is not None and rel.role_of(obj) != role:
+                continue
+            results.append(rel)
+        return results
+
+    def navigate(
+        self, obj: SeedObject, association: str, role: str
+    ) -> list[SeedObject]:
+        """Objects bound at *role* in *obj*'s effective relationships.
+
+        Navigation works on the effective (pattern-expanded) structure,
+        so inherited relationships are traversed transparently.
+        """
+        wanted = self.schema.association(association)
+        results: list[SeedObject] = []
+        for rel in self.patterns.effective_relationships(obj, wanted):
+            bound = rel.bound(role)  # type: ignore[union-attr]
+            if bound is not obj:
+                results.append(bound)
+        return results
+
+    def object_by_oid(self, oid: int) -> SeedObject:
+        """Internal/diagnostic access by surrogate id."""
+        return self._objects[oid]
+
+    def all_objects_raw(self) -> Iterator[SeedObject]:
+        """Every object record including tombstones and patterns."""
+        return iter(self._objects.values())
+
+    def all_relationships_raw(self) -> Iterator[SeedRelationship]:
+        """Every relationship record including tombstones and patterns."""
+        return iter(self._relationships.values())
+
+    # ------------------------------------------------------------------
+    # consistency & completeness entry points
+    # ------------------------------------------------------------------
+
+    def check_consistency(self) -> list[Violation]:
+        """Full re-validation of the whole database (diagnostic).
+
+        The incremental checks keep this empty at all times; property
+        tests and the ablation benchmark call it to verify exactly that.
+        """
+        violations: list[Violation] = []
+        checked: set[int] = set()
+        for obj in self.objects():
+            violations.extend(self._validate_object_context(obj, checked))
+        for rel in self.relationships():
+            violations.extend(self.consistency.validate_relationship(rel))
+        seen_roots: set[str] = set()
+        for association in self.schema.associations:
+            if association.effective_acyclic():
+                root = association.family_root()
+                if root.name not in seen_roots:
+                    seen_roots.add(root.name)
+                    violations.extend(self.consistency.validate_acyclic(association))
+        return violations
+
+    def check_completeness(self) -> CompletenessReport:
+        """On-demand completeness analysis of the whole database."""
+        return self.completeness.check_database()
+
+    def check_items_completeness(self, items: list[Item]) -> CompletenessReport:
+        """Completeness analysis restricted to *items* (and sub-trees)."""
+        return self.completeness.check_items(items)
+
+    def require_complete(self) -> None:
+        """Raise :class:`CompletenessError` unless the database is complete.
+
+        "Eventually, the result must be sufficiently formal, complete,
+        and precise to serve as a basis for implementation" — call this
+        at that point.
+        """
+        report = self.check_completeness()
+        if not report.is_complete:
+            raise CompletenessError(
+                f"database {self.name!r} is incomplete: {report.summary()}",
+                report,
+            )
+
+    # ------------------------------------------------------------------
+    # versions
+    # ------------------------------------------------------------------
+
+    def create_version(self, version: Optional[str | VersionId] = None) -> VersionId:
+        """Snapshot the current state (see :class:`VersionManager`)."""
+        if self._txn is not None:
+            raise TransactionError("cannot create a version inside a transaction")
+        return self.versions.create_version(version)
+
+    def select_version(
+        self, version: str | VersionId, *, discard_changes: bool = False
+    ) -> VersionId:
+        """Rebase the current state on a saved version (alternatives)."""
+        if self._txn is not None:
+            raise TransactionError("cannot select a version inside a transaction")
+        return self.versions.select_version(version, discard_changes=discard_changes)
+
+    def version_view(self, version: str | VersionId) -> VersionView:
+        """Read-only view of a saved version."""
+        return self.versions.view(version)
+
+    def delete_version(self, version: str | VersionId) -> None:
+        """Delete a leaf version."""
+        self.versions.delete_version(version)
+
+    def saved_versions(self) -> list[VersionId]:
+        """All saved versions in creation order."""
+        return self.versions.versions()
+
+    def has_unsaved_changes(self) -> bool:
+        """True when items changed since the last snapshot."""
+        return bool(self._dirty)
+
+    def collect_dirty_states(self) -> list[tuple[ItemKey, object]]:
+        """Freeze the states of all changed items (version-manager hook)."""
+        states: list[tuple[ItemKey, object]] = []
+        for kind, item_id in sorted(self._dirty):
+            if kind == "o":
+                item = self._objects.get(item_id)
+            else:
+                item = self._relationships.get(item_id)
+            if item is None:
+                continue  # rolled-back creation
+            states.append(((kind, item_id), item.freeze()))
+        return states
+
+    def clear_dirty(self) -> None:
+        """Reset dirty tracking (version-manager hook)."""
+        self._dirty.clear()
+
+    def restore_from_view(self, view: VersionView) -> None:
+        """Replace the live state with a saved version's state.
+
+        Live object/relationship handles held by callers become stale;
+        re-fetch by name. (Version-manager hook; use
+        :meth:`select_version`.)
+        """
+        self._objects.clear()
+        self._relationships.clear()
+        self._name_index.clear()
+        self._incidence.clear()
+        self._dirty.clear()
+        max_id = 0
+        for view_obj in view.objects(include_patterns=True):
+            state = view_obj.state
+            entity_class = self.schema.entity_class(state.class_name)
+            obj = SeedObject(
+                self,
+                view_obj.oid,
+                entity_class,
+                state.name,
+                parent=None,  # parents wired below
+                index=state.index,
+            )
+            obj.value = state.value
+            obj.is_pattern = state.is_pattern
+            obj.inherited_patterns = list(state.inherited_pattern_oids)
+            self._objects[obj.oid] = obj
+            max_id = max(max_id, obj.oid)
+        # wire parents and children
+        for view_obj in view.objects(include_patterns=True):
+            state = view_obj.state
+            obj = self._objects[view_obj.oid]
+            if state.parent_oid is not None:
+                parent = self._objects[state.parent_oid]
+                obj.parent = parent
+                parent._attach_child(obj)
+            else:
+                # pattern independents are indexed too: find_object
+                # filters them out unless include_patterns is passed
+                self._name_index[obj.simple_name] = obj.oid
+        for view_rel in view.relationships():
+            state = view_rel.state
+            association = self.schema.association(state.association_name)
+            bindings = {
+                role_name: self._objects[oid]
+                for role_name, oid in state.bindings
+            }
+            rel = SeedRelationship(self, view_rel.rid, association, bindings)
+            rel.is_pattern = state.is_pattern
+            rel._attributes = dict(state.attributes)
+            self._relationships[rel.rid] = rel
+            for obj in rel.bound_objects():
+                self._incidence.setdefault(obj.oid, []).append(rel.rid)
+            max_id = max(max_id, rel.rid)
+        self._next_id = max(self._next_id, max_id + 1)
+        self.patterns.rebuild_index()
+
+    # ------------------------------------------------------------------
+    # schema evolution
+    # ------------------------------------------------------------------
+
+    def migrate_schema(self, new_schema: Schema) -> int:
+        """Replace the schema, generating a schema version.
+
+        All live items are re-bound to the new schema's elements by
+        name; missing classes/associations or consistency violations
+        under the new schema abort the migration (the database is left
+        unchanged). Returns the new schema version index.
+        """
+        if self._txn is not None:
+            raise TransactionError("cannot migrate the schema inside a transaction")
+        new_schema.check()
+        old_schema = self.schema
+        old_classes = {
+            obj.oid: obj.entity_class.full_name for obj in self._objects.values()
+        }
+        old_associations = {
+            rel.rid: rel.association.name for rel in self._relationships.values()
+        }
+        try:
+            for obj in self._objects.values():
+                obj.entity_class = new_schema.entity_class(
+                    old_classes[obj.oid]
+                )
+            for rel in self._relationships.values():
+                rel.association = new_schema.association(
+                    old_associations[rel.rid]
+                )
+            self.schema = new_schema
+            violations = self.check_consistency()
+            if violations:
+                raise ConsistencyError(
+                    "existing data violates the new schema:\n  "
+                    + "\n  ".join(str(violation) for violation in violations),
+                    violations,
+                )
+        except (SchemaError, ConsistencyError):
+            # roll the rebinding back
+            self.schema = old_schema
+            for obj in self._objects.values():
+                obj.entity_class = old_schema.entity_class(old_classes[obj.oid])
+            for rel in self._relationships.values():
+                rel.association = old_schema.association(old_associations[rel.rid])
+            raise
+        # every live item now depends on the new schema version
+        for obj in self._objects.values():
+            self._dirty.add(("o", obj.oid))
+        for rel in self._relationships.values():
+            self._dirty.add(("r", rel.rid))
+        return self.versions.register_schema_version(new_schema)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _allocate_id(self) -> int:
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
+
+    def _require_live(self, item: Item) -> None:
+        if getattr(item, "_database", None) is not self:
+            raise SeedError("item belongs to a different database")
+        if item.deleted:
+            raise SeedError("item is deleted")
+
+    def statistics(self) -> dict[str, int]:
+        """Counters for reports and benchmarks."""
+        live_objects = sum(
+            1 for obj in self._objects.values() if not obj.deleted
+        )
+        live_relationships = sum(
+            1 for rel in self._relationships.values() if not rel.deleted
+        )
+        return {
+            "objects": live_objects,
+            "relationships": live_relationships,
+            "tombstoned_objects": len(self._objects) - live_objects,
+            "tombstoned_relationships": len(self._relationships) - live_relationships,
+            "saved_versions": len(self.versions.tree),
+            "stored_states": self.versions.total_stored_states(),
+            "dirty_items": len(self._dirty),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        stats = self.statistics()
+        return (
+            f"<SeedDatabase {self.name!r}: {stats['objects']} objects, "
+            f"{stats['relationships']} relationships, "
+            f"{stats['saved_versions']} versions>"
+        )

@@ -1,0 +1,14 @@
+"""Query layer: by-name retrieval, predicates, and the ER algebra.
+
+* :class:`~repro.core.query.retrieval.Retrieval` — the prototype-level
+  retrieval operations (by name, class extents, navigation chains);
+* :mod:`~repro.core.query.predicates` — composable object predicates;
+* :mod:`~repro.core.query.algebra` — the entity-relationship algebra
+  extension (select/project/join/union/difference over class extents
+  and relationship relations).
+"""
+
+from repro.core.query.algebra import Relation, extent, relationship_relation
+from repro.core.query.retrieval import Retrieval
+
+__all__ = ["Relation", "extent", "relationship_relation", "Retrieval"]

@@ -1,0 +1,183 @@
+"""Predicate combinators over objects and relationships.
+
+The SEED prototype only offered retrieval by name; this module is part
+of the query extension (the paper cites Parent & Spaccapietra's
+entity-relationship algebra as the natural next step). Predicates are
+small composable callables used by :mod:`repro.core.query.retrieval`
+selections and :mod:`repro.core.query.algebra` operations.
+
+Per the paper's stated semantics for incomplete data, "an undefined
+object matches nothing": value predicates are false for undefined
+values rather than raising.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Optional
+
+from repro.core.objects import SeedObject
+
+__all__ = [
+    "Predicate",
+    "true",
+    "false",
+    "both",
+    "either",
+    "negate",
+    "name_is",
+    "name_matches",
+    "in_class",
+    "has_value",
+    "value_is",
+    "value_matches",
+    "sub_object_value",
+    "participates_in",
+]
+
+#: a predicate over objects
+Predicate = Callable[[SeedObject], bool]
+
+
+def true(_obj: SeedObject) -> bool:
+    """Match everything."""
+    return True
+
+
+def false(_obj: SeedObject) -> bool:
+    """Match nothing."""
+    return False
+
+
+def both(*predicates: Predicate) -> Predicate:
+    """Conjunction of *predicates*."""
+
+    def check(obj: SeedObject) -> bool:
+        return all(predicate(obj) for predicate in predicates)
+
+    return check
+
+
+def either(*predicates: Predicate) -> Predicate:
+    """Disjunction of *predicates*."""
+
+    def check(obj: SeedObject) -> bool:
+        return any(predicate(obj) for predicate in predicates)
+
+    return check
+
+
+def negate(predicate: Predicate) -> Predicate:
+    """Negation of *predicate*."""
+
+    def check(obj: SeedObject) -> bool:
+        return not predicate(obj)
+
+    return check
+
+
+def name_is(name: str) -> Predicate:
+    """Match objects whose full dotted name equals *name*."""
+
+    def check(obj: SeedObject) -> bool:
+        return str(obj.name) == name
+
+    return check
+
+
+def name_matches(pattern: str) -> Predicate:
+    """Match objects whose dotted name matches regex *pattern*."""
+    compiled = re.compile(pattern)
+
+    def check(obj: SeedObject) -> bool:
+        return compiled.search(str(obj.name)) is not None
+
+    return check
+
+
+def in_class(class_name: str, *, include_specials: bool = True) -> Predicate:
+    """Match instances of *class_name* (specializations count by default)."""
+
+    def check(obj: SeedObject) -> bool:
+        schema = obj._database.schema  # noqa: SLF001 - query-internal access
+        wanted = schema.entity_class(class_name)
+        if include_specials:
+            return obj.entity_class.is_kind_of(wanted)
+        return obj.entity_class is wanted
+
+    return check
+
+
+def has_value(_obj: Optional[SeedObject] = None) -> Any:
+    """Match objects whose value is defined.
+
+    Usable directly (``has_value`` as a predicate) or called with no
+    argument to obtain the predicate explicitly.
+    """
+    if _obj is None:
+        return lambda obj: obj.value is not None
+    return _obj.value is not None
+
+
+def value_is(expected: Any) -> Predicate:
+    """Match defined values equal to *expected* (undefined matches nothing)."""
+
+    def check(obj: SeedObject) -> bool:
+        return obj.value is not None and obj.value == expected
+
+    return check
+
+
+def value_matches(pattern: str) -> Predicate:
+    """Match defined string values against regex *pattern*."""
+    compiled = re.compile(pattern)
+
+    def check(obj: SeedObject) -> bool:
+        return isinstance(obj.value, str) and compiled.search(obj.value) is not None
+
+    return check
+
+
+def sub_object_value(role_path: str, expected: Any) -> Predicate:
+    """Match objects with a sub-object at *role_path* holding *expected*.
+
+    ``sub_object_value("Text.Selector", "Representation")`` matches the
+    figure-1 ``Alarms`` object. Effective (pattern-inherited) sub-objects
+    count; an undefined or missing sub-object matches nothing.
+    """
+    steps = role_path.split(".")
+
+    def check(obj: SeedObject) -> bool:
+        frontier = [obj]
+        for step in steps:
+            frontier = [
+                child
+                for node in frontier
+                for child in node.effective_sub_objects(step)
+            ]
+            if not frontier:
+                return False
+        return any(node.value is not None and node.value == expected for node in frontier)
+
+    return check
+
+
+def participates_in(association: str, role: Optional[str] = None) -> Predicate:
+    """Match objects bound in at least one *association* relationship.
+
+    With *role*, the object must be bound in that role. Effective
+    (pattern-expanded) relationships count.
+    """
+
+    def check(obj: SeedObject) -> bool:
+        db = obj._database  # noqa: SLF001 - query-internal access
+        wanted = db.schema.association(association)
+        for rel in db.patterns.effective_relationships(obj, wanted):
+            if role is None:
+                return True
+            bound = rel.bound(role)  # type: ignore[union-attr]
+            if bound is obj:
+                return True
+        return False
+
+    return check

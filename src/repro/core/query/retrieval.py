@@ -1,0 +1,142 @@
+"""Retrieval operations: the prototype's by-name level plus selections.
+
+"The SEED prototype provides the procedures for data creation, update,
+and simple retrieval by name. Retrieval with complex queries is not
+supported." — the by-name procedures live directly on
+:class:`~repro.core.database.SeedDatabase`; this module layers the
+slightly richer retrieval style tools actually need (name patterns,
+class extents with predicates, role navigation chains) without yet
+being the full algebra (see :mod:`repro.core.query.algebra`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.core.database import SeedDatabase
+from repro.core.objects import SeedObject
+from repro.core.query.predicates import Predicate
+
+__all__ = ["Retrieval"]
+
+
+class Retrieval:
+    """Read-only retrieval helper bound to one database."""
+
+    def __init__(self, db: SeedDatabase) -> None:
+        self._db = db
+
+    # -- by name -----------------------------------------------------------
+
+    def by_name(self, name: str) -> Optional[SeedObject]:
+        """Exact dotted-name lookup (the prototype's operation)."""
+        return self._db.find_object(name)
+
+    def by_name_prefix(self, prefix: str) -> list[SeedObject]:
+        """All independent objects whose name starts with *prefix*."""
+        return [
+            obj
+            for obj in self._db.objects(independent_only=True)
+            if obj.simple_name.startswith(prefix)
+        ]
+
+    def by_name_pattern(self, pattern: str) -> list[SeedObject]:
+        """All objects (any depth) whose dotted name matches a regex."""
+        compiled = re.compile(pattern)
+        return [
+            obj
+            for obj in self._db.objects()
+            if compiled.search(str(obj.name)) is not None
+        ]
+
+    # -- class extents ----------------------------------------------------------
+
+    def instances(
+        self,
+        class_name: str,
+        where: Optional[Predicate] = None,
+        *,
+        include_specials: bool = True,
+    ) -> list[SeedObject]:
+        """Instances of a class, optionally filtered by a predicate."""
+        extent = self._db.objects(class_name, include_specials=include_specials)
+        if where is None:
+            return extent
+        return [obj for obj in extent if where(obj)]
+
+    def select(self, where: Predicate) -> list[SeedObject]:
+        """All live objects satisfying *where*."""
+        return [obj for obj in self._db.objects() if where(obj)]
+
+    # -- navigation ------------------------------------------------------------------
+
+    def navigate(
+        self, start: SeedObject, *steps: tuple[str, str]
+    ) -> list[SeedObject]:
+        """Follow a chain of ``(association, result_role)`` steps.
+
+        ``retrieval.navigate(handler, ("Read", "from"), ("Write", "by"))``
+        finds the actions writing the data the handler reads. Duplicates
+        along the way are removed; traversal uses effective (pattern-
+        expanded) relationships.
+        """
+        frontier = [start]
+        for association, role in steps:
+            next_frontier: list[SeedObject] = []
+            seen: set[int] = set()
+            for obj in frontier:
+                for result in self._db.navigate(obj, association, role):
+                    if result.oid not in seen:
+                        seen.add(result.oid)
+                        next_frontier.append(result)
+            frontier = next_frontier
+        return frontier
+
+    def closure(
+        self, start: SeedObject, association: str, role: str
+    ) -> list[SeedObject]:
+        """Transitive closure over one association direction.
+
+        ``retrieval.closure(action, "Contained", "container")`` yields
+        all (transitive) containers of an action — well defined because
+        ``Contained`` is ACYCLIC.
+        """
+        result: list[SeedObject] = []
+        seen: set[int] = {start.oid}
+        frontier = [start]
+        while frontier:
+            next_frontier: list[SeedObject] = []
+            for obj in frontier:
+                for found in self._db.navigate(obj, association, role):
+                    if found.oid not in seen:
+                        seen.add(found.oid)
+                        result.append(found)
+                        next_frontier.append(found)
+            frontier = next_frontier
+        return result
+
+    # -- values ----------------------------------------------------------------------------
+
+    def value_of(self, name: str) -> object:
+        """The value stored at a dotted name (None when undefined/absent)."""
+        obj = self._db.find_object(name)
+        return obj.value if obj is not None else None
+
+    def values_of(self, parent_name: str, role_path: str) -> list[object]:
+        """All defined values under ``parent.role_path`` (indexed roles).
+
+        ``values_of("Alarms", "Text.Body.Keywords")`` returns the keyword
+        strings of figure 1.
+        """
+        parent = self._db.find_object(parent_name)
+        if parent is None:
+            return []
+        frontier = [parent]
+        for step in role_path.split("."):
+            frontier = [
+                child
+                for node in frontier
+                for child in node.effective_sub_objects(step)
+            ]
+        return [node.value for node in frontier if node.value is not None]

@@ -1,0 +1,142 @@
+"""Common base for schema elements (classes and associations).
+
+Both object classes and associations participate in generalization
+hierarchies and may carry attached procedures (paper: "Attached
+procedures may be attached to any SEED schema element"), so the shared
+state lives here.
+
+Generalization links are doubly linked: a specialized element knows its
+``general`` and a generalized element lists its ``specials``. The links
+are maintained by :class:`repro.core.schema.builder.SchemaBuilder` /
+:class:`repro.core.schema.schema.Schema`; elements only store them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, TYPE_CHECKING
+
+from repro.core.errors import SchemaError
+from repro.core.identifiers import check_simple_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.schema.attached import AttachedProcedure
+
+__all__ = ["SchemaElement"]
+
+
+class SchemaElement:
+    """A named schema element with generalization links and procedures."""
+
+    #: "class" or "association"; set by subclasses, used in messages
+    kind: str = "element"
+
+    def __init__(self, name: str, doc: str = "") -> None:
+        check_simple_name(name, f"{self.kind} name")
+        self._name = name
+        #: human documentation string (kept through DDL round-trips)
+        self.doc = doc
+        #: the more general element this one specializes, if any
+        self.general: Optional["SchemaElement"] = None
+        #: elements that specialize this one (insertion order)
+        self.specials: list["SchemaElement"] = []
+        #: covering condition: every instance must eventually be
+        #: specialized into one of :attr:`specials` (completeness info)
+        self.covering: bool = False
+        #: attached procedures, run on updates of instances of this element
+        self.attached_procedures: list["AttachedProcedure"] = []
+
+    @property
+    def name(self) -> str:
+        """The element's simple name (unique per kind within a schema)."""
+        return self._name
+
+    # -- generalization navigation ---------------------------------------
+
+    def kind_chain(self) -> Iterator["SchemaElement"]:
+        """Yield this element, its general, its general's general, ...
+
+        The chain enumerates every element an instance of this element
+        is also an instance of (transitive 'is-a').
+        """
+        element: Optional[SchemaElement] = self
+        seen: set[int] = set()
+        while element is not None:
+            if id(element) in seen:
+                raise SchemaError(
+                    f"generalization cycle through {self.kind} {self._name!r}"
+                )
+            seen.add(id(element))
+            yield element
+            element = element.general
+
+    def is_kind_of(self, other: "SchemaElement") -> bool:
+        """True when instances of this element are also instances of *other*.
+
+        Every element is a kind of itself; otherwise the generalization
+        chain is followed upward (``OutputData.is_kind_of(Thing)``).
+        """
+        return any(element is other for element in self.kind_chain())
+
+    def all_specials(self) -> Iterator["SchemaElement"]:
+        """Yield all transitive specializations (excluding this element)."""
+        stack = list(self.specials)
+        while stack:
+            element = stack.pop()
+            yield element
+            stack.extend(element.specials)
+
+    def family(self) -> list["SchemaElement"]:
+        """All elements connected to this one via generalization edges.
+
+        The family is the root of this element's chain plus every
+        transitive specialization of that root — the set within which
+        re-classification is meaningful.
+        """
+        root = self.family_root()
+        return [root, *root.all_specials()]
+
+    def family_root(self) -> "SchemaElement":
+        """The most general element of this element's hierarchy."""
+        root = self
+        for element in self.kind_chain():
+            root = element
+        return root
+
+    def depth_in_hierarchy(self) -> int:
+        """Number of generalization steps from this element to the root."""
+        return sum(1 for __ in self.kind_chain()) - 1
+
+    # -- attached procedures ----------------------------------------------
+
+    def attach(self, procedure: "AttachedProcedure") -> None:
+        """Register *procedure* to run on updates of this element's items."""
+        if any(existing.name == procedure.name for existing in self.attached_procedures):
+            raise SchemaError(
+                f"procedure {procedure.name!r} already attached to "
+                f"{self.kind} {self._name!r}"
+            )
+        self.attached_procedures.append(procedure)
+
+    def detach(self, procedure_name: str) -> None:
+        """Remove the attached procedure named *procedure_name*."""
+        remaining = [
+            proc for proc in self.attached_procedures if proc.name != procedure_name
+        ]
+        if len(remaining) == len(self.attached_procedures):
+            raise SchemaError(
+                f"no procedure {procedure_name!r} attached to "
+                f"{self.kind} {self._name!r}"
+            )
+        self.attached_procedures = remaining
+
+    def procedures_including_inherited(self) -> Iterator["AttachedProcedure"]:
+        """Yield procedures of this element and of all its generals.
+
+        An instance of ``Read`` is also an instance of ``Access``, so
+        procedures attached to ``Access`` fire for ``Read`` updates too.
+        """
+        for element in self.kind_chain():
+            yield from element.attached_procedures
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} {self._name}>"

@@ -1,0 +1,25 @@
+"""Persistence: canonical serialisation, record files, storage engine."""
+
+from repro.core.storage.engine import (
+    JournaledDatabase,
+    load_database,
+    save_database,
+)
+from repro.core.storage.recordfile import RecordFile
+from repro.core.storage.serialize import (
+    database_from_dict,
+    database_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+__all__ = [
+    "JournaledDatabase",
+    "load_database",
+    "save_database",
+    "RecordFile",
+    "database_from_dict",
+    "database_to_dict",
+    "schema_from_dict",
+    "schema_to_dict",
+]

@@ -1,0 +1,122 @@
+"""The storage engine: database images and an update journal.
+
+Two persistence modes, composable:
+
+* **images** — :func:`save_database` / :func:`load_database` write/read
+  one complete database image (a single record holding the canonical
+  dict of :mod:`repro.core.storage.serialize`);
+* **journal** — :class:`JournaledDatabase` wraps a database and appends
+  an image record on every :meth:`~JournaledDatabase.checkpoint`; the
+  newest intact image wins on load, so a crash during checkpointing
+  falls back to the previous one.
+
+A full write-ahead log of individual updates would exceed the paper
+("SEED does not keep a log of every database update"); the checkpoint
+journal matches its session-oriented saving style.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.core.database import SeedDatabase
+from repro.core.errors import StorageError
+from repro.core.schema.attached import ProcedureRegistry
+from repro.core.storage.recordfile import RecordFile
+from repro.core.storage.serialize import database_from_dict, database_to_dict
+
+__all__ = ["save_database", "load_database", "JournaledDatabase"]
+
+
+def save_database(db: SeedDatabase, path: str | Path) -> int:
+    """Write a complete image of *db* to *path* (atomic replace).
+
+    Returns the image size in bytes.
+    """
+    record_file = RecordFile(path)
+    record_file.rewrite([{"kind": "image", "image": database_to_dict(db)}])
+    return record_file.size_bytes()
+
+
+def load_database(
+    path: str | Path, registry: Optional[ProcedureRegistry] = None
+) -> SeedDatabase:
+    """Load the newest intact image from *path*."""
+    record_file = RecordFile(path)
+    if not record_file.exists():
+        raise StorageError(f"no database file at {path}")
+    image = None
+    for record in record_file.records():
+        if record.get("kind") == "image":
+            image = record["image"]
+    if image is None:
+        raise StorageError(f"no intact database image in {path}")
+    return database_from_dict(image, registry)
+
+
+class JournaledDatabase:
+    """A database bound to a record file of checkpoint images.
+
+    Usage::
+
+        journal = JournaledDatabase.open(path, schema=my_schema)
+        db = journal.db
+        ...updates...
+        journal.checkpoint()          # appends a recoverable image
+        journal.compact()             # drops superseded images
+    """
+
+    def __init__(self, db: SeedDatabase, record_file: RecordFile) -> None:
+        self.db = db
+        self._file = record_file
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        *,
+        schema=None,
+        name: str = "db",
+        registry: Optional[ProcedureRegistry] = None,
+    ) -> "JournaledDatabase":
+        """Open an existing journal or start a fresh one.
+
+        When the file exists, the newest intact image is loaded and
+        *schema* is ignored; otherwise *schema* is required and an
+        initial image is written.
+        """
+        record_file = RecordFile(path)
+        if record_file.exists() and record_file.count() > 0:
+            db = load_database(path, registry)
+            return cls(db, record_file)
+        if schema is None:
+            raise StorageError(
+                f"no journal at {path} and no schema given to create one"
+            )
+        db = SeedDatabase(schema, name)
+        journal = cls(db, record_file)
+        journal.checkpoint()
+        return journal
+
+    def checkpoint(self) -> int:
+        """Append a recovery image of the current state; returns file size."""
+        self._file.append({"kind": "image", "image": database_to_dict(self.db)})
+        return self._file.size_bytes()
+
+    def compact(self) -> int:
+        """Keep only the newest image; returns the new file size."""
+        newest = None
+        for record in self._file.records():
+            if record.get("kind") == "image":
+                newest = record
+        if newest is None:
+            raise StorageError("journal holds no intact image to compact to")
+        self._file.rewrite([newest])
+        return self._file.size_bytes()
+
+    def checkpoints(self) -> int:
+        """Number of intact images in the journal."""
+        return sum(
+            1 for record in self._file.records() if record.get("kind") == "image"
+        )

@@ -1,0 +1,148 @@
+"""An append-only, checksummed record file.
+
+The SEED prototype persisted its database; this module provides the
+storage primitive our engine uses: a log of length-prefixed,
+CRC-protected JSON records. Appends are atomic at the record level — a
+torn final record (crash mid-write) is detected by checksum/length
+mismatch and ignored by the recovery scan, so the file never poisons a
+load.
+
+Format, per record::
+
+    8 bytes  payload length (decimal, zero-padded ASCII)
+    1 byte   space
+    8 bytes  CRC32 of payload (hex, zero-padded ASCII)
+    1 byte   newline
+    N bytes  payload (UTF-8 JSON)
+    1 byte   newline
+
+The ASCII framing keeps files inspectable with standard tools while
+remaining strict enough for reliable recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.errors import StorageError
+
+__all__ = ["RecordFile"]
+
+_HEADER_LENGTH = 8 + 1 + 8 + 1
+
+
+class RecordFile:
+    """Append-only record log with checksummed recovery."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, record: Any) -> None:
+        """Append one JSON-serialisable record, fsync'd."""
+        payload = json.dumps(record, separators=(",", ":"), sort_keys=True).encode(
+            "utf-8"
+        )
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        header = f"{len(payload):08d} {crc:08x}\n".encode("ascii")
+        with open(self.path, "ab") as handle:
+            handle.write(header + payload + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append_many(self, records: Iterator[Any] | list[Any]) -> int:
+        """Append several records with one open/fsync; returns the count."""
+        chunks = []
+        count = 0
+        for record in records:
+            payload = json.dumps(
+                record, separators=(",", ":"), sort_keys=True
+            ).encode("utf-8")
+            crc = zlib.crc32(payload) & 0xFFFFFFFF
+            chunks.append(f"{len(payload):08d} {crc:08x}\n".encode("ascii"))
+            chunks.append(payload + b"\n")
+            count += 1
+        if not chunks:
+            return 0
+        with open(self.path, "ab") as handle:
+            handle.write(b"".join(chunks))
+            handle.flush()
+            os.fsync(handle.fileno())
+        return count
+
+    def rewrite(self, records: list[Any]) -> None:
+        """Atomically replace the file's contents (write-temp-and-rename)."""
+        temp_path = self.path.with_suffix(self.path.suffix + ".tmp")
+        temp = RecordFile(temp_path)
+        if temp_path.exists():
+            temp_path.unlink()
+        temp.append_many(records)
+        if not records:
+            temp_path.touch()
+        os.replace(temp_path, self.path)
+
+    # -- reading ----------------------------------------------------------------
+
+    def records(self, *, strict: bool = False) -> Iterator[Any]:
+        """Yield all intact records in order.
+
+        A torn/corrupt tail is silently ignored (crash recovery);
+        corruption *before* intact data raises :class:`StorageError`
+        unless it is at the very end. With ``strict=True`` any
+        corruption raises.
+        """
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        offset = 0
+        while offset < len(data):
+            remaining = len(data) - offset
+            if remaining < _HEADER_LENGTH:
+                self._tail_problem(strict, "truncated header")
+                return
+            header = data[offset : offset + _HEADER_LENGTH]
+            try:
+                length = int(header[0:8])
+                crc_expected = int(header[9:17], 16)
+            except ValueError:
+                self._tail_problem(strict, "unparseable header")
+                return
+            if header[8:9] != b" " or header[17:18] != b"\n":
+                self._tail_problem(strict, "malformed header framing")
+                return
+            start = offset + _HEADER_LENGTH
+            end = start + length
+            if end + 1 > len(data):
+                self._tail_problem(strict, "truncated payload")
+                return
+            payload = data[start:end]
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc_expected:
+                self._tail_problem(strict, "checksum mismatch")
+                return
+            if data[end : end + 1] != b"\n":
+                self._tail_problem(strict, "missing record terminator")
+                return
+            yield json.loads(payload.decode("utf-8"))
+            offset = end + 1
+
+    @staticmethod
+    def _tail_problem(strict: bool, problem: str) -> None:
+        if strict:
+            raise StorageError(f"corrupt record file: {problem}")
+
+    def count(self) -> int:
+        """Number of intact records."""
+        return sum(1 for __ in self.records())
+
+    def exists(self) -> bool:
+        """True when the file exists on disk."""
+        return self.path.exists()
+
+    def size_bytes(self) -> int:
+        """File size in bytes (0 when absent) — a storage-cost metric."""
+        return self.path.stat().st_size if self.path.exists() else 0

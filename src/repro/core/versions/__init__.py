@@ -1,0 +1,40 @@
+"""Version and alternative management (paper, section "Versions").
+
+Public surface:
+
+* :class:`~repro.core.versions.version_id.VersionId` — decimal ids;
+* :class:`~repro.core.versions.tree.VersionTree` — the history tree;
+* :class:`~repro.core.versions.store.VersionStore` — delta storage with
+  tombstones;
+* :class:`~repro.core.versions.view.VersionView` — read-only views;
+* :class:`~repro.core.versions.manager.VersionManager` — snapshots,
+  selection (alternatives), deletion, schema versions;
+* :class:`~repro.core.versions.history.HistoryNavigator` — history
+  retrieval and navigation operations.
+"""
+
+from repro.core.versions.history import (
+    HistoryNavigator,
+    ItemHistoryEntry,
+    VersionDiff,
+)
+from repro.core.versions.manager import VersionManager
+from repro.core.versions.store import ItemKey, ItemState, VersionStore
+from repro.core.versions.tree import VersionTree
+from repro.core.versions.version_id import VersionId
+from repro.core.versions.view import VersionView, ViewObject, ViewRelationship
+
+__all__ = [
+    "HistoryNavigator",
+    "ItemHistoryEntry",
+    "VersionDiff",
+    "VersionManager",
+    "ItemKey",
+    "ItemState",
+    "VersionStore",
+    "VersionTree",
+    "VersionId",
+    "VersionView",
+    "ViewObject",
+    "ViewRelationship",
+]

@@ -1,0 +1,128 @@
+"""The delta version store.
+
+"When creating a version we do not save the complete database. We only
+store those objects and relationships that have been changed after the
+creation of the previous version. Items that have been deleted in this
+interval must also be recorded. This is made easy by marking items as
+deleted instead of removing them physically." (paper, "Versions")
+
+The store keeps, per item, a *cell*: a mapping from version id to the
+frozen item state at that version. Unchanged items have no entry for a
+version; a view walks the ancestry chain to find the closest stored
+state. Tombstones are ordinary states with ``deleted=True``.
+
+Item keys are ``("o", oid)`` for objects and ``("r", rid)`` for
+relationships.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.core.errors import VersionError
+from repro.core.objects import ObjectState
+from repro.core.relationships import RelationshipState
+from repro.core.versions.version_id import VersionId
+
+__all__ = ["ItemKey", "ItemState", "VersionStore"]
+
+ItemKey = tuple[str, int]
+ItemState = Union[ObjectState, RelationshipState]
+
+
+class VersionStore:
+    """Per-item state cells, keyed by exact version of change."""
+
+    def __init__(self) -> None:
+        self._cells: dict[ItemKey, dict[VersionId, ItemState]] = {}
+
+    # -- writing -------------------------------------------------------------
+
+    def record(self, version: VersionId, key: ItemKey, state: ItemState) -> None:
+        """Store *state* as the state of *key* at *version*.
+
+        Called once per changed item when a version is created. Versions
+        are immutable: recording twice for the same (key, version) is a
+        programming error.
+        """
+        cell = self._cells.setdefault(key, {})
+        if version in cell:
+            raise VersionError(
+                f"item {key} already has a state for version {version}; "
+                "versions cannot be modified"
+            )
+        cell[version] = state
+
+    def record_many(
+        self, version: VersionId, states: Iterable[tuple[ItemKey, ItemState]]
+    ) -> int:
+        """Record a batch of states; returns the number recorded."""
+        count = 0
+        for key, state in states:
+            self.record(version, key, state)
+            count += 1
+        return count
+
+    def drop_version(self, version: VersionId) -> int:
+        """Erase all states recorded at *version* (version deletion).
+
+        Views then fall through to the closest earlier state on the
+        chain. Returns the number of states erased.
+        """
+        count = 0
+        for cell in self._cells.values():
+            if version in cell:
+                del cell[version]
+                count += 1
+        return count
+
+    # -- reading ----------------------------------------------------------------
+
+    def state_on_chain(
+        self, key: ItemKey, chain: list[VersionId]
+    ) -> Optional[ItemState]:
+        """The item's state at the *end* of an ancestry chain.
+
+        Walks the chain from its tip backwards and returns the first
+        stored state — the paper's "greatest version number less than or
+        equal to n", restricted to the history line of n. Returns None
+        when the item did not exist anywhere on the chain.
+        """
+        cell = self._cells.get(key)
+        if not cell:
+            return None
+        for version in reversed(chain):
+            state = cell.get(version)
+            if state is not None:
+                return state
+        return None
+
+    def states_of(self, key: ItemKey) -> dict[VersionId, ItemState]:
+        """All stored (version → state) entries of one item (a copy)."""
+        return dict(self._cells.get(key, {}))
+
+    def versions_touching(self, key: ItemKey) -> list[VersionId]:
+        """Versions at which the item's state was recorded (sorted)."""
+        return sorted(self._cells.get(key, {}))
+
+    def keys(self) -> Iterator[ItemKey]:
+        """All item keys ever recorded."""
+        return iter(self._cells)
+
+    def keys_in_version(self, version: VersionId) -> Iterator[ItemKey]:
+        """Item keys with a state recorded exactly at *version*."""
+        for key, cell in self._cells.items():
+            if version in cell:
+                yield key
+
+    def stored_state_count(self) -> int:
+        """Total number of stored states — the delta-storage cost metric.
+
+        Benchmarks compare this against the full-copy baseline's
+        ``versions × live items``.
+        """
+        return sum(len(cell) for cell in self._cells.values())
+
+    def cell_count(self) -> int:
+        """Number of items with at least one stored state."""
+        return len(self._cells)

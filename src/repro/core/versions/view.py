@@ -1,0 +1,321 @@
+"""Read-only views of saved database versions.
+
+"The view to a version with number n consists of the objects and
+relationships having the greatest version number that is less than or
+equal to n (provided that they are not marked as deleted)." (paper,
+"Versions"; figures 4b/4c show the current and 1.0 views of the
+example.)
+
+A :class:`VersionView` materialises exactly that: it resolves, for every
+item, the latest state on the ancestry chain of the requested version
+and exposes the same retrieval operations the live database offers —
+"retrieval of data from an old version is performed in the same way as
+retrieval from the current version."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, TYPE_CHECKING
+
+from repro.core.errors import VersionError
+from repro.core.identifiers import DottedName, NamePart
+from repro.core.objects import ObjectState
+from repro.core.relationships import RelationshipState
+from repro.core.versions.store import ItemKey, VersionStore
+from repro.core.versions.version_id import VersionId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.schema.schema import Schema
+
+__all__ = ["ViewObject", "ViewRelationship", "VersionView"]
+
+
+class ViewObject:
+    """A read-only object as it existed in a saved version."""
+
+    __slots__ = ("oid", "state", "_view")
+
+    def __init__(self, oid: int, state: ObjectState, view: "VersionView") -> None:
+        self.oid = oid
+        self.state = state
+        self._view = view
+
+    @property
+    def class_name(self) -> str:
+        """Name of the class the object was classified in."""
+        return self.state.class_name
+
+    @property
+    def value(self) -> Any:
+        """The stored value (None when undefined)."""
+        return self.state.value
+
+    @property
+    def is_pattern(self) -> bool:
+        """Pattern flag as of this version."""
+        return self.state.is_pattern
+
+    @property
+    def parent(self) -> Optional["ViewObject"]:
+        """The owning object, reconstructed from the same view."""
+        if self.state.parent_oid is None:
+            return None
+        return self._view.object_by_oid(self.state.parent_oid)
+
+    @property
+    def own_part(self) -> NamePart:
+        """The object's own name component."""
+        return NamePart(self.state.name, self.state.index)
+
+    @property
+    def name(self) -> DottedName:
+        """The composed dotted name as of this version."""
+        parent = self.parent
+        if parent is None:
+            return DottedName((self.own_part,))
+        return DottedName(parent.name.parts + (self.own_part,))
+
+    def sub_objects(self, role: Optional[str] = None) -> list["ViewObject"]:
+        """Live sub-objects in this version, optionally of one role."""
+        return self._view.children_of(self.oid, role)
+
+    def sub_object(self, role: str, index: Optional[int] = None) -> "ViewObject":
+        """One sub-object by role and optional index (raises when absent)."""
+        for child in self.sub_objects(role):
+            if index is None or child.state.index == index:
+                return child
+        raise VersionError(
+            f"object {self.name} has no sub-object {role!r} in version "
+            f"{self._view.version}"
+        )
+
+    def relationships(self, association: Optional[str] = None) -> list["ViewRelationship"]:
+        """Relationships binding this object in this version."""
+        return self._view.relationships_of(self.oid, association)
+
+    def related(self, association: str, role: str) -> list["ViewObject"]:
+        """Objects bound at *role* in this object's *association* rels."""
+        results = []
+        for rel in self.relationships(association):
+            bound = rel.bound(role)
+            if bound.oid != self.oid:
+                results.append(bound)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<ViewObject {self.name}:{self.class_name} @{self._view.version}>"
+
+
+class ViewRelationship:
+    """A read-only relationship as it existed in a saved version."""
+
+    __slots__ = ("rid", "state", "_view")
+
+    def __init__(self, rid: int, state: RelationshipState, view: "VersionView") -> None:
+        self.rid = rid
+        self.state = state
+        self._view = view
+
+    @property
+    def association_name(self) -> str:
+        """Name of the association (as classified in this version)."""
+        return self.state.association_name
+
+    def bound(self, role: str) -> ViewObject:
+        """The object bound in *role*."""
+        for role_name, oid in self.state.bindings:
+            if role_name == role:
+                obj = self._view.object_by_oid(oid)
+                if obj is None:
+                    raise VersionError(
+                        f"relationship #{self.rid} binds object #{oid} "
+                        f"which is not visible in version {self._view.version}"
+                    )
+                return obj
+        raise VersionError(
+            f"relationship #{self.rid} of {self.association_name!r} has "
+            f"no role {role!r}"
+        )
+
+    def endpoints(self) -> tuple[ViewObject, ViewObject]:
+        """Both bound objects in positional order."""
+        return tuple(self.bound(role) for role, __ in self.state.bindings)  # type: ignore[return-value]
+
+    def binds_oid(self, oid: int) -> bool:
+        """True when the object with *oid* is an endpoint."""
+        return any(bound_oid == oid for __, bound_oid in self.state.bindings)
+
+    def attribute(self, name: str, default: Any = None) -> Any:
+        """Attribute value as of this version."""
+        for attr_name, value in self.state.attributes:
+            if attr_name == name:
+                return value
+        return default
+
+    def attributes(self) -> dict[str, Any]:
+        """All attribute values as of this version."""
+        return dict(self.state.attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"<ViewRelationship {self.association_name}#{self.rid} "
+            f"@{self._view.version}>"
+        )
+
+
+class VersionView:
+    """All items of one saved version, with retrieval operations."""
+
+    def __init__(
+        self,
+        version: VersionId,
+        chain: list[VersionId],
+        store: VersionStore,
+        schema: "Schema",
+    ) -> None:
+        self.version = version
+        self.schema = schema
+        self._objects: dict[int, ViewObject] = {}
+        self._relationships: dict[int, ViewRelationship] = {}
+        self._children: dict[int, list[int]] = {}
+        self._name_index: dict[str, int] = {}
+        self._incidence: dict[int, list[int]] = {}
+        self._materialise(chain, store)
+
+    def _materialise(self, chain: list[VersionId], store: VersionStore) -> None:
+        for key in store.keys():
+            state = store.state_on_chain(key, chain)
+            if state is None or state.deleted:
+                continue
+            kind, item_id = key
+            if kind == "o":
+                assert isinstance(state, ObjectState)
+                self._objects[item_id] = ViewObject(item_id, state, self)
+            else:
+                assert isinstance(state, RelationshipState)
+                self._relationships[item_id] = ViewRelationship(item_id, state, self)
+        for oid, obj in self._objects.items():
+            parent_oid = obj.state.parent_oid
+            if parent_oid is not None:
+                self._children.setdefault(parent_oid, []).append(oid)
+            elif not obj.state.is_pattern:
+                self._name_index[obj.state.name] = oid
+        for rid, rel in self._relationships.items():
+            for __, oid in rel.state.bindings:
+                self._incidence.setdefault(oid, []).append(rid)
+
+    # -- retrieval (mirrors the live database's interface) ---------------------
+
+    def find(self, name: str | DottedName) -> Optional[ViewObject]:
+        """Resolve a dotted name in this version (None when absent)."""
+        dotted = DottedName.parse(name) if isinstance(name, str) else name
+        oid = self._name_index.get(str(dotted.root))
+        if oid is None:
+            return None
+        obj = self._objects[oid]
+        for part in dotted.parts[1:]:
+            found = None
+            for child in self.children_of(obj.oid, part.name):
+                if part.index is None or child.state.index == part.index:
+                    found = child
+                    break
+            if found is None:
+                return None
+            obj = found
+        return obj
+
+    def get(self, name: str | DottedName) -> ViewObject:
+        """Like :meth:`find` but raises :class:`VersionError` when absent."""
+        obj = self.find(name)
+        if obj is None:
+            raise VersionError(
+                f"no object named {name!s} in version {self.version}"
+            )
+        return obj
+
+    def object_by_oid(self, oid: int) -> Optional[ViewObject]:
+        """The object with *oid* if visible in this version."""
+        return self._objects.get(oid)
+
+    def objects(
+        self,
+        class_name: Optional[str] = None,
+        *,
+        include_specials: bool = True,
+        include_patterns: bool = False,
+    ) -> list[ViewObject]:
+        """All visible objects, optionally filtered by class."""
+        wanted = self.schema.entity_class(class_name) if class_name else None
+        results = []
+        for obj in self._objects.values():
+            if obj.state.is_pattern and not include_patterns:
+                continue
+            if wanted is not None:
+                actual = self.schema.entity_class(obj.state.class_name)
+                if include_specials:
+                    if not actual.is_kind_of(wanted):
+                        continue
+                elif actual is not wanted:
+                    continue
+            results.append(obj)
+        return results
+
+    def relationships(
+        self, association: Optional[str] = None, *, include_specials: bool = True
+    ) -> list[ViewRelationship]:
+        """All visible relationships, optionally filtered by association."""
+        wanted = self.schema.association(association) if association else None
+        results = []
+        for rel in self._relationships.values():
+            if wanted is not None:
+                actual = self.schema.association(rel.state.association_name)
+                if include_specials:
+                    if not actual.is_kind_of(wanted):
+                        continue
+                elif actual is not wanted:
+                    continue
+            results.append(rel)
+        return results
+
+    def children_of(self, oid: int, role: Optional[str] = None) -> list[ViewObject]:
+        """Live sub-objects of the object with *oid* in this version."""
+        children = [self._objects[child] for child in self._children.get(oid, ())]
+        if role is not None:
+            children = [child for child in children if child.state.name == role]
+        return children
+
+    def relationships_of(
+        self, oid: int, association: Optional[str] = None
+    ) -> list[ViewRelationship]:
+        """Relationships binding the object with *oid* in this version."""
+        results = []
+        wanted = self.schema.association(association) if association else None
+        for rid in self._incidence.get(oid, ()):
+            rel = self._relationships[rid]
+            if wanted is not None:
+                actual = self.schema.association(rel.state.association_name)
+                if not actual.is_kind_of(wanted):
+                    continue
+            results.append(rel)
+        return results
+
+    def object_count(self) -> int:
+        """Number of visible objects."""
+        return len(self._objects)
+
+    def relationship_count(self) -> int:
+        """Number of visible relationships."""
+        return len(self._relationships)
+
+    def item_states(self) -> Iterator[tuple[ItemKey, object]]:
+        """(key, state) pairs of every visible item — for oracles/tests."""
+        for oid, obj in self._objects.items():
+            yield ("o", oid), obj.state
+        for rid, rel in self._relationships.items():
+            yield ("r", rid), rel.state
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"<VersionView {self.version}: {len(self._objects)} objects, "
+            f"{len(self._relationships)} relationships>"
+        )

@@ -1,0 +1,23 @@
+"""Multi-user extension: the paper's two-level client/server sketch.
+
+"SEED is currently a single user system only. ... We only have some
+rough ideas concerning a two level approach" — this package implements
+those ideas: :class:`~repro.multiuser.server.SeedServer` (central
+database, write locks, global versions),
+:class:`~repro.multiuser.client.SeedClient` (local copies for update,
+check-in as one transaction), and the supporting lock table and
+check-in packages.
+"""
+
+from repro.multiuser.checkin import CheckInPackage, build_package
+from repro.multiuser.client import SeedClient
+from repro.multiuser.locks import LockTable
+from repro.multiuser.server import SeedServer
+
+__all__ = [
+    "CheckInPackage",
+    "build_package",
+    "SeedClient",
+    "LockTable",
+    "SeedServer",
+]

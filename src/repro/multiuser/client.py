@@ -1,0 +1,188 @@
+"""SEED clients: local copies for update, check-in to the server.
+
+"several clients use the server for retrieval operations, but take
+local copies for making updates" — a :class:`SeedClient` checks out a
+set of objects (with their sub-trees, the relationships among them, and
+any patterns they inherit), works on a private
+:class:`~repro.core.database.SeedDatabase` copy with full SEED semantics
+(consistency checking, local versions, transactions), and checks the
+updated copy back in as one server-side transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.database import SeedDatabase
+from repro.core.errors import SeedError
+from repro.core.objects import ObjectState, SeedObject
+from repro.core.relationships import RelationshipState, SeedRelationship
+from repro.core.versions.version_id import VersionId
+from repro.multiuser.checkin import build_package
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.multiuser.server import SeedServer
+
+__all__ = ["SeedClient"]
+
+
+class SeedClient:
+    """One user's handle on the central database."""
+
+    def __init__(self, server: "SeedServer", client_id: str) -> None:
+        self._server = server
+        self.client_id = client_id
+        self._local: Optional[SeedDatabase] = None
+        self._baseline_objects: dict[int, ObjectState] = {}
+        self._baseline_relationships: dict[int, RelationshipState] = {}
+
+    # -- retrieval (server-side, no copy) -----------------------------------
+
+    def find_object(self, name: str) -> Optional[SeedObject]:
+        """Retrieval against the central database (read-only use!)."""
+        return self._server.find_object(name)
+
+    # -- check-out ------------------------------------------------------------
+
+    @property
+    def local(self) -> SeedDatabase:
+        """The local copy; only available between check-out and check-in."""
+        if self._local is None:
+            raise SeedError(
+                f"client {self.client_id!r} has no checked-out copy"
+            )
+        return self._local
+
+    @property
+    def has_copy(self) -> bool:
+        """True while a local copy is checked out."""
+        return self._local is not None
+
+    def check_out(self, *names: str) -> SeedDatabase:
+        """Copy the named objects (closure) for local update.
+
+        The closure comprises the objects' sub-trees, every relationship
+        among copied objects, and every pattern a copied object inherits
+        (with *its* sub-tree and relationships, recursively) — a copy
+        must be self-contained to be checked for consistency locally.
+        Write locks are taken centrally; a conflicting check-out raises
+        :class:`~repro.core.errors.LockError` with the holder's id.
+        """
+        if self._local is not None:
+            raise SeedError(
+                f"client {self.client_id!r} already holds a copy; check it "
+                "in or abandon it first"
+            )
+        master = self._server.master
+        roots: list[SeedObject] = []
+        seen_roots: set[int] = set()
+        frontier = [
+            master.get_object(name, include_patterns=True) for name in names
+        ]
+        while frontier:
+            obj = frontier.pop()
+            root = obj.root
+            if root.oid in seen_roots:
+                continue
+            seen_roots.add(root.oid)
+            roots.append(root)
+            for node in root.walk():
+                frontier.extend(master.patterns.patterns_of(node))
+        objects, keys = self._server.closure_keys(roots)
+        self._server.locks.acquire(self.client_id, keys)
+        self._local = self._copy_items(master, objects, keys)
+        self._baseline_objects = {
+            obj.oid: obj.freeze() for obj in self._local.all_objects_raw()
+        }
+        self._baseline_relationships = {
+            rel.rid: rel.freeze() for rel in self._local.all_relationships_raw()
+        }
+        return self._local
+
+    def _copy_items(self, master: SeedDatabase, objects, keys) -> SeedDatabase:
+        local = SeedDatabase(master.schema, f"{master.name}@{self.client_id}")
+        copied_rids = [item_id for kind, item_id in keys if kind == "r"]
+        max_id = 0
+        for obj in objects:
+            clone = SeedObject(
+                local,
+                obj.oid,
+                obj.entity_class,
+                obj.simple_name,
+                index=obj.index,
+            )
+            clone.value = obj.value
+            clone.is_pattern = obj.is_pattern
+            clone.inherited_patterns = list(obj.inherited_patterns)
+            local._objects[clone.oid] = clone  # noqa: SLF001
+            max_id = max(max_id, clone.oid)
+        for obj in objects:
+            clone = local._objects[obj.oid]  # noqa: SLF001
+            if obj.parent is not None:
+                parent = local._objects[obj.parent.oid]  # noqa: SLF001
+                clone.parent = parent
+                parent._attach_child(clone)  # noqa: SLF001
+            else:
+                local._name_index[clone.simple_name] = clone.oid  # noqa: SLF001
+        for rid in copied_rids:
+            rel = master._relationships[rid]  # noqa: SLF001
+            bindings = {
+                role: local._objects[bound.oid]  # noqa: SLF001
+                for role, bound in rel.bindings().items()
+            }
+            clone = SeedRelationship(local, rel.rid, rel.association, bindings)
+            clone.is_pattern = rel.is_pattern
+            clone._attributes = rel.attributes()  # noqa: SLF001
+            local._relationships[clone.rid] = clone  # noqa: SLF001
+            for bound in clone.bound_objects():
+                local._incidence.setdefault(bound.oid, []).append(clone.rid)  # noqa: SLF001
+            max_id = max(max_id, clone.rid)
+        # fresh local ids must not collide with *any* master id
+        local._next_id = max(max_id, master._next_id) + 1_000_000  # noqa: SLF001
+        local.patterns.rebuild_index()
+        local.clear_dirty()
+        return local
+
+    # -- check-in ---------------------------------------------------------------------
+
+    def check_in(self) -> dict[int, int]:
+        """Send the updated copy back; the server applies it atomically.
+
+        Returns the id translation map for locally created items. On
+        success the local copy is dropped and all locks are released; on
+        failure (consistency violation or stale data) the copy and locks
+        survive so the client can repair and retry.
+        """
+        local = self.local
+        package = build_package(
+            local, self._baseline_objects, self._baseline_relationships
+        )
+        translation = self._server.apply_check_in(self.client_id, package)
+        self._drop_copy()
+        return translation
+
+    def abandon(self) -> None:
+        """Discard the local copy and release all locks (nothing applied)."""
+        if self._local is None:
+            raise SeedError(f"client {self.client_id!r} has no copy to abandon")
+        self._server.locks.release(self.client_id)
+        self._drop_copy()
+
+    def _drop_copy(self) -> None:
+        self._local = None
+        self._baseline_objects = {}
+        self._baseline_relationships = {}
+
+    # -- local versions ("kept locally under control of the user") -------------------------
+
+    def save_local_version(self, version: Optional[str] = None) -> VersionId:
+        """Snapshot the local copy (user-controlled local versions)."""
+        return self.local.create_version(version)
+
+    def local_versions(self) -> list[VersionId]:
+        """Local snapshots taken during this check-out."""
+        return self.local.saved_versions()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        state = "holding copy" if self.has_copy else "idle"
+        return f"<SeedClient {self.client_id!r} ({state})>"

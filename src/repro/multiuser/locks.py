@@ -1,0 +1,83 @@
+"""Write locks for the two-level multi-user architecture.
+
+"Data that has been copied to a client for update has a write lock in
+the central database." The lock table is item-granular: every object or
+relationship checked out for update is locked by exactly one client;
+conflicting check-outs fail fast with :class:`~repro.core.errors.
+LockError` rather than blocking (the paper sketches no queueing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.errors import LockError
+from repro.core.versions.store import ItemKey
+
+__all__ = ["LockTable"]
+
+
+class LockTable:
+    """Item-granular write locks, keyed like the version store."""
+
+    def __init__(self) -> None:
+        self._locks: dict[ItemKey, str] = {}
+
+    def acquire(self, client_id: str, keys: Iterable[ItemKey]) -> None:
+        """Lock *keys* for *client_id*, all or nothing.
+
+        Re-acquiring one's own lock is idempotent; any key held by a
+        different client fails the whole acquisition (no partial locks
+        are left behind).
+        """
+        wanted = list(keys)
+        conflicts = [
+            (key, holder)
+            for key in wanted
+            if (holder := self._locks.get(key)) is not None and holder != client_id
+        ]
+        if conflicts:
+            description = ", ".join(
+                f"{key} held by {holder!r}" for key, holder in conflicts
+            )
+            raise LockError(
+                f"client {client_id!r} cannot lock: {description}"
+            )
+        for key in wanted:
+            self._locks[key] = client_id
+
+    def release(self, client_id: str, keys: Optional[Iterable[ItemKey]] = None) -> int:
+        """Release *keys* (or all of the client's locks); returns the count."""
+        if keys is None:
+            to_release = [
+                key for key, holder in self._locks.items() if holder == client_id
+            ]
+        else:
+            to_release = []
+            for key in keys:
+                holder = self._locks.get(key)
+                if holder is None:
+                    continue
+                if holder != client_id:
+                    raise LockError(
+                        f"client {client_id!r} does not hold the lock on {key}"
+                    )
+                to_release.append(key)
+        for key in to_release:
+            del self._locks[key]
+        return len(to_release)
+
+    def holder(self, key: ItemKey) -> Optional[str]:
+        """The client holding *key*'s lock, or None."""
+        return self._locks.get(key)
+
+    def is_locked(self, key: ItemKey) -> bool:
+        """True when any client holds *key*."""
+        return key in self._locks
+
+    def held_by(self, client_id: str) -> list[ItemKey]:
+        """All keys locked by *client_id*."""
+        return [key for key, holder in self._locks.items() if holder == client_id]
+
+    def __len__(self) -> int:
+        return len(self._locks)

@@ -1,0 +1,138 @@
+"""The central SEED server of the two-level multi-user architecture.
+
+The paper's sketch ("Open problems"): "One central server runs the
+complete database and several clients use the server for retrieval
+operations, but take local copies for making updates. Data that has been
+copied to a client for update has a write lock in the central database.
+When a client sends an updated copy back to the server, the server puts
+the modified data into the central database in a single transaction.
+Versions are kept both locally and globally under control of the user
+and the server, respectively."
+
+:class:`SeedServer` implements that sketch in-process (the paper gives
+no wire protocol, and none is needed to study the concurrency
+behaviour): clients are :class:`~repro.multiuser.client.SeedClient`
+handles obtained from :meth:`connect`; retrieval goes straight to the
+master database; updates travel through check-out / check-in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.database import SeedDatabase
+from repro.core.errors import CheckInError, SeedError
+from repro.core.objects import SeedObject
+from repro.core.schema.schema import Schema
+from repro.core.versions.store import ItemKey
+from repro.core.versions.version_id import VersionId
+from repro.multiuser.locks import LockTable
+
+__all__ = ["SeedServer"]
+
+
+class SeedServer:
+    """The central database plus lock management and global versions."""
+
+    def __init__(self, schema: Schema, name: str = "central") -> None:
+        self.master = SeedDatabase(schema, name)
+        self.locks = LockTable()
+        self._clients: dict[str, "SeedClient"] = {}
+
+    # -- client lifecycle ----------------------------------------------------
+
+    def connect(self, client_id: str) -> "SeedClient":
+        """Register a client and hand out its handle."""
+        from repro.multiuser.client import SeedClient
+
+        if client_id in self._clients:
+            raise SeedError(f"client id {client_id!r} is already connected")
+        client = SeedClient(self, client_id)
+        self._clients[client_id] = client
+        return client
+
+    def disconnect(self, client_id: str) -> None:
+        """Drop a client; its locks are released (work is abandoned)."""
+        self._clients.pop(client_id, None)
+        self.locks.release(client_id)
+
+    def clients(self) -> list[str]:
+        """Connected client ids."""
+        return sorted(self._clients)
+
+    # -- retrieval (no locks needed) ----------------------------------------------
+
+    def find_object(self, name: str) -> Optional[SeedObject]:
+        """Retrieval passthrough to the master database."""
+        return self.master.find_object(name)
+
+    def objects(self, class_name: Optional[str] = None) -> list[SeedObject]:
+        """Retrieval passthrough to the master database."""
+        return self.master.objects(class_name)
+
+    # -- check-out support ------------------------------------------------------------
+
+    def closure_keys(self, roots: list[SeedObject]) -> tuple[list[SeedObject], list[ItemKey]]:
+        """The copy set of a check-out: root objects, their sub-trees, and
+        every relationship among the copied objects.
+
+        Returns (objects, item keys incl. relationships). Relationships
+        with only one endpoint in the set are *not* copied (they remain
+        retrievable from the server and updatable by whoever owns the
+        other end's lock set).
+        """
+        objects: list[SeedObject] = []
+        oids: set[int] = set()
+        for root in roots:
+            for node in root.walk():
+                if node.oid not in oids:
+                    oids.add(node.oid)
+                    objects.append(node)
+        keys: list[ItemKey] = [("o", obj.oid) for obj in objects]
+        for rel in self.master.relationships(include_patterns=True):
+            endpoint_oids = [obj.oid for obj in rel.bound_objects()]
+            if all(oid in oids for oid in endpoint_oids):
+                keys.append(("r", rel.rid))
+        return objects, keys
+
+    # -- check-in ----------------------------------------------------------------------
+
+    def apply_check_in(
+        self,
+        client_id: str,
+        changes: "CheckInPackage",
+    ) -> dict[int, int]:
+        """Apply a client's updated copy in a single master transaction.
+
+        Returns the id translation map (local id → master id) for items
+        the client created. Any consistency violation aborts the whole
+        check-in; the master is left unchanged and the client keeps its
+        locks (it can fix the copy and retry).
+        """
+        held = set(self.locks.held_by(client_id))
+        for key in changes.changed_existing_keys():
+            if key not in held:
+                raise CheckInError(
+                    f"client {client_id!r} modified {key} without holding "
+                    "its lock"
+                )
+        with self.master.transaction():
+            translation = changes.apply_to(self.master)
+        self.locks.release(client_id)
+        return translation
+
+    # -- global versions -------------------------------------------------------------------
+
+    def create_global_version(
+        self, version: Optional[str | VersionId] = None
+    ) -> VersionId:
+        """Snapshot the central database (server-controlled versions)."""
+        return self.master.create_version(version)
+
+    def global_versions(self) -> list[VersionId]:
+        """All server-side versions."""
+        return self.master.saved_versions()
+
+
+# imported late to avoid a cycle in type checking; re-exported for typing
+from repro.multiuser.checkin import CheckInPackage  # noqa: E402  (cycle guard)

@@ -1,0 +1,33 @@
+"""A miniature of the SPADES specification system, built on SEED.
+
+SPADES is the specification and design tool the paper integrated its
+SEED prototype into; the original is proprietary, so this package
+rebuilds its data-management-relevant core on the public SEED API:
+
+* :func:`~repro.spades.model.spades_schema` — the specification schema;
+* :class:`~repro.spades.tool.SpadesTool` — the analyst-facing tool
+  (vague entry, refinement, sessions, exploration, release);
+* :mod:`~repro.spades.textio` — the textual specification language;
+* :mod:`~repro.spades.reports` — report/figure renderers.
+"""
+
+from repro.spades.model import spades_schema
+from repro.spades.reports import (
+    render_database_figure,
+    render_object_tree,
+    render_version_history,
+    render_workspace_summary,
+)
+from repro.spades.textio import parse_spec, print_spec
+from repro.spades.tool import SpadesTool
+
+__all__ = [
+    "spades_schema",
+    "SpadesTool",
+    "parse_spec",
+    "print_spec",
+    "render_database_figure",
+    "render_object_tree",
+    "render_version_history",
+    "render_workspace_summary",
+]

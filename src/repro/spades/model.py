@@ -1,0 +1,138 @@
+"""The SPADES specification model as a SEED schema.
+
+SPADES (Ludewig et al., ICSE 1985) is the specification and design
+system SEED was built for; its prototype used SEED as database. The
+original is proprietary and long gone, so this module defines a faithful
+miniature of its data model as a SEED schema — the substitution
+documented in DESIGN.md. The model follows the paper's own running
+example (figures 1–3):
+
+* ``Thing`` — the most general category, for statements as vague as
+  "there is a thing called Alarms"; carries a ``Revised`` DATE, a
+  free-text ``Note`` collection, and a ``Deadline`` (the paper's
+  pattern example uses specification deadlines);
+* ``Data`` (→ ``InputData`` / ``OutputData``) with the figure-2
+  ``Text``/``Body``/``Contents``/``Keywords``/``Selector`` annotation
+  tree;
+* ``Action`` with a mandatory ``Description`` and the ACYCLIC
+  ``Contained`` decomposition;
+* ``Module`` — design-level unit actions are allocated to
+  (``AllocatedTo``), so configuration variants (figure 5's example is
+  "system configurations that share most of the software modules") can
+  be modelled;
+* ``Access`` (→ ``Read`` / ``Write``) dataflow associations, ``Write``
+  carrying ``NumberOfWrites``/``ErrorHandling``;
+* ``Triggers`` — control flow between actions.
+
+Covering conditions make ``Thing`` and ``Access`` formally incomplete
+until refined, which is precisely how a SPADES specification "evolves to
+a rather formal representation".
+"""
+
+from __future__ import annotations
+
+from repro.core.schema import Schema, SchemaBuilder
+
+__all__ = ["spades_schema", "CLASSES", "ASSOCIATIONS"]
+
+#: top-level classes of the SPADES model (documentation/reflection aid)
+CLASSES = (
+    "Thing",
+    "Data",
+    "InputData",
+    "OutputData",
+    "Action",
+    "Module",
+)
+
+#: associations of the SPADES model
+ASSOCIATIONS = (
+    "Access",
+    "Read",
+    "Write",
+    "Contained",
+    "Triggers",
+    "AllocatedTo",
+)
+
+
+def spades_schema() -> Schema:
+    """Build the SPADES specification schema (see module docstring)."""
+    builder = SchemaBuilder("spades")
+    builder.entity_class(
+        "Thing", doc="most general category; vague statements start here"
+    )
+    builder.dependent("Thing", "Revised", "0..1", sort="DATE",
+                      doc="date of last revision")
+    builder.dependent("Thing", "Note", "0..*", sort="TEXT",
+                      doc="free-form analyst notes")
+    builder.dependent("Thing", "Deadline", "0..1", sort="DATE",
+                      doc="completion deadline for the specification item")
+
+    builder.entity_class("Data", specializes="Thing",
+                         doc="passive data of the target system")
+    builder.dependent("Data", "Text", "0..16", doc="structured annotation")
+    builder.dependent("Data.Text", "Body", "1..1")
+    builder.dependent("Data.Text.Body", "Contents", "1..1", sort="STRING")
+    builder.dependent("Data.Text.Body", "Keywords", "0..*", sort="STRING")
+    builder.dependent("Data.Text", "Selector", "0..1", sort="STRING")
+    builder.entity_class("InputData", specializes="Data",
+                         doc="data entering the system")
+    builder.entity_class("OutputData", specializes="Data",
+                         doc="data produced by the system")
+
+    builder.entity_class("Action", specializes="Thing",
+                         doc="active component of the target system")
+    builder.dependent("Action", "Description", "1..1", sort="STRING",
+                      doc="what the action does (mandatory before release)")
+
+    builder.entity_class("Module", specializes="Thing",
+                         doc="design-level unit actions are allocated to")
+    builder.dependent("Module", "Language", "0..1", sort="STRING",
+                      doc="implementation language")
+
+    builder.association(
+        "Access",
+        ("data", "Data", "1..*"),
+        ("by", "Action", "1..*"),
+        doc="some dataflow between Data and Action; direction unknown",
+    )
+    builder.association(
+        "Read",
+        ("from", "Data", "1..*"),
+        ("by", "Action", "0..*"),
+        specializes="Access",
+        doc="reading dataflow",
+    )
+    builder.association(
+        "Write",
+        ("to", "Data", "1..*"),
+        ("by", "Action", "0..*"),
+        specializes="Access",
+        doc="writing dataflow",
+    )
+    builder.attribute("Write", "NumberOfWrites", "INTEGER", "0..1")
+    builder.attribute("Write", "ErrorHandling", "STRING", "0..1",
+                      doc="'abort' or 'repeat'")
+    builder.association(
+        "Contained",
+        ("contained", "Action", "0..1"),
+        ("container", "Action", "0..*"),
+        acyclic=True,
+        doc="hierarchical decomposition of actions",
+    )
+    builder.association(
+        "Triggers",
+        ("trigger", "Action", "0..*"),
+        ("triggered", "Action", "0..*"),
+        doc="control flow between actions",
+    )
+    builder.association(
+        "AllocatedTo",
+        ("action", "Action", "0..*"),
+        ("module", "Module", "0..*"),
+        doc="design allocation of actions to modules",
+    )
+    builder.covering("Thing")
+    builder.covering("Access")
+    return builder.build()

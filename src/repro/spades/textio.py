@@ -1,0 +1,223 @@
+"""A textual specification language for the SPADES miniature.
+
+SPADES had textual and graphical surfaces; this module provides the
+textual one: a line-oriented language that scripts, tests, and examples
+use to build specifications, plus a printer that regenerates an
+equivalent script from a workspace (parse → print → parse is stable).
+
+Grammar (one statement per line, ``#`` starts a comment)::
+
+    thing <Name> ["<note>"]
+    action <Name> ["<description>"]
+    data <Name> [input|output]
+    module <Name> ["<language>"]
+    flow <Action> ? <Data>            # vague access (direction unknown)
+    read <Action> <- <Data>
+    write <Action> -> <Data> [x<N>] [abort|repeat]
+    contain <Container> ( <Child> [, <Child>]* )
+    trigger <Action> => <Action>
+    allocate <Action> @ <Module>
+    note <Name> "<text>"
+    deadline <Name> <yyyy-mm-dd>
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from typing import Optional
+
+from repro.core.errors import SeedError
+from repro.spades.tool import SpadesTool
+
+__all__ = ["parse_spec", "print_spec"]
+
+_WRITE_TIMES_RE = re.compile(r"^x(\d+)$")
+
+
+class _SpecSyntaxError(SeedError):
+    """A malformed specification line (with line number context)."""
+
+
+def parse_spec(text: str, tool: Optional[SpadesTool] = None) -> SpadesTool:
+    """Execute a specification script against a (new) workspace."""
+    tool = tool or SpadesTool()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            _execute(line, tool)
+        except SeedError as exc:
+            raise _SpecSyntaxError(
+                f"line {line_number}: {raw_line.strip()!r}: {exc}"
+            ) from exc
+    return tool
+
+
+def _execute(line: str, tool: SpadesTool) -> None:
+    tokens = shlex.split(line)
+    keyword = tokens[0].lower()
+    if keyword == "thing":
+        _expect(len(tokens) in (2, 3), "thing <Name> [\"<note>\"]")
+        tool.note_thing(tokens[1], tokens[2] if len(tokens) == 3 else None)
+    elif keyword == "action":
+        _expect(len(tokens) in (2, 3), "action <Name> [\"<description>\"]")
+        tool.declare_action(tokens[1], tokens[2] if len(tokens) == 3 else None)
+    elif keyword == "data":
+        _expect(len(tokens) in (2, 3), "data <Name> [input|output]")
+        direction = tokens[2].lower() if len(tokens) == 3 else None
+        tool.declare_data(tokens[1], direction=direction)
+    elif keyword == "module":
+        _expect(len(tokens) in (2, 3), "module <Name> [\"<language>\"]")
+        tool.declare_module(tokens[1], tokens[2] if len(tokens) == 3 else None)
+    elif keyword == "flow":
+        _expect(
+            len(tokens) == 4 and tokens[2] == "?", "flow <Action> ? <Data>"
+        )
+        tool.note_dataflow(tokens[3], tokens[1])
+    elif keyword == "read":
+        _expect(
+            len(tokens) == 4 and tokens[2] == "<-", "read <Action> <- <Data>"
+        )
+        tool.read_flow(tokens[3], tokens[1])
+    elif keyword == "write":
+        _parse_write(tokens, tool)
+    elif keyword == "contain":
+        _parse_contain(line, tool)
+    elif keyword == "trigger":
+        _expect(
+            len(tokens) == 4 and tokens[2] == "=>", "trigger <Action> => <Action>"
+        )
+        tool.trigger(tokens[1], tokens[3])
+    elif keyword == "allocate":
+        _expect(
+            len(tokens) == 4 and tokens[2] == "@", "allocate <Action> @ <Module>"
+        )
+        tool.allocate(tokens[1], tokens[3])
+    elif keyword == "note":
+        _expect(len(tokens) == 3, 'note <Name> "<text>"')
+        tool.annotate(tokens[1], tokens[2])
+    elif keyword == "deadline":
+        _expect(len(tokens) == 3, "deadline <Name> <yyyy-mm-dd>")
+        obj = tool.db.get_object(tokens[1])
+        existing = obj.find_sub_object("Deadline")
+        if existing is None:
+            obj.add_sub_object("Deadline", tokens[2])
+        else:
+            existing.set_value(tokens[2])
+    else:
+        raise _SpecSyntaxError(f"unknown statement {keyword!r}")
+
+
+def _parse_write(tokens: list[str], tool: SpadesTool) -> None:
+    _expect(
+        len(tokens) >= 4 and tokens[2] == "->",
+        "write <Action> -> <Data> [x<N>] [abort|repeat]",
+    )
+    times: Optional[int] = None
+    error_handling: Optional[str] = None
+    for extra in tokens[4:]:
+        match = _WRITE_TIMES_RE.match(extra)
+        if match:
+            times = int(match.group(1))
+        elif extra.lower() in ("abort", "repeat"):
+            error_handling = extra.lower()
+        else:
+            raise _SpecSyntaxError(f"unknown write modifier {extra!r}")
+    tool.write_flow(tokens[3], tokens[1], times=times, error_handling=error_handling)
+
+
+def _parse_contain(line: str, tool: SpadesTool) -> None:
+    match = re.match(r"^contain\s+(\w+)\s*\(([^)]*)\)\s*$", line)
+    if not match:
+        raise _SpecSyntaxError("contain <Container> ( <Child> [, <Child>]* )")
+    container = match.group(1)
+    children = [child.strip() for child in match.group(2).split(",") if child.strip()]
+    _expect(bool(children), "contain needs at least one child")
+    tool.decompose(container, *children)
+
+
+def _expect(condition: bool, usage: str) -> None:
+    if not condition:
+        raise _SpecSyntaxError(f"usage: {usage}")
+
+
+def print_spec(tool: SpadesTool) -> str:
+    """Regenerate a specification script from a workspace.
+
+    The output round-trips: parsing it yields a workspace with the same
+    objects, flows, structure, and annotations (oids differ; versions
+    and patterns are persistence concerns, not spec text).
+    """
+    db = tool.db
+    lines: list[str] = []
+
+    def quoted(text: str) -> str:
+        return '"' + text.replace('"', "'") + '"'
+
+    for thing in db.objects("Thing", include_specials=False):
+        lines.append(f"thing {thing.simple_name}")
+    for data in db.objects("Data", include_specials=False):
+        lines.append(f"data {data.simple_name}")
+    for data in db.objects("InputData", include_specials=False):
+        lines.append(f"data {data.simple_name} input")
+    for data in db.objects("OutputData", include_specials=False):
+        lines.append(f"data {data.simple_name} output")
+    for action in db.objects("Action"):
+        description = action.find_sub_object("Description")
+        if description is not None and description.value:
+            lines.append(
+                f"action {action.simple_name} {quoted(description.value)}"
+            )
+        else:
+            lines.append(f"action {action.simple_name}")
+    for module in db.objects("Module"):
+        language = module.find_sub_object("Language")
+        if language is not None and language.value:
+            lines.append(f"module {module.simple_name} {quoted(language.value)}")
+        else:
+            lines.append(f"module {module.simple_name}")
+    for rel in db.relationships("Access"):
+        data, action = rel.bound_at(0), rel.bound_at(1)
+        if rel.association_name == "Access":
+            lines.append(f"flow {action.simple_name} ? {data.simple_name}")
+        elif rel.association_name == "Read":
+            lines.append(f"read {action.simple_name} <- {data.simple_name}")
+        else:
+            parts = [f"write {action.simple_name} -> {data.simple_name}"]
+            times = rel.attribute("NumberOfWrites")
+            if times is not None:
+                parts.append(f"x{times}")
+            error_handling = rel.attribute("ErrorHandling")
+            if error_handling is not None:
+                parts.append(error_handling)
+            lines.append(" ".join(parts))
+    containment: dict[str, list[str]] = {}
+    for rel in db.relationships("Contained"):
+        container = rel.bound("container").simple_name
+        containment.setdefault(container, []).append(
+            rel.bound("contained").simple_name
+        )
+    for container, children in sorted(containment.items()):
+        lines.append(f"contain {container} ({', '.join(sorted(children))})")
+    for rel in db.relationships("Triggers"):
+        lines.append(
+            f"trigger {rel.bound('trigger').simple_name} => "
+            f"{rel.bound('triggered').simple_name}"
+        )
+    for rel in db.relationships("AllocatedTo"):
+        lines.append(
+            f"allocate {rel.bound('action').simple_name} @ "
+            f"{rel.bound('module').simple_name}"
+        )
+    for obj in db.objects("Thing", independent_only=True):
+        for note in obj.sub_objects("Note"):
+            if note.value:
+                lines.append(f"note {obj.simple_name} {quoted(note.value)}")
+        deadline = obj.find_sub_object("Deadline")
+        if deadline is not None and deadline.value:
+            lines.append(
+                f"deadline {obj.simple_name} {deadline.value.isoformat()}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,108 @@
+"""Evolution traces: versioned edit histories for the version benchmarks.
+
+Benchmark C2 ("we do not save the complete database") needs a workload
+of the form *build a database of size N, then run S sessions each
+touching a small fraction of it, snapshotting after every session*.
+:func:`run_evolution` drives that against both version schemes at once
+(SEED's delta store and the full-copy baseline) so their storage costs
+are measured on identical histories.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.baselines.fullcopy import FullCopyVersioning
+from repro.core.database import SeedDatabase
+
+__all__ = ["EvolutionShape", "EvolutionResult", "run_evolution"]
+
+
+@dataclass(frozen=True)
+class EvolutionShape:
+    """Parameters of an evolution trace.
+
+    Attributes:
+        sessions: number of edit sessions (each followed by a snapshot).
+        touches_per_session: items modified per session.
+        creates_per_session: new objects created per session.
+        deletes_per_session: objects deleted per session.
+    """
+
+    sessions: int = 10
+    touches_per_session: int = 5
+    creates_per_session: int = 1
+    deletes_per_session: int = 0
+
+
+@dataclass
+class EvolutionResult:
+    """Storage-cost outcome of one evolution run."""
+
+    sessions: int
+    live_items_final: int
+    delta_states: int
+    fullcopy_states: int
+
+    @property
+    def savings_factor(self) -> float:
+        """How many times smaller the delta store is."""
+        if self.delta_states == 0:
+            return float("inf")
+        return self.fullcopy_states / self.delta_states
+
+
+def run_evolution(
+    db: SeedDatabase,
+    shape: EvolutionShape,
+    *,
+    seed: int = 0,
+    note_role: str = "Note",
+) -> EvolutionResult:
+    """Run an evolution trace, snapshotting with both schemes.
+
+    *db* must already hold a population of independent objects whose
+    class declares a multi-valued TEXT dependent named *note_role* (the
+    SPADES schema's ``Thing.Note`` qualifies). Touches append/modify
+    notes; creates add objects of the class of a random existing one;
+    deletes remove random independents.
+    """
+    rng = random.Random(seed)
+    fullcopy = FullCopyVersioning(db)
+    db.create_version()
+    fullcopy.create_version()
+    created_serial = 0
+    for __ in range(shape.sessions):
+        population = db.objects(independent_only=True)
+        for __ in range(shape.touches_per_session):
+            target = rng.choice(population)
+            notes = target.sub_objects(note_role)
+            if notes and rng.random() < 0.5:
+                rng.choice(notes).set_value(
+                    f"revised note {rng.randrange(10_000)}"
+                )
+            else:
+                target.add_sub_object(
+                    note_role, f"session note {rng.randrange(10_000)}"
+                )
+        for __ in range(shape.creates_per_session):
+            template = rng.choice(population)
+            created_serial += 1
+            db.create_object(
+                template.entity_class.name, f"Evolved{created_serial}"
+            )
+        for __ in range(shape.deletes_per_session):
+            population = db.objects(independent_only=True)
+            if len(population) > shape.touches_per_session + 1:
+                victim = rng.choice(population)
+                db.delete(victim)
+        db.create_version()
+        fullcopy.create_version()
+    live = db.statistics()
+    return EvolutionResult(
+        sessions=shape.sessions,
+        live_items_final=live["objects"] + live["relationships"],
+        delta_states=db.versions.total_stored_states(),
+        fullcopy_states=fullcopy.stored_state_count(),
+    )

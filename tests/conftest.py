@@ -1,0 +1,85 @@
+"""Shared fixtures: schemas and pre-populated databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SeedDatabase, figure2_schema, figure3_schema
+from repro.spades import SpadesTool, spades_schema
+
+
+@pytest.fixture
+def fig2_schema():
+    """The paper's figure-2 schema."""
+    return figure2_schema()
+
+
+@pytest.fixture
+def fig3_schema():
+    """The paper's figure-3 schema (with generalizations)."""
+    return figure3_schema()
+
+
+@pytest.fixture
+def fig2_db(fig2_schema):
+    """An empty database over the figure-2 schema."""
+    return SeedDatabase(fig2_schema, "fig2")
+
+
+@pytest.fixture
+def fig3_db(fig3_schema):
+    """An empty database over the figure-3 schema."""
+    return SeedDatabase(fig3_schema, "fig3")
+
+
+@pytest.fixture
+def fig1_db(fig2_db):
+    """The figure-1 sample structure, faithfully reconstructed.
+
+    Independent objects ``Alarms`` (Data) and ``AlarmHandler`` (Action),
+    a ``Read`` relationship (AlarmHandler reads Alarms), and the
+    dependent-object tree ``Alarms.Text[0]`` with Body/Contents,
+    Keywords[0..1], and Selector.
+    """
+    db = fig2_db
+    alarms = db.create_object("Data", "Alarms")
+    handler = db.create_object("Action", "AlarmHandler")
+    handler.add_sub_object("Description", "Handles alarms")
+    db.relate("Read", {"from": alarms, "by": handler})
+    text = alarms.add_sub_object("Text")
+    body = text.add_sub_object("Body")
+    body.add_sub_object(
+        "Contents", "Alarms are represented in an alarm display matrix"
+    )
+    body.add_sub_object("Keywords", "Alarmhandling")
+    body.add_sub_object("Keywords", "Display")
+    text.add_sub_object("Selector", "Representation")
+    return db
+
+
+@pytest.fixture
+def spades_tool():
+    """An empty SPADES workspace."""
+    return SpadesTool("test")
+
+
+@pytest.fixture
+def alarm_tool(spades_tool):
+    """A small alarm-system specification in a SPADES workspace."""
+    tool = spades_tool
+    tool.declare_action("AlarmHandler", "Handles alarms")
+    tool.declare_action("Sensor", "Reads hardware sensors")
+    tool.declare_action("OperatorAlert", "Alerts the operator")
+    tool.declare_data("ProcessData", direction="input")
+    tool.declare_data("Alarms")
+    tool.read_flow("ProcessData", "AlarmHandler")
+    tool.note_dataflow("Alarms", "AlarmHandler")
+    tool.decompose("AlarmHandler", "OperatorAlert")
+    tool.trigger("AlarmHandler", "OperatorAlert")
+    return tool
+
+
+@pytest.fixture
+def spades_db():
+    """An empty database over the SPADES schema."""
+    return SeedDatabase(spades_schema(), "spades-test")

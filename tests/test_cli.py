@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SPEC = """
+data Alarms output
+action Handler "handles alarms"
+write Handler -> Alarms x2
+read Handler <- Alarms
+"""
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    spec_path = tmp_path / "alarm.spades"
+    spec_path.write_text(SPEC)
+    db_path = tmp_path / "alarm.seed"
+    assert main(["load", str(spec_path), "-o", str(db_path)]) == 0
+    return db_path
+
+
+class TestCommands:
+    def test_load_creates_database(self, db_file):
+        assert db_file.exists()
+        from repro.core.storage import load_database
+
+        db = load_database(db_file)
+        assert db.find_object("Alarms") is not None
+        assert db.saved_versions()  # load snapshots an initial version
+
+    def test_report(self, db_file, capsys):
+        assert main(["report", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        assert "completeness:" in out
+
+    def test_completeness_exit_code(self, db_file, capsys):
+        code = main(["completeness", str(db_file)])
+        out = capsys.readouterr().out
+        assert code == 0  # the little spec is complete
+        assert "complete" in out
+
+    def test_flows(self, db_file, capsys):
+        assert main(["flows", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        assert "W Handler writes Alarms x2" in out
+
+    def test_print_roundtrips(self, db_file, capsys, tmp_path):
+        assert main(["print", str(db_file)]) == 0
+        text = capsys.readouterr().out
+        spec2 = tmp_path / "again.spades"
+        spec2.write_text(text)
+        db2 = tmp_path / "again.seed"
+        assert main(["load", str(spec2), "-o", str(db2)]) == 0
+
+    def test_ddl(self, db_file, capsys):
+        assert main(["ddl", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        assert "schema spades" in out
+        assert "association Write : Access" in out
+
+    def test_snapshot_and_history(self, db_file, capsys):
+        assert main(["snapshot", str(db_file), "-v", "2.0"]) == 0
+        assert main(["history", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        assert "1.0" in out and "2.0" in out
+
+    def test_history_of_item(self, db_file, capsys):
+        assert main(["history", str(db_file), "Alarms"]) == 0
+        out = capsys.readouterr().out
+        assert "Alarms @ 1.0" in out
+
+    def test_missing_database_is_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.seed")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_incomplete_spec_exit_code(self, tmp_path, capsys):
+        spec_path = tmp_path / "gappy.spades"
+        spec_path.write_text("data Alarms\n")
+        db_path = tmp_path / "gappy.seed"
+        main(["load", str(spec_path), "-o", str(db_path)])
+        assert main(["completeness", str(db_path)]) == 2

@@ -1,0 +1,208 @@
+"""Tests for the consistency engine: the rules enforced on every update."""
+
+import pytest
+
+from repro.core import ConsistencyError, SchemaBuilder, SeedDatabase
+from repro.core.schema.attached import AttachedProcedure
+
+
+class TestMembership:
+    def test_role_rejects_wrong_class(self, fig2_db):
+        alarms = fig2_db.create_object("Data", "Alarms")
+        other_data = fig2_db.create_object("Data", "Other")
+        with pytest.raises(ConsistencyError) as excinfo:
+            fig2_db.relate("Read", {"from": alarms, "by": other_data})
+        assert any(v.kind == "membership" for v in excinfo.value.violations)
+
+    def test_role_accepts_specialization(self, fig3_db):
+        output = fig3_db.create_object("OutputData", "Out")
+        action = fig3_db.create_object("Action", "Act")
+        action.add_sub_object("Description", "x")
+        # Access.data targets Data; OutputData qualifies via is-a
+        rel = fig3_db.relate("Access", data=output, by=action)
+        assert rel.association_name == "Access"
+
+    def test_unknown_sub_object_role(self, fig2_db):
+        alarms = fig2_db.create_object("Data", "Alarms")
+        with pytest.raises(Exception, match="no dependent class|declares no"):
+            alarms.add_sub_object("Bogus")
+
+
+class TestMaximumCardinalities:
+    def test_sub_object_maximum(self, fig2_db):
+        alarms = fig2_db.create_object("Data", "Alarms")
+        for __ in range(16):
+            alarms.add_sub_object("Text")
+        with pytest.raises(ConsistencyError) as excinfo:
+            alarms.add_sub_object("Text")
+        assert any(v.kind == "max-cardinality" for v in excinfo.value.violations)
+        assert len(alarms.sub_objects("Text")) == 16  # rolled back
+
+    def test_single_body_per_text(self, fig2_db):
+        alarms = fig2_db.create_object("Data", "Alarms")
+        text = alarms.add_sub_object("Text")
+        text.add_sub_object("Body")
+        with pytest.raises(ConsistencyError):
+            text.add_sub_object("Body")
+
+    def test_relationship_role_maximum(self, fig2_db):
+        # Contained.contained is 0..1: an action has at most one container
+        handler = fig2_db.create_object("Action", "Handler")
+        alert = fig2_db.create_object("Action", "Alert")
+        backup = fig2_db.create_object("Action", "Backup")
+        for action in (handler, alert, backup):
+            action.add_sub_object("Description", "x")
+        fig2_db.relate("Contained", contained=alert, container=handler)
+        with pytest.raises(ConsistencyError) as excinfo:
+            fig2_db.relate("Contained", contained=alert, container=backup)
+        assert any(v.kind == "max-cardinality" for v in excinfo.value.violations)
+
+    def test_generalized_maximum_counts_specializations(self):
+        # Parent association has max 2 at position 0; instances of the
+        # specialization count toward that maximum.
+        builder = SchemaBuilder("caps")
+        builder.entity_class("A").entity_class("B")
+        builder.association("R", ("a", "A", "0..2"), ("b", "B", "0..*"))
+        builder.association("S", ("a", "A", "0..*"), ("b", "B", "0..*"),
+                            specializes="R")
+        db = SeedDatabase(builder.build())
+        a = db.create_object("A", "a1")
+        targets = [db.create_object("B", f"b{i}") for i in range(3)]
+        db.relate("S", a=a, b=targets[0])
+        db.relate("R", a=a, b=targets[1])
+        with pytest.raises(ConsistencyError):
+            db.relate("S", a=a, b=targets[2])
+
+
+class TestAcyclic:
+    def test_self_containment_rejected(self, fig2_db):
+        action = fig2_db.create_object("Action", "A")
+        action.add_sub_object("Description", "x")
+        with pytest.raises(ConsistencyError) as excinfo:
+            fig2_db.relate("Contained", contained=action, container=action)
+        assert any(v.kind == "acyclic" for v in excinfo.value.violations)
+
+    def test_two_cycle_rejected(self, fig2_db):
+        a = fig2_db.create_object("Action", "A")
+        b = fig2_db.create_object("Action", "B")
+        a.add_sub_object("Description", "x")
+        b.add_sub_object("Description", "x")
+        fig2_db.relate("Contained", contained=a, container=b)
+        with pytest.raises(ConsistencyError) as excinfo:
+            fig2_db.relate("Contained", contained=b, container=a)
+        assert any(v.kind == "acyclic" for v in excinfo.value.violations)
+
+    def test_long_cycle_rejected(self, fig2_db):
+        actions = []
+        for i in range(5):
+            action = fig2_db.create_object("Action", f"A{i}")
+            action.add_sub_object("Description", "x")
+            actions.append(action)
+        for child, parent in zip(actions, actions[1:]):
+            fig2_db.relate("Contained", contained=child, container=parent)
+        with pytest.raises(ConsistencyError):
+            fig2_db.relate("Contained", contained=actions[-1], container=actions[0])
+
+    def test_forest_is_fine(self, fig2_db):
+        root = fig2_db.create_object("Action", "Root")
+        root.add_sub_object("Description", "x")
+        for i in range(4):
+            child = fig2_db.create_object("Action", f"C{i}")
+            child.add_sub_object("Description", "x")
+            fig2_db.relate("Contained", contained=child, container=root)
+        assert fig2_db.check_consistency() == []
+
+
+class TestValueSorts:
+    def test_wrong_value_sort_rejected(self, fig1_db):
+        body = fig1_db.get_object("Alarms.Text.Body")
+        with pytest.raises(Exception):
+            body.add_sub_object("Keywords", 42)
+
+    def test_set_value_on_untyped_class_rejected(self, fig1_db):
+        alarms = fig1_db.get_object("Alarms")
+        with pytest.raises(Exception, match="not value-typed"):
+            alarms.set_value("boom")
+
+
+class TestUniqueNames:
+    def test_duplicate_independent_name(self, fig2_db):
+        fig2_db.create_object("Data", "Alarms")
+        with pytest.raises(ConsistencyError, match="already exists"):
+            fig2_db.create_object("Data", "Alarms")
+
+    def test_name_free_after_delete(self, fig2_db):
+        handler = fig2_db.create_object("Action", "H")
+        handler.add_sub_object("Description", "x")
+        fig2_db.delete(handler)
+        again = fig2_db.create_object("Action", "H")
+        assert again.oid != handler.oid
+
+    def test_duplicate_explicit_index(self, fig1_db):
+        alarms = fig1_db.get_object("Alarms")
+        with pytest.raises(ConsistencyError, match="already has a live sub-object"):
+            fig1_db.create_sub_object(alarms, "Text", index=0)
+
+
+class TestAttachedProcedures:
+    def test_procedure_vetoes_update(self):
+        def no_forbidden_names(context):
+            if context.item.simple_name.startswith("Forbidden"):
+                return ["names must not start with Forbidden"]
+            return []
+
+        builder = SchemaBuilder("guarded")
+        builder.entity_class("A")
+        builder.attach(
+            "A", AttachedProcedure("name_guard", no_forbidden_names, ("create",))
+        )
+        db = SeedDatabase(builder.build())
+        db.create_object("A", "Fine")
+        with pytest.raises(ConsistencyError) as excinfo:
+            db.create_object("A", "ForbiddenThing")
+        assert any(v.kind == "procedure" for v in excinfo.value.violations)
+        assert db.find_object("ForbiddenThing") is None  # rolled back
+
+    def test_procedure_fires_for_specializations(self):
+        calls = []
+
+        def spy(context):
+            calls.append((context.operation, context.item.simple_name))
+            return []
+
+        builder = SchemaBuilder("spyschema")
+        builder.entity_class("General")
+        builder.entity_class("Special", specializes="General")
+        builder.attach("General", AttachedProcedure("spy", spy, ("create",)))
+        db = SeedDatabase(builder.build())
+        db.create_object("Special", "S")
+        assert ("create", "S") in calls
+
+    def test_procedure_sees_operation_kinds(self):
+        operations = []
+
+        def spy(context):
+            operations.append(context.operation)
+            return []
+
+        builder = SchemaBuilder("ops")
+        builder.entity_class("General")
+        builder.entity_class("Special", specializes="General")
+        builder.attach("General", AttachedProcedure("spy2", spy))
+        db = SeedDatabase(builder.build())
+        obj = db.create_object("General", "X")
+        db.reclassify(obj, "Special")
+        db.delete(obj)
+        assert operations == ["create", "reclassify", "delete"]
+
+
+class TestIncrementalEqualsGlobal:
+    def test_full_revalidation_stays_empty(self, fig1_db):
+        # the incremental checks guarantee the invariant the paper states:
+        # "SEED permanently ensures database consistency"
+        assert fig1_db.check_consistency() == []
+        handler = fig1_db.get_object("AlarmHandler")
+        alert = fig1_db.create_object("Action", "OperatorAlert")
+        alert.add_sub_object("Description", "alerts")
+        fig1_db.relate("Contained", contained=alert, container=handler)
+        assert fig1_db.check_consistency() == []

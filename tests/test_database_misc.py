@@ -1,0 +1,190 @@
+"""Tests for database facade details: rename, delete cascades,
+statistics, cross-database guards, schema evolution."""
+
+import pytest
+
+from repro.core import ConsistencyError, SchemaError, SeedDatabase, SeedError
+from repro.core.errors import ClassificationError
+
+
+class TestRename:
+    def test_rename_updates_index(self, fig1_db):
+        alarms = fig1_db.get_object("Alarms")
+        fig1_db.rename(alarms, "AlarmMatrix")
+        assert fig1_db.find_object("Alarms") is None
+        assert fig1_db.find_object("AlarmMatrix") is alarms
+        # composed names follow the new root
+        assert (
+            fig1_db.get_object("AlarmMatrix.Text.Selector").value
+            == "Representation"
+        )
+
+    def test_rename_to_taken_name_rejected(self, fig1_db):
+        alarms = fig1_db.get_object("Alarms")
+        with pytest.raises(ConsistencyError, match="already exists"):
+            fig1_db.rename(alarms, "AlarmHandler")
+        assert fig1_db.find_object("Alarms") is alarms  # rolled back
+
+    def test_rename_noop(self, fig1_db):
+        alarms = fig1_db.get_object("Alarms")
+        fig1_db.rename(alarms, "Alarms")
+        assert fig1_db.find_object("Alarms") is alarms
+
+    def test_rename_dependent_rejected(self, fig1_db):
+        selector = fig1_db.get_object("Alarms.Text.Selector")
+        with pytest.raises(SeedError, match="named by their role"):
+            fig1_db.rename(selector, "Other")
+
+    def test_rename_is_versioned(self, fig1_db):
+        fig1_db.create_version("1.0")
+        fig1_db.rename(fig1_db.get_object("Alarms"), "AlarmMatrix")
+        fig1_db.create_version("2.0")
+        assert fig1_db.version_view("1.0").find("Alarms") is not None
+        assert fig1_db.version_view("2.0").find("Alarms") is None
+        assert fig1_db.version_view("2.0").find("AlarmMatrix") is not None
+
+
+class TestDeleteCascades:
+    def test_subtree_tombstoned(self, fig1_db):
+        alarms = fig1_db.get_object("Alarms")
+        descendants = list(alarms.walk())
+        fig1_db.delete(alarms)
+        assert all(node.deleted for node in descendants)
+        assert fig1_db.find_object("Alarms.Text.Selector") is None
+
+    def test_incident_relationships_tombstoned(self, fig1_db):
+        read = fig1_db.relationships("Read")[0]
+        fig1_db.delete(fig1_db.get_object("Alarms"))
+        assert read.deleted
+        assert fig1_db.relationships("Read") == []
+        # the other endpoint survives
+        assert fig1_db.find_object("AlarmHandler") is not None
+
+    def test_delete_relationship_only(self, fig1_db):
+        read = fig1_db.relationships("Read")[0]
+        fig1_db.delete(read)
+        assert fig1_db.find_object("Alarms") is not None
+        assert fig1_db.relationships("Read") == []
+
+    def test_double_delete_rejected(self, fig1_db):
+        alarms = fig1_db.get_object("Alarms")
+        fig1_db.delete(alarms)
+        with pytest.raises(SeedError, match="deleted"):
+            fig1_db.delete(alarms)
+
+    def test_operations_on_deleted_rejected(self, fig1_db):
+        selector = fig1_db.get_object("Alarms.Text.Selector")
+        fig1_db.delete(fig1_db.get_object("Alarms"))
+        with pytest.raises(SeedError, match="deleted"):
+            selector.set_value("nope")
+
+    def test_sub_object_delete_frees_cardinality_slot(self, fig2_db):
+        alarms = fig2_db.create_object("Data", "Alarms")
+        texts = [alarms.add_sub_object("Text") for __ in range(16)]
+        fig2_db.delete(texts[0])
+        replacement = alarms.add_sub_object("Text")  # slot free again
+        assert replacement.index == 16  # indices never reused
+        assert len(alarms.sub_objects("Text")) == 16
+
+
+class TestGuards:
+    def test_items_bound_to_their_database(self, fig2_db, fig2_schema):
+        other = SeedDatabase(fig2_schema.copy(), "other")
+        foreign = other.create_object("Data", "Foreign")
+        local_action = fig2_db.create_object("Action", "A")
+        local_action.add_sub_object("Description", "x")
+        with pytest.raises(SeedError, match="different database"):
+            fig2_db.relate("Read", {"from": foreign, "by": local_action})
+
+    def test_create_object_of_dependent_class_rejected(self, fig2_db):
+        with pytest.raises(SchemaError, match="dependent"):
+            fig2_db.create_object("Data.Text", "Loose")
+
+    def test_index_on_single_card_role_rejected(self, fig2_db):
+        alarms = fig2_db.create_object("Data", "Alarms")
+        text = alarms.add_sub_object("Text")
+        with pytest.raises(SchemaError, match="single instance"):
+            fig2_db.create_sub_object(text, "Body", index=0)
+
+    def test_relate_requires_all_roles(self, fig1_db):
+        alarms = fig1_db.get_object("Alarms")
+        with pytest.raises(SchemaError, match="requires bindings"):
+            fig1_db.relate("Read", {"from": alarms})
+
+    def test_relate_rejects_extra_roles(self, fig1_db):
+        alarms = fig1_db.get_object("Alarms")
+        handler = fig1_db.get_object("AlarmHandler")
+        with pytest.raises(SchemaError, match="requires bindings"):
+            fig1_db.relate(
+                "Read", {"from": alarms, "by": handler, "extra": alarms}
+            )
+
+    def test_reclassify_relationship_to_class_rejected(self, fig1_db):
+        read = fig1_db.relationships("Read")[0]
+        with pytest.raises((SchemaError, ClassificationError)):
+            fig1_db.reclassify(read, "Data")
+
+
+class TestStatistics:
+    def test_counters(self, fig1_db):
+        stats = fig1_db.statistics()
+        assert stats["objects"] == 9
+        assert stats["relationships"] == 1
+        assert stats["tombstoned_objects"] == 0
+        fig1_db.delete(fig1_db.get_object("Alarms"))
+        stats = fig1_db.statistics()
+        assert stats["objects"] == 2  # AlarmHandler + Description
+        assert stats["tombstoned_objects"] == 7
+        assert stats["tombstoned_relationships"] == 1
+
+    def test_dirty_tracking_exposed(self, fig1_db):
+        assert fig1_db.has_unsaved_changes()
+        fig1_db.create_version()
+        assert not fig1_db.has_unsaved_changes()
+        assert fig1_db.statistics()["dirty_items"] == 0
+
+
+class TestSchemaEvolution:
+    def test_migration_rebinds_items(self, fig1_db):
+        extended = fig1_db.schema.copy("v2")
+        extended.entity_class("Data").add_dependent(
+            "Priority", "0..1", value_sort=None
+        )
+        fig1_db.migrate_schema(extended)
+        assert fig1_db.schema is extended
+        alarms = fig1_db.get_object("Alarms")
+        assert alarms.entity_class is extended.entity_class("Data")
+        alarms.add_sub_object("Priority")  # the new dependent is usable
+
+    def test_migration_to_incompatible_schema_rolls_back(self, fig1_db):
+        from repro.core.schema import SchemaBuilder
+
+        tiny = SchemaBuilder("tiny").entity_class("Data").build()
+        old_schema = fig1_db.schema
+        with pytest.raises(SchemaError):
+            fig1_db.migrate_schema(tiny)  # Action and Read missing
+        assert fig1_db.schema is old_schema
+        assert fig1_db.get_object("Alarms").entity_class is old_schema.entity_class(
+            "Data"
+        )
+
+    def test_migration_with_violating_constraints_rolls_back(self, fig1_db):
+        shrunk = fig1_db.schema.copy("shrunk")
+        # shrink Text maximum below the existing count
+        shrunk.entity_class("Data").dependent("Text").cardinality = (
+            __import__("repro.core.cardinality", fromlist=["Cardinality"])
+            .Cardinality.parse("0..0")
+        )
+        old_schema = fig1_db.schema
+        with pytest.raises(ConsistencyError):
+            fig1_db.migrate_schema(shrunk)
+        assert fig1_db.schema is old_schema
+
+    def test_migration_marks_everything_dirty(self, fig1_db):
+        fig1_db.create_version("1.0")
+        assert not fig1_db.has_unsaved_changes()
+        fig1_db.migrate_schema(fig1_db.schema.copy("v2"))
+        assert fig1_db.has_unsaved_changes()
+        version = fig1_db.create_version()
+        # the new version is stamped with the new schema version
+        assert fig1_db.versions.schema_version_of[version] == 1

@@ -1,0 +1,123 @@
+"""Tests for the textual schema DDL."""
+
+import pytest
+
+from repro.core import SchemaError, figure2_schema, figure3_schema
+from repro.core.schema import parse_ddl, print_ddl
+from repro.core.schema.attached import AttachedProcedure, ProcedureRegistry
+from repro.spades import spades_schema
+
+FIGURE3_DDL = """
+schema figure3
+
+class Thing covering
+sub Thing.Revised = DATE 0..1
+class Data : Thing
+sub Data.Text 0..16
+sub Data.Text.Body
+sub Data.Text.Body.Contents = STRING
+sub Data.Text.Body.Keywords = STRING 0..*
+sub Data.Text.Selector = STRING 0..1
+class OutputData : Data
+class InputData : Data
+class Action : Thing
+sub Action.Description = STRING
+
+association Access (data: Data 1..*, by: Action 1..*) covering
+association Read : Access (from: InputData 1..*, by: Action 0..*)
+association Write : Access (to: OutputData 1..*, by: Action 0..*)
+attribute Write.NumberOfWrites = INTEGER 1..1
+attribute Write.ErrorHandling = STRING
+association Contained (contained: Action 0..1, container: Action 0..*) ACYCLIC
+"""
+
+
+class TestParsing:
+    def test_figure3_from_ddl(self):
+        schema = parse_ddl(FIGURE3_DDL)
+        assert schema.name == "figure3"
+        assert schema.entity_class("OutputData").is_kind_of(
+            schema.entity_class("Thing")
+        )
+        assert schema.entity_class("Thing").covering
+        assert str(schema.entity_class("Data.Text").cardinality) == "0..16"
+        write = schema.association("Write")
+        assert write.general is schema.association("Access")
+        assert write.attribute("NumberOfWrites").mandatory
+        assert schema.association("Contained").acyclic
+        assert str(schema.association("Read").role("by").cardinality) == "0..*"
+
+    def test_comments_and_blank_lines(self):
+        schema = parse_ddl("# a comment\n\nclass A  # trailing comment\n")
+        assert schema.has_class("A")
+
+    def test_default_cardinalities(self):
+        schema = parse_ddl("class A\nsub A.B\nclass C\nassociation R (x: A, y: C)\n")
+        assert str(schema.entity_class("A.B").cardinality) == "1..1"
+        assert str(schema.association("R").role("x").cardinality) == "0..*"
+
+    def test_error_reports_line(self):
+        with pytest.raises(SchemaError, match="DDL line 2"):
+            parse_ddl("class A\nsub A\n")
+
+    def test_unknown_statement(self):
+        with pytest.raises(SchemaError, match="unrecognised"):
+            parse_ddl("table Foo\n")
+
+    def test_unknown_general(self):
+        with pytest.raises(SchemaError, match="no class"):
+            parse_ddl("class B : Missing\n")
+
+    def test_association_needs_two_roles(self):
+        with pytest.raises(SchemaError, match="exactly two"):
+            parse_ddl("class A\nassociation R (x: A)\n")
+
+    def test_attach_via_registry(self):
+        registry = ProcedureRegistry()
+        proc = AttachedProcedure("ddl_guard", lambda ctx: None)
+        registry.register(proc)
+        schema = parse_ddl("class A\nattach A ddl_guard\n", registry)
+        assert schema.entity_class("A").attached_procedures == [proc]
+
+    def test_attach_unknown_procedure(self):
+        with pytest.raises(SchemaError, match="unknown attached procedure"):
+            parse_ddl("class A\nattach A nonexistent_proc_xyz\n", ProcedureRegistry())
+
+
+class TestPrinting:
+    @pytest.mark.parametrize(
+        "factory", [figure2_schema, figure3_schema, spades_schema]
+    )
+    def test_roundtrip_canned_schemas(self, factory):
+        schema = factory()
+        text = print_ddl(schema)
+        rebuilt = parse_ddl(text)
+        assert print_ddl(rebuilt) == text
+        # structural spot checks
+        assert {c.name for c in rebuilt.classes} == {c.name for c in schema.classes}
+        assert {a.name for a in rebuilt.associations} == {
+            a.name for a in schema.associations
+        }
+        for association in schema.associations:
+            twin = rebuilt.association(association.name)
+            assert twin.acyclic == association.acyclic
+            assert twin.covering == association.covering
+            assert [str(r.cardinality) for r in twin.roles] == [
+                str(r.cardinality) for r in association.roles
+            ]
+
+    def test_printed_ddl_is_readable(self):
+        text = print_ddl(figure3_schema())
+        assert "class OutputData : Data" in text
+        assert "association Contained" in text and "ACYCLIC" in text
+        assert "attribute Write.NumberOfWrites = INTEGER 1..1" in text
+
+    def test_parse_printed_equals_original_behaviour(self):
+        from repro.core import SeedDatabase
+
+        rebuilt = parse_ddl(print_ddl(figure3_schema()))
+        db = SeedDatabase(rebuilt, "via-ddl")
+        thing = db.create_object("Thing", "Vague")
+        assert db.check_completeness().by_kind("covering")
+        thing.reclassify("Data")
+        assert not db.check_completeness().by_kind("covering")

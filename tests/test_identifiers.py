@@ -1,0 +1,118 @@
+"""Unit tests for names and dotted identifiers."""
+
+import pytest
+
+from repro.core.errors import IdentifierError
+from repro.core.identifiers import DottedName, NamePart, check_simple_name, is_simple_name
+
+
+class TestSimpleNames:
+    @pytest.mark.parametrize("name", ["Alarms", "alarm_handler", "_x", "K2"])
+    def test_legal(self, name):
+        assert is_simple_name(name)
+
+    @pytest.mark.parametrize("name", ["", "2K", "a-b", "a.b", "a b", None, 42])
+    def test_illegal(self, name):
+        assert not is_simple_name(name)
+
+    def test_check_mentions_what(self):
+        with pytest.raises(IdentifierError, match="class name"):
+            check_simple_name("a-b", "class name")
+
+
+class TestNamePart:
+    def test_plain(self):
+        part = NamePart.parse("Body")
+        assert part.name == "Body"
+        assert part.index is None
+        assert str(part) == "Body"
+
+    def test_indexed(self):
+        part = NamePart.parse("Keywords[1]")
+        assert part == NamePart("Keywords", 1)
+        assert str(part) == "Keywords[1]"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(IdentifierError):
+            NamePart("Keywords", -1)
+
+    def test_bad_syntax(self):
+        with pytest.raises(IdentifierError):
+            NamePart.parse("Keywords[x]")
+
+    def test_ordering_none_before_zero(self):
+        assert NamePart("K") < NamePart("K", 0) < NamePart("K", 1)
+
+    def test_ordering_by_name_first(self):
+        assert NamePart("A", 9) < NamePart("B")
+
+
+class TestDottedName:
+    def test_parse_figure1_name(self):
+        name = DottedName.parse("Alarms.Text.Body.Keywords[1]")
+        assert name.depth == 4
+        assert str(name.root) == "Alarms"
+        assert name.leaf == NamePart("Keywords", 1)
+        assert str(name) == "Alarms.Text.Body.Keywords[1]"
+
+    def test_parent_chain(self):
+        name = DottedName.parse("A.B.C")
+        assert str(name.parent) == "A.B"
+        assert str(name.parent.parent) == "A"
+        assert name.parent.parent.parent is None
+
+    def test_independent(self):
+        name = DottedName.parse("Alarms")
+        assert name.is_independent
+        assert not DottedName.parse("Alarms.Text").is_independent
+
+    def test_child_composition(self):
+        name = DottedName.parse("Alarms").child("Text").child("Keywords", 0)
+        assert str(name) == "Alarms.Text.Keywords[0]"
+
+    def test_role_path_strips_indices(self):
+        name = DottedName.parse("Alarms.Text[2].Body.Keywords[1]")
+        assert name.role_path() == ("Text", "Body", "Keywords")
+
+    def test_is_ancestor_of(self):
+        parent = DottedName.parse("A.B")
+        child = DottedName.parse("A.B.C")
+        assert parent.is_ancestor_of(child)
+        assert not child.is_ancestor_of(parent)
+        assert not parent.is_ancestor_of(parent)
+
+    def test_with_root(self):
+        name = DottedName.parse("A.B.C").with_root("X")
+        assert str(name) == "X.B.C"
+
+    def test_of_mixed_components(self):
+        name = DottedName.of("A", NamePart("B"), ("C", 3))
+        assert str(name) == "A.B.C[3]"
+
+    def test_empty_rejected(self):
+        with pytest.raises(IdentifierError):
+            DottedName.parse("")
+        with pytest.raises(IdentifierError):
+            DottedName(())
+
+    def test_bad_part_rejected(self):
+        with pytest.raises(IdentifierError):
+            DottedName.parse("A..B")
+
+    def test_ordering(self):
+        names = [
+            DottedName.parse("B"),
+            DottedName.parse("A.Text[1]"),
+            DottedName.parse("A"),
+            DottedName.parse("A.Text[0]"),
+        ]
+        ordered = sorted(names)
+        assert [str(n) for n in ordered] == ["A", "A.Text[0]", "A.Text[1]", "B"]
+
+    def test_hashable(self):
+        assert len({DottedName.parse("A.B"), DottedName.parse("A.B")}) == 1
+
+    def test_iteration_and_len(self):
+        name = DottedName.parse("A.B.C")
+        assert len(name) == 3
+        assert [str(p) for p in name] == ["A", "B", "C"]

@@ -1,0 +1,146 @@
+"""End-to-end integration test: the whole paper in one scenario.
+
+A single test class walks through every concept the paper presents, in
+its order, on one database — the closest thing to executing the paper.
+"""
+
+import pytest
+
+from repro.core import (
+    CompletenessError,
+    ConsistencyError,
+    SeedDatabase,
+)
+from repro.core.storage import database_from_dict, database_to_dict
+from repro.core.variants import VariantFamily
+from repro.spades import spades_schema
+
+
+class TestThePaperEndToEnd:
+    def test_full_story(self):
+        db = SeedDatabase(spades_schema(), "the-paper")
+
+        # -- CONCEPTS: informal, incomplete, vague entry -----------------
+        alarms = db.create_object("Thing", "Alarms")
+        handler = db.create_object("Action", "AlarmHandler")
+        handler.add_sub_object("Description", "Handles alarms")
+        # at any stage the collected information is consistent
+        assert db.check_consistency() == []
+        # but formally incomplete, detectably so
+        assert not db.check_completeness().is_complete
+
+        # -- VAGUE DATA: generalized categories, stepwise refinement ----
+        alarms.reclassify("Data")
+        flow = db.relate("Access", data=alarms, by=handler)
+        with db.transaction():
+            alarms.reclassify("OutputData")
+            flow.reclassify("Write")
+        flow.set_attribute("NumberOfWrites", 2)
+        flow.set_attribute("ErrorHandling", "repeat")
+        assert alarms.class_name == "OutputData"
+
+        # -- INCOMPLETE DATA: minima stay visible, never block ----------
+        gaps = db.check_completeness()
+        assert gaps.by_kind("relationship-minimum")  # Read of Alarms missing
+
+        # -- OBJECT HIERARCHIES: figure-1 dependent structure ------------
+        text = alarms.add_sub_object("Text")
+        body = text.add_sub_object("Body")
+        body.add_sub_object("Contents", "Alarms are represented in an alarm display matrix")
+        body.add_sub_object("Keywords", "Alarmhandling")
+        body.add_sub_object("Keywords", "Display")
+        text.add_sub_object("Selector", "Representation")
+        assert (
+            db.get_object("Alarms.Text.Body.Keywords[1]").value == "Display"
+        )
+
+        # -- CONSISTENCY: enforced on every update ------------------------
+        with pytest.raises(ConsistencyError):
+            db.relate("Contained", contained=handler, container=handler)
+
+        # -- VERSIONS: figure 4 -------------------------------------------
+        v1 = db.create_version()
+        db.get_object("AlarmHandler.Description").set_value(
+            "Handles alarms derived from ProcessData"
+        )
+        v2 = db.create_version()
+        db.get_object("AlarmHandler.Description").set_value(
+            "Generates alarms from process data, triggers Operator Alert"
+        )
+        assert db.version_view(v1).get("AlarmHandler.Description").value == (
+            "Handles alarms"
+        )
+        assert db.version_view(v2).get("AlarmHandler.Description").value == (
+            "Handles alarms derived from ProcessData"
+        )
+        # delta storage, not full copies
+        assert db.versions.delta_size(v2) == 1
+
+        # -- ALTERNATIVES ---------------------------------------------------
+        v3 = db.create_version()
+        db.select_version(v1)
+        db.get_object("AlarmHandler.Description").set_value("Alternative line")
+        alt = db.create_version()
+        assert db.history.predecessor(alt) == v1
+        db.select_version(v3)
+
+        # -- PATTERNS: the deadline example ---------------------------------
+        template = db.create_object("Action", "ProcedureTemplate", pattern=True)
+        deadline = db.create_sub_object(template, "Deadline", "1986-06-01")
+        procedures = []
+        for i in range(3):
+            procedure = db.create_object("Action", f"Procedure{i}")
+            procedure.add_sub_object("Description", f"procedure {i}")
+            db.inherit(template, procedure)
+            procedures.append(procedure)
+        deadline.set_value("1986-09-01")
+        import datetime
+
+        for procedure in procedures:
+            values = [
+                d.value for d in procedure.effective_sub_objects("Deadline")
+            ]
+            assert values == [datetime.date(1986, 9, 1)]
+        # inherited information is not updatable in the inheritors
+        with pytest.raises(ConsistencyError):
+            procedures[0].add_sub_object("Deadline", "1987-01-01")
+
+        # -- VARIANTS: figure 5 ----------------------------------------------
+        common = db.create_object("Module", "CommonModules")
+        family = VariantFamily(db, "Sys", variant_class="Action")
+        family.add_shared_relationship(
+            "AllocatedTo", {"module": common}, variant_role="action"
+        )
+        for procedure in procedures[:2]:
+            family.add_variant(procedure)
+        assert family.check_uniformity() == []
+        members = db.navigate(common, "AllocatedTo", "action")
+        assert {m.simple_name for m in members} == {"Procedure0", "Procedure1"}
+
+        # -- OPERATIONAL INTERFACE: retrieval by name -------------------------
+        # (select_version rebuilt the live objects; handles re-fetch by name,
+        # and oids are stable across versions)
+        assert db.find_object("Alarms").oid == alarms.oid
+        assert db.find_object("ProcedureTemplate") is None  # patterns invisible
+
+        # -- the whole thing survives persistence ------------------------------
+        image = database_to_dict(db)
+        rebuilt = database_from_dict(image)
+        assert database_to_dict(rebuilt) == image
+        assert rebuilt.version_view(v1).get("AlarmHandler.Description").value == (
+            "Handles alarms"
+        )
+
+        # -- and stays permanently consistent ----------------------------------
+        assert db.check_consistency() == []
+
+    def test_eventual_release_gate(self):
+        db = SeedDatabase(spades_schema(), "release-gate")
+        data = db.create_object("Data", "D")
+        action = db.create_object("Action", "A")
+        with pytest.raises(CompletenessError):
+            db.require_complete()
+        action.add_sub_object("Description", "does things")
+        db.relate("Read", {"from": data, "by": action})
+        db.relate("Write", {"to": data, "by": action})
+        db.require_complete()  # "sufficiently formal, complete, precise"

@@ -1,0 +1,241 @@
+"""Tests for patterns and the inherits-relationship (paper, figure 5)."""
+
+import pytest
+
+from repro.core import PatternError, SeedDatabase
+from repro.core.patterns import InheritedRelationship
+from repro.spades import spades_schema
+
+
+@pytest.fixture
+def deadline_db(spades_db):
+    """The paper's deadline example: procedures sharing one deadline.
+
+    A pattern 'procedure object with a given deadline'; every 'real'
+    procedure object that should share the deadline inherits the
+    pattern.
+    """
+    db = spades_db
+    template = db.create_object("Action", "DeadlineTemplate", pattern=True)
+    db.create_sub_object(template, "Deadline", "1986-06-01")
+    procedures = []
+    for i in range(3):
+        procedure = db.create_object("Action", f"Procedure{i}")
+        procedure.add_sub_object("Description", f"procedure {i}")
+        db.inherit(template, procedure)
+        procedures.append(procedure)
+    return db, template, procedures
+
+
+class TestVisibility:
+    def test_patterns_invisible_to_retrieval(self, deadline_db):
+        db, template, __ = deadline_db
+        assert db.find_object("DeadlineTemplate") is None
+        assert db.find_object("DeadlineTemplate", include_patterns=True) is template
+        assert all(
+            o.simple_name != "DeadlineTemplate" for o in db.objects("Action")
+        )
+
+    def test_pattern_sub_objects_invisible(self, deadline_db):
+        db, __, __ = deadline_db
+        assert db.find_object("DeadlineTemplate.Deadline") is None
+
+    def test_patterns_not_consistency_checked(self, spades_db):
+        # a pattern may freely be incomplete/inconsistent-looking:
+        # 17 Texts exceed the maximum for normal Data objects
+        pattern = spades_db.create_object("Data", "Template", pattern=True)
+        for __ in range(17):
+            spades_db.create_sub_object(pattern, "Text")
+        assert spades_db.check_consistency() == []
+
+
+class TestInheritanceSemantics:
+    def test_inherited_sub_objects_visible_in_context(self, deadline_db):
+        db, __, procedures = deadline_db
+        import datetime
+
+        for procedure in procedures:
+            deadlines = procedure.effective_sub_objects("Deadline")
+            assert [d.value for d in deadlines] == [datetime.date(1986, 6, 1)]
+
+    def test_pattern_update_propagates_to_all_inheritors(self, deadline_db):
+        db, template, procedures = deadline_db
+        import datetime
+
+        deadline = template.sub_object("Deadline")
+        deadline.set_value("1986-09-15")
+        for procedure in procedures:
+            values = [d.value for d in procedure.effective_sub_objects("Deadline")]
+            assert values == [datetime.date(1986, 9, 15)]
+
+    def test_inherited_info_not_updatable_in_inheritor_context(self, deadline_db):
+        db, template, procedures = deadline_db
+        # there is no operation that overrides inherited content on the
+        # inheritor: creating an own Deadline violates the 0..1 maximum
+        # because the effective count includes the inherited one
+        from repro.core import ConsistencyError
+
+        with pytest.raises(ConsistencyError):
+            procedures[0].add_sub_object("Deadline", "1987-01-01")
+
+    def test_uninherit_restores_independence(self, deadline_db):
+        db, template, procedures = deadline_db
+        db.uninherit(template, procedures[0])
+        assert procedures[0].effective_sub_objects("Deadline") == []
+        # now an own deadline is fine
+        procedures[0].add_sub_object("Deadline", "1987-01-01")
+
+    def test_consistency_checked_in_inheritor_context(self, spades_db):
+        # inheriting a pattern whose content violates the inheritor's
+        # maxima is rejected
+        pattern = spades_db.create_object("Data", "Template", pattern=True)
+        for __ in range(10):
+            spades_db.create_sub_object(pattern, "Text")
+        obj = spades_db.create_object("Data", "Real")
+        for __ in range(10):
+            obj.add_sub_object("Text")
+        from repro.core import ConsistencyError
+
+        with pytest.raises(ConsistencyError):
+            spades_db.inherit(pattern, obj)  # 20 texts > 16
+        assert pattern.oid not in obj.inherited_patterns
+
+    def test_pattern_update_rechecked_against_inheritors(self, spades_db):
+        pattern = spades_db.create_object("Data", "Template", pattern=True)
+        obj = spades_db.create_object("Data", "Real")
+        for __ in range(16):
+            obj.add_sub_object("Text")
+        spades_db.inherit(pattern, obj)
+        from repro.core import ConsistencyError
+
+        with pytest.raises(ConsistencyError):
+            # adding a Text to the pattern would push the inheritor to 17
+            spades_db.create_sub_object(pattern, "Text")
+
+
+class TestInheritanceRules:
+    def test_only_patterns_inheritable(self, spades_db):
+        normal = spades_db.create_object("Data", "A")
+        other = spades_db.create_object("Data", "B")
+        with pytest.raises(PatternError, match="not a pattern"):
+            spades_db.inherit(normal, other)
+
+    def test_patterns_cannot_inherit(self, spades_db):
+        p1 = spades_db.create_object("Data", "P1", pattern=True)
+        p2 = spades_db.create_object("Data", "P2", pattern=True)
+        with pytest.raises(PatternError, match="'normal' data items"):
+            spades_db.inherit(p1, p2)
+
+    def test_double_inherit_rejected(self, deadline_db):
+        db, template, procedures = deadline_db
+        with pytest.raises(PatternError, match="already inherits"):
+            db.inherit(template, procedures[0])
+
+    def test_uninherit_unknown_rejected(self, spades_db):
+        pattern = spades_db.create_object("Data", "P", pattern=True)
+        obj = spades_db.create_object("Data", "O")
+        with pytest.raises(PatternError, match="does not inherit"):
+            spades_db.uninherit(pattern, obj)
+
+    def test_inherited_pattern_cannot_be_deleted(self, deadline_db):
+        db, template, __ = deadline_db
+        with pytest.raises(PatternError, match="inherited by"):
+            db.delete(template)
+
+    def test_mark_and_unmark(self, spades_db):
+        obj = spades_db.create_object("Data", "X")
+        spades_db.mark_pattern(obj)
+        assert obj.is_pattern
+        assert spades_db.find_object("X") is None
+        spades_db.unmark_pattern(obj)
+        assert spades_db.find_object("X") is obj
+
+    def test_unmark_with_inheritors_rejected(self, deadline_db):
+        db, template, __ = deadline_db
+        with pytest.raises(PatternError, match="inherited"):
+            db.unmark_pattern(template)
+
+    def test_inheritor_cannot_become_pattern(self, deadline_db):
+        db, __, procedures = deadline_db
+        with pytest.raises(PatternError, match="cannot itself become"):
+            db.mark_pattern(procedures[0])
+
+
+class TestPatternRelationships:
+    def test_figure5_shared_relationships(self, spades_db):
+        """Common part -- PR --> PO; variants inherit PO and thereby
+        share the relationship to the common part."""
+        db = spades_db
+        common = db.create_object("Module", "CommonKernel")
+        po = db.create_object("Module", "PO1", pattern=True)
+        kernel_action = db.create_object("Action", "KernelSetup")
+        kernel_action.add_sub_object("Description", "x")
+        db.relate("AllocatedTo", {"action": kernel_action, "module": common})
+        # the pattern relationship: any variant module 'contains' ... use
+        # AllocatedTo: action (pattern) @ module (common)
+        pattern_action = db.create_object("Action", "PA", pattern=True)
+        pr = db.relate(
+            "AllocatedTo", {"action": pattern_action, "module": common}, pattern=True
+        )
+        variant_a = db.create_object("Action", "VariantA")
+        variant_a.add_sub_object("Description", "x")
+        variant_b = db.create_object("Action", "VariantB")
+        variant_b.add_sub_object("Description", "x")
+        db.inherit(pattern_action, variant_a)
+        db.inherit(pattern_action, variant_b)
+
+        # both variants are (virtually) allocated to the common module
+        for variant in (variant_a, variant_b):
+            allocated = db.navigate(variant, "AllocatedTo", "module")
+            assert [str(m.name) for m in allocated] == ["CommonKernel"]
+        # and the common module sees both variants
+        members = db.navigate(common, "AllocatedTo", "action")
+        names = sorted(str(m.name) for m in members)
+        assert names == ["KernelSetup", "VariantA", "VariantB"]
+
+    def test_inherited_relationship_objects(self, spades_db):
+        db = spades_db
+        common = db.create_object("Module", "Common")
+        pattern = db.create_object("Action", "P", pattern=True)
+        rel = db.relate(
+            "AllocatedTo", {"action": pattern, "module": common}, pattern=True
+        )
+        inheritor = db.create_object("Action", "Real")
+        inheritor.add_sub_object("Description", "x")
+        db.inherit(pattern, inheritor)
+        effective = db.patterns.effective_relationships(inheritor)
+        inherited = [
+            e for e in effective if isinstance(e, InheritedRelationship)
+        ]
+        assert len(inherited) == 1
+        assert inherited[0].base is rel
+        assert inherited[0].bound("action") is inheritor
+        assert inherited[0].bound("module") is common
+        assert inherited[0].other(inheritor) is common
+
+    def test_pattern_relationships_invisible(self, spades_db):
+        db = spades_db
+        common = db.create_object("Module", "Common")
+        pattern = db.create_object("Action", "P", pattern=True)
+        db.relate("AllocatedTo", {"action": pattern, "module": common}, pattern=True)
+        assert db.relationships("AllocatedTo") == []
+        assert (
+            len(db.relationships("AllocatedTo", include_patterns=True)) == 1
+        )
+
+    def test_attribute_via_inherited_relationship(self, spades_db):
+        db = spades_db
+        out = db.create_object("OutputData", "Out")
+        pattern = db.create_object("Action", "P", pattern=True)
+        rel = db.relate(
+            "Write",
+            {"to": out, "by": pattern},
+            attributes={"NumberOfWrites": 3},
+            pattern=True,
+        )
+        worker = db.create_object("Action", "Worker")
+        worker.add_sub_object("Description", "x")
+        db.inherit(pattern, worker)
+        effective = db.patterns.effective_relationships(worker)
+        inherited = [e for e in effective if isinstance(e, InheritedRelationship)]
+        assert inherited[0].attribute("NumberOfWrites") == 3

@@ -1,0 +1,176 @@
+"""Unit tests for generalization hierarchies and re-classification rules."""
+
+import pytest
+
+from repro.core.errors import ClassificationError, SchemaError
+from repro.core.schema.entity_class import EntityClass
+from repro.core.schema.generalization import (
+    check_reclassification,
+    common_general,
+    remove_specialization,
+    set_covering,
+    specialize,
+)
+from repro.core.values import STRING
+
+
+@pytest.fixture
+def hierarchy():
+    """Thing <- Data <- {InputData, OutputData}; Thing <- Action."""
+    thing = EntityClass("Thing")
+    data = EntityClass("Data")
+    input_data = EntityClass("InputData")
+    output_data = EntityClass("OutputData")
+    action = EntityClass("Action")
+    specialize(thing, data)
+    specialize(data, input_data)
+    specialize(data, output_data)
+    specialize(thing, action)
+    return thing, data, input_data, output_data, action
+
+
+class TestLinks:
+    def test_kind_chain(self, hierarchy):
+        thing, data, input_data, __, __ = hierarchy
+        assert [el.name for el in input_data.kind_chain()] == [
+            "InputData",
+            "Data",
+            "Thing",
+        ]
+        assert input_data.is_kind_of(thing)
+        assert input_data.is_kind_of(input_data)
+        assert not thing.is_kind_of(input_data)
+
+    def test_family(self, hierarchy):
+        thing, data, input_data, output_data, action = hierarchy
+        family = {el.name for el in input_data.family()}
+        assert family == {"Thing", "Data", "InputData", "OutputData", "Action"}
+        assert input_data.family_root() is thing
+
+    def test_depth(self, hierarchy):
+        thing, data, input_data, __, __ = hierarchy
+        assert thing.depth_in_hierarchy() == 0
+        assert data.depth_in_hierarchy() == 1
+        assert input_data.depth_in_hierarchy() == 2
+
+    def test_all_specials(self, hierarchy):
+        thing = hierarchy[0]
+        assert {el.name for el in thing.all_specials()} == {
+            "Data",
+            "InputData",
+            "OutputData",
+            "Action",
+        }
+
+    def test_double_general_rejected(self, hierarchy):
+        __, data, __, __, action = hierarchy
+        with pytest.raises(SchemaError, match="already specializes"):
+            specialize(action, data)
+
+    def test_cycle_rejected(self, hierarchy):
+        thing, __, input_data, __, __ = hierarchy
+        with pytest.raises(SchemaError, match="cycle"):
+            specialize(input_data, thing)
+
+    def test_self_specialization_rejected(self):
+        thing = EntityClass("Thing")
+        with pytest.raises(SchemaError, match="cycle"):
+            specialize(thing, thing)
+
+    def test_kind_mismatch_rejected(self, hierarchy):
+        from repro.core.cardinality import Cardinality
+        from repro.core.schema.association import Association, Role
+
+        thing, __, __, __, action = hierarchy
+        assoc = Association(
+            "R",
+            Role("a", action, Cardinality.parse("0..*")),
+            Role("b", action, Cardinality.parse("0..*")),
+        )
+        with pytest.raises(SchemaError, match="kinds differ"):
+            specialize(thing, assoc)
+
+    def test_value_typed_class_rejected(self):
+        label = EntityClass("Label", value_sort=STRING)
+        thing = EntityClass("Thing")
+        with pytest.raises(SchemaError, match="value-typed"):
+            specialize(thing, label)
+
+    def test_dependent_class_rejected(self):
+        data = EntityClass("Data")
+        text = data.add_dependent("Text", "0..16")
+        other = EntityClass("Other")
+        with pytest.raises(SchemaError, match="independent"):
+            specialize(other, text)
+
+    def test_remove_specialization(self, hierarchy):
+        thing, data, __, __, __ = hierarchy
+        # first detach data's own specials to keep the test focused
+        remove_specialization(data.specials[0])
+        remove_specialization(data.specials[0])
+        remove_specialization(data)
+        assert data.general is None
+        assert data not in thing.specials
+
+    def test_remove_without_general(self):
+        with pytest.raises(SchemaError, match="has no general"):
+            remove_specialization(EntityClass("Lonely"))
+
+
+class TestCovering:
+    def test_set_covering(self, hierarchy):
+        thing = hierarchy[0]
+        set_covering(thing)
+        assert thing.covering
+        set_covering(thing, False)
+        assert not thing.covering
+
+    def test_covering_without_specials_rejected(self):
+        lonely = EntityClass("Lonely")
+        with pytest.raises(SchemaError, match="unsatisfiable"):
+            set_covering(lonely)
+
+
+class TestCommonGeneral:
+    def test_siblings(self, hierarchy):
+        __, data, input_data, output_data, action = hierarchy
+        assert common_general(input_data, output_data) is data
+        assert common_general(input_data, action).name == "Thing"
+
+    def test_unrelated(self, hierarchy):
+        other = EntityClass("Other")
+        assert common_general(hierarchy[0], other) is None
+
+    def test_self(self, hierarchy):
+        data = hierarchy[1]
+        assert common_general(data, data) is data
+
+
+class TestReclassificationRules:
+    def test_downward_always_legal(self, hierarchy):
+        thing, data, input_data, __, __ = hierarchy
+        check_reclassification(thing, data)
+        check_reclassification(thing, input_data)  # multi-step down
+
+    def test_same_class_rejected(self, hierarchy):
+        data = hierarchy[1]
+        with pytest.raises(ClassificationError, match="already classified"):
+            check_reclassification(data, data)
+
+    def test_upward_needs_flag(self, hierarchy):
+        thing, data, __, __, __ = hierarchy
+        with pytest.raises(ClassificationError, match="must specialize"):
+            check_reclassification(data, thing)
+        check_reclassification(data, thing, allow_generalize=True)
+
+    def test_sideways_needs_flag(self, hierarchy):
+        __, __, input_data, output_data, __ = hierarchy
+        with pytest.raises(ClassificationError):
+            check_reclassification(input_data, output_data)
+        check_reclassification(input_data, output_data, allow_generalize=True)
+
+    def test_outside_family_rejected_even_with_flag(self, hierarchy):
+        data = hierarchy[1]
+        other = EntityClass("Other")
+        with pytest.raises(ClassificationError, match="family"):
+            check_reclassification(data, other, allow_generalize=True)

@@ -1,0 +1,246 @@
+"""Tests for persistence: serialisation, record files, the engine."""
+
+import json
+
+import pytest
+
+from repro.core import SeedDatabase, StorageError, figure3_schema
+from repro.core.schema.attached import AttachedProcedure, ProcedureRegistry
+from repro.core.storage import (
+    JournaledDatabase,
+    RecordFile,
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+@pytest.fixture
+def rich_db(fig3_db):
+    """A database exercising most persistent features."""
+    db = fig3_db
+    alarms = db.create_object("Thing", "Alarms")
+    sensor = db.create_object("Action", "Sensor")
+    sensor.add_sub_object("Description", "senses")
+    sensor.add_sub_object("Revised", "1986-02-05")
+    alarms.reclassify("Data")
+    access = db.relate("Access", data=alarms, by=sensor)
+    db.create_version("1.0")
+    with db.transaction():
+        alarms.reclassify("OutputData")
+        access.reclassify("Write")
+    access.set_attribute("NumberOfWrites", 2)
+    template = db.create_object("Action", "Template", pattern=True)
+    db.create_sub_object(template, "Description", "shared descr")
+    worker = db.create_object("Action", "Worker")
+    db.inherit(template, worker)
+    db.create_version("2.0")
+    db.delete(db.get_object("Worker"))
+    return db
+
+
+class TestSchemaSerialisation:
+    def test_roundtrip_structure(self, fig3_schema):
+        data = schema_to_dict(fig3_schema)
+        json.dumps(data)
+        rebuilt = schema_from_dict(data)
+        assert {c.name for c in rebuilt.classes} == {
+            c.name for c in fig3_schema.classes
+        }
+        assert rebuilt.entity_class("OutputData").is_kind_of(
+            rebuilt.entity_class("Thing")
+        )
+        assert rebuilt.association("Write").general is rebuilt.association("Access")
+        assert rebuilt.association("Write").attribute("NumberOfWrites").mandatory
+        assert rebuilt.association("Contained").acyclic
+        assert rebuilt.entity_class("Thing").covering
+        assert str(rebuilt.entity_class("Data.Text").cardinality) == "0..16"
+
+    def test_procedures_by_name(self):
+        registry = ProcedureRegistry()
+        proc = AttachedProcedure("guard", lambda ctx: None)
+        registry.register(proc)
+        from repro.core.schema import SchemaBuilder
+
+        schema = (
+            SchemaBuilder("s")
+            .entity_class("A")
+            .attach("A", proc)
+            .build()
+        )
+        data = schema_to_dict(schema)
+        rebuilt = schema_from_dict(data, registry)
+        assert rebuilt.entity_class("A").attached_procedures[0] is proc
+
+    def test_unknown_procedure_rejected(self):
+        from repro.core.schema import SchemaBuilder
+
+        proc = AttachedProcedure("ephemeral_proc", lambda ctx: None)
+        schema = SchemaBuilder("s").entity_class("A").attach("A", proc).build()
+        data = schema_to_dict(schema)
+        empty_registry = ProcedureRegistry()
+        with pytest.raises(Exception, match="unknown attached procedure"):
+            schema_from_dict(data, empty_registry)
+
+
+class TestDatabaseSerialisation:
+    def test_full_roundtrip(self, rich_db):
+        image = database_to_dict(rich_db)
+        json.dumps(image)  # JSON-compatible
+        rebuilt = database_from_dict(image)
+        assert database_to_dict(rebuilt) == image
+
+    def test_roundtrip_preserves_views(self, rich_db):
+        rebuilt = database_from_dict(database_to_dict(rich_db))
+        view = rebuilt.version_view("1.0")
+        assert view.get("Alarms").class_name == "Data"
+        current_alarms = rebuilt.get_object("Alarms")
+        assert current_alarms.class_name == "OutputData"
+
+    def test_roundtrip_preserves_patterns(self, rich_db):
+        rebuilt = database_from_dict(database_to_dict(rich_db))
+        template = rebuilt.find_object("Template", include_patterns=True)
+        assert template.is_pattern
+        # Worker was deleted; its tombstone must survive the roundtrip
+        assert rebuilt.find_object("Worker") is None
+        assert any(
+            obj.simple_name == "Worker" and obj.deleted
+            for obj in rebuilt.all_objects_raw()
+        )
+
+    def test_roundtrip_preserves_dirty_state(self, rich_db):
+        assert rich_db.has_unsaved_changes()
+        rebuilt = database_from_dict(database_to_dict(rich_db))
+        assert rebuilt.has_unsaved_changes()
+        rebuilt.create_version("3.0")
+        assert not rebuilt.has_unsaved_changes()
+
+    def test_bad_format_rejected(self, rich_db):
+        image = database_to_dict(rich_db)
+        image["format"] = 99
+        with pytest.raises(StorageError, match="format"):
+            database_from_dict(image)
+
+    def test_rebuilt_database_fully_operational(self, rich_db):
+        rebuilt = database_from_dict(database_to_dict(rich_db))
+        new = rebuilt.create_object("Action", "PostLoad")
+        new.add_sub_object("Description", "created after load")
+        assert rebuilt.check_consistency() == []
+
+
+class TestRecordFile:
+    def test_append_and_read(self, tmp_path):
+        record_file = RecordFile(tmp_path / "log.rec")
+        record_file.append({"n": 1})
+        record_file.append({"n": 2})
+        assert [r["n"] for r in record_file.records()] == [1, 2]
+        assert record_file.count() == 2
+
+    def test_append_many(self, tmp_path):
+        record_file = RecordFile(tmp_path / "log.rec")
+        assert record_file.append_many([{"n": i} for i in range(5)]) == 5
+        assert record_file.count() == 5
+
+    def test_torn_tail_ignored(self, tmp_path):
+        path = tmp_path / "log.rec"
+        record_file = RecordFile(path)
+        record_file.append({"n": 1})
+        record_file.append({"n": 2})
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # cut into the final record
+        assert [r["n"] for r in record_file.records()] == [1]
+
+    def test_corrupt_payload_detected(self, tmp_path):
+        path = tmp_path / "log.rec"
+        record_file = RecordFile(path)
+        record_file.append({"n": 1})
+        data = bytearray(path.read_bytes())
+        data[-3] = data[-3] ^ 0xFF  # flip a payload byte
+        path.write_bytes(bytes(data))
+        assert list(record_file.records()) == []
+        with pytest.raises(StorageError):
+            list(record_file.records(strict=True))
+
+    def test_rewrite(self, tmp_path):
+        record_file = RecordFile(tmp_path / "log.rec")
+        record_file.append_many([{"n": i} for i in range(10)])
+        record_file.rewrite([{"n": 99}])
+        assert [r["n"] for r in record_file.records()] == [99]
+
+    def test_missing_file(self, tmp_path):
+        record_file = RecordFile(tmp_path / "absent.rec")
+        assert list(record_file.records()) == []
+        assert not record_file.exists()
+        assert record_file.size_bytes() == 0
+
+
+class TestEngine:
+    def test_save_load(self, rich_db, tmp_path):
+        path = tmp_path / "db.seed"
+        size = save_database(rich_db, path)
+        assert size > 0
+        loaded = load_database(path)
+        assert database_to_dict(loaded) == database_to_dict(rich_db)
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(StorageError, match="no database file"):
+            load_database(tmp_path / "absent.seed")
+
+    def test_journal_lifecycle(self, fig3_schema, tmp_path):
+        path = tmp_path / "journal.seed"
+        journal = JournaledDatabase.open(path, schema=fig3_schema, name="j")
+        db = journal.db
+        obj = db.create_object("Action", "A")
+        obj.add_sub_object("Description", "x")
+        journal.checkpoint()
+        assert journal.checkpoints() == 2
+
+        reopened = JournaledDatabase.open(path)
+        assert reopened.db.find_object("A") is not None
+
+    def test_journal_newest_image_wins(self, fig3_schema, tmp_path):
+        path = tmp_path / "journal.seed"
+        journal = JournaledDatabase.open(path, schema=fig3_schema)
+        journal.db.create_object("Action", "First").add_sub_object(
+            "Description", "x"
+        )
+        journal.checkpoint()
+        journal.db.create_object("Action", "Second").add_sub_object(
+            "Description", "x"
+        )
+        journal.checkpoint()
+        reopened = JournaledDatabase.open(path)
+        assert reopened.db.find_object("Second") is not None
+
+    def test_journal_compact(self, fig3_schema, tmp_path):
+        path = tmp_path / "journal.seed"
+        journal = JournaledDatabase.open(path, schema=fig3_schema)
+        for i in range(4):
+            journal.db.create_object("Action", f"M{i}")
+            journal.checkpoint()
+        before = RecordFile(path).size_bytes()
+        journal.compact()
+        after = RecordFile(path).size_bytes()
+        assert after < before
+        assert journal.checkpoints() == 1
+        reopened = JournaledDatabase.open(path)
+        assert reopened.db.find_object("M3") is not None
+
+    def test_journal_requires_schema_when_new(self, tmp_path):
+        with pytest.raises(StorageError, match="no schema"):
+            JournaledDatabase.open(tmp_path / "new.seed")
+
+    def test_crash_during_checkpoint_falls_back(self, fig3_schema, tmp_path):
+        path = tmp_path / "journal.seed"
+        journal = JournaledDatabase.open(path, schema=fig3_schema)
+        journal.db.create_object("Action", "Safe")
+        journal.checkpoint()
+        # simulate a torn final image
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 40])
+        reopened = JournaledDatabase.open(path)
+        # fell back to the initial (empty) image
+        assert reopened.db.find_object("Safe") is None

@@ -1,0 +1,118 @@
+"""Tests for transactions: deferred checking, atomicity, rollback."""
+
+import pytest
+
+from repro.core import ConsistencyError, SeedDatabase, TransactionError
+
+
+class TestDeferredChecking:
+    def test_mutually_dependent_reclassification(self, fig3_db):
+        # the paper's refinement needs both moves or neither:
+        # Write.to requires OutputData
+        alarms = fig3_db.create_object("Data", "Alarms")
+        sensor = fig3_db.create_object("Action", "Sensor")
+        sensor.add_sub_object("Description", "x")
+        access = fig3_db.relate("Access", data=alarms, by=sensor)
+        with pytest.raises(ConsistencyError):
+            access.reclassify("Write")  # alone: Alarms is not OutputData
+        with fig3_db.transaction():
+            alarms.reclassify("OutputData")
+            access.reclassify("Write")
+        assert alarms.class_name == "OutputData"
+        assert access.association_name == "Write"
+
+    def test_transaction_commit_checks_everything(self, fig2_db):
+        a = fig2_db.create_object("Action", "A")
+        b = fig2_db.create_object("Action", "B")
+        a.add_sub_object("Description", "x")
+        b.add_sub_object("Description", "x")
+        fig2_db.relate("Contained", contained=a, container=b)
+        with pytest.raises(ConsistencyError):
+            with fig2_db.transaction():
+                fig2_db.relate("Contained", contained=b, container=a)
+        # the whole transaction rolled back
+        assert len(fig2_db.relationships("Contained")) == 1
+
+
+class TestAtomicity:
+    def test_failed_update_leaves_no_trace(self, fig2_db):
+        before = fig2_db.statistics()
+        with pytest.raises(ConsistencyError):
+            fig2_db.relate  # noqa: B018 - just to have a line
+            alarms = fig2_db.create_object("Data", "X")
+            fig2_db.relate("Read", {"from": alarms, "by": alarms})
+        # the object creation succeeded, the bad relate rolled back alone
+        assert fig2_db.find_object("X") is not None
+        assert fig2_db.relationships() == []
+        assert fig2_db.statistics()["relationships"] == 0
+        assert before["objects"] + 1 == fig2_db.statistics()["objects"]
+
+    def test_exception_inside_transaction_rolls_back_all(self, fig2_db):
+        with pytest.raises(RuntimeError):
+            with fig2_db.transaction():
+                fig2_db.create_object("Data", "A")
+                fig2_db.create_object("Data", "B")
+                raise RuntimeError("user code failed")
+        assert fig2_db.find_object("A") is None
+        assert fig2_db.find_object("B") is None
+        assert fig2_db.statistics()["objects"] == 0
+
+    def test_structural_error_in_transaction_undoes_that_op_only(self, fig2_db):
+        with fig2_db.transaction():
+            fig2_db.create_object("Data", "A")
+            with pytest.raises(ConsistencyError):
+                fig2_db.create_object("Data", "A")  # duplicate name
+            fig2_db.create_object("Data", "B")
+        assert fig2_db.find_object("A") is not None
+        assert fig2_db.find_object("B") is not None
+        assert fig2_db.statistics()["objects"] == 2
+
+    def test_rollback_restores_values(self, fig1_db):
+        selector = fig1_db.get_object("Alarms.Text.Selector")
+        with pytest.raises(RuntimeError):
+            with fig1_db.transaction():
+                selector.set_value("Changed")
+                raise RuntimeError()
+        assert selector.value == "Representation"
+
+    def test_rollback_restores_deletions(self, fig1_db):
+        alarms = fig1_db.get_object("Alarms")
+        with pytest.raises(RuntimeError):
+            with fig1_db.transaction():
+                fig1_db.delete(alarms)
+                raise RuntimeError()
+        assert fig1_db.find_object("Alarms") is not None
+        assert fig1_db.get_object("Alarms.Text.Selector").value == "Representation"
+        assert len(fig1_db.relationships("Read")) == 1
+
+    def test_rollback_restores_dirty_tracking(self, fig2_db):
+        fig2_db.create_object("Data", "Kept")
+        fig2_db.create_version()
+        assert not fig2_db.has_unsaved_changes()
+        with pytest.raises(RuntimeError):
+            with fig2_db.transaction():
+                fig2_db.create_object("Data", "Gone")
+                raise RuntimeError()
+        assert not fig2_db.has_unsaved_changes()
+
+
+class TestTransactionMisuse:
+    def test_nested_transactions_rejected(self, fig2_db):
+        with pytest.raises(TransactionError, match="nested"):
+            with fig2_db.transaction():
+                with fig2_db.transaction():
+                    pass
+
+    def test_version_ops_inside_transaction_rejected(self, fig2_db):
+        with pytest.raises(TransactionError):
+            with fig2_db.transaction():
+                fig2_db.create_version()
+        fig2_db.create_version()
+        with pytest.raises(TransactionError):
+            with fig2_db.transaction():
+                fig2_db.select_version("1.0")
+
+    def test_migrate_inside_transaction_rejected(self, fig2_db, fig2_schema):
+        with pytest.raises(TransactionError):
+            with fig2_db.transaction():
+                fig2_db.migrate_schema(fig2_schema.copy())

@@ -1,0 +1,149 @@
+"""Integration tests for the paper's vague/incomplete-data story.
+
+These tests follow the section "Managing vague and incomplete
+information" line by line: the two motivating rejections, the
+generalization-based escape, and the staged refinement of 'Alarms'.
+"""
+
+import pytest
+
+from repro.core import ConsistencyError, SeedDatabase
+from repro.core.errors import ClassificationError
+
+
+class TestMotivatingExamples:
+    def test_example_1_no_category_for_vague_dataflow_in_fig2(self, fig2_db):
+        """Figure 2 has no schema category for 'there is some dataflow'."""
+        assert not fig2_db.schema.has_association("Access")
+
+    def test_example_2_incomplete_data_is_admitted(self, fig2_db):
+        """'Alarms' enters without Read/Write — consistency holds,
+        completeness reports the gaps."""
+        fig2_db.create_object("Data", "Alarms")
+        assert fig2_db.check_consistency() == []
+        report = fig2_db.check_completeness()
+        assert {g.element for g in report.by_kind("relationship-minimum")} == {
+            "Read",
+            "Write",
+        }
+
+    def test_example_1_solved_by_generalized_association(self, fig3_db):
+        """Figure 3's Access association stores the vague dataflow."""
+        alarms = fig3_db.create_object("Data", "Alarms")
+        handler = fig3_db.create_object("Action", "AlarmHandler")
+        handler.add_sub_object("Description", "handles alarms")
+        rel = fig3_db.relate("Access", data=alarms, by=handler)
+        assert rel.association_name == "Access"
+        assert fig3_db.check_consistency() == []
+
+
+class TestStagedRefinement:
+    """The paper's Alarms narrative, step by step."""
+
+    def test_full_refinement_story(self, fig3_db):
+        # "There is a thing with name 'Alarms'"
+        alarms = fig3_db.create_object("Thing", "Alarms")
+        assert alarms.class_name == "Thing"
+        covering_gaps = fig3_db.check_completeness().by_kind("covering")
+        assert [g.item for g in covering_gaps] == ["Alarms"]
+
+        # "it is a data object which is accessed by action 'Sensor'"
+        sensor = fig3_db.create_object("Action", "Sensor")
+        sensor.add_sub_object("Description", "reads hardware sensors")
+        alarms.reclassify("Data")
+        access = fig3_db.relate("Access", data=alarms, by=sensor)
+        assert alarms.class_name == "Data"
+
+        # "we might learn that 'Alarms' is an output" -> specialize the
+        # Access relationship to Write (and the object to OutputData)
+        with fig3_db.transaction():
+            alarms.reclassify("OutputData")
+            access.reclassify("Write")
+        assert access.association_name == "Write"
+        assert access.bound("to") is alarms  # role renamed positionally
+
+        # "'Alarms' is an output written twice by 'Sensor', and writing
+        # is repeated in case of error"
+        access.set_attribute("NumberOfWrites", 2)
+        access.set_attribute("ErrorHandling", "repeat")
+
+        report = fig3_db.check_completeness()
+        assert not report.by_kind("covering")
+        assert not report.by_kind("attribute-minimum")
+        assert fig3_db.check_consistency() == []
+
+    def test_relationship_stays_when_item_refined(self, fig3_db):
+        alarms = fig3_db.create_object("Thing", "Alarms")
+        sensor = fig3_db.create_object("Action", "Sensor")
+        sensor.add_sub_object("Description", "x")
+        alarms.reclassify("Data")
+        rel = fig3_db.relate("Access", data=alarms, by=sensor)
+        alarms.reclassify("OutputData")
+        # the Access relationship survives the refinement untouched
+        assert rel.bound("data") is alarms
+        assert fig3_db.check_consistency() == []
+
+    def test_refinement_must_stay_consistent(self, fig3_db):
+        # reclassifying an object so a relationship role no longer
+        # accepts it is rejected and rolled back
+        alarms = fig3_db.create_object("InputData", "Alarms")
+        sensor = fig3_db.create_object("Action", "Sensor")
+        sensor.add_sub_object("Description", "x")
+        fig3_db.relate("Read", {"from": alarms, "by": sensor})
+        with pytest.raises(ConsistencyError):
+            alarms.reclassify("OutputData", allow_generalize=True)
+        assert alarms.class_name == "InputData"
+
+    def test_upward_reclassification_guarded(self, fig3_db):
+        alarms = fig3_db.create_object("Data", "Alarms")
+        with pytest.raises(ClassificationError):
+            alarms.reclassify("Thing")
+        alarms.reclassify("Thing", allow_generalize=True)
+        assert alarms.class_name == "Thing"
+
+    def test_downward_reclassification_with_sub_objects(self, fig3_db):
+        alarms = fig3_db.create_object("Data", "Alarms")
+        text = alarms.add_sub_object("Text")
+        text.add_sub_object("Body").add_sub_object("Contents", "about alarms")
+        alarms.reclassify("OutputData")
+        # Text sub-objects remain reachable: the dependent class lives on
+        # the general class Data, found along the kind chain
+        assert fig3_db.get_object("Alarms.Text.Body.Contents").value == "about alarms"
+        assert fig3_db.check_consistency() == []
+
+    def test_upward_reclassification_breaking_sub_objects_rejected(self, fig3_db):
+        alarms = fig3_db.create_object("Data", "Alarms")
+        alarms.add_sub_object("Text")
+        with pytest.raises(ConsistencyError):
+            # Thing has no Text dependent; the sub-object would dangle
+            alarms.reclassify("Thing", allow_generalize=True)
+        assert alarms.class_name == "Data"
+
+    def test_attribute_dropped_on_generalizing_reclassification(self, fig3_db):
+        out = fig3_db.create_object("OutputData", "Out")
+        sensor = fig3_db.create_object("Action", "Sensor")
+        sensor.add_sub_object("Description", "x")
+        write = fig3_db.relate(
+            "Write", {"to": out, "by": sensor}, attributes={"NumberOfWrites": 2}
+        )
+        write.reclassify("Access", allow_generalize=True)
+        assert write.association_name == "Access"
+        assert not write.has_attribute("NumberOfWrites")
+        assert write.bound("data") is out
+
+
+class TestUndefinedMatchesNothing:
+    def test_search_skips_undefined_values(self, fig3_db):
+        from repro.core.query import Retrieval
+        from repro.core.query.predicates import value_is
+
+        alarms = fig3_db.create_object("Data", "Alarms")
+        text = alarms.add_sub_object("Text")
+        body = text.add_sub_object("Body")
+        body.add_sub_object("Keywords")  # undefined
+        body.add_sub_object("Keywords", "Display")
+        retrieval = Retrieval(fig3_db)
+        hits = retrieval.instances("Data.Text.Body.Keywords", value_is("Display"))
+        assert len(hits) == 1
+        none_hits = retrieval.instances("Data.Text.Body.Keywords", value_is(None))
+        assert none_hits == []  # undefined matches nothing, even None
