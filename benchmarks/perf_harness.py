@@ -1,0 +1,262 @@
+"""Repeatable performance harness: create / relate / query / commit.
+
+Times the hot paths the PR-1 index layer targets, at several database
+sizes, against the seed's brute-force implementations (which are kept
+in the tree as reference code: :func:`repro.core.indexes.brute_objects`,
+``count_participations_scan``, ``validate_acyclic(use_index=False)``).
+Results are written to ``BENCH_PR1.json`` at the repository root so
+future PRs have a perf trajectory to compare against.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py            # full: 1k/10k/50k
+    PYTHONPATH=src python benchmarks/perf_harness.py --quick    # CI smoke: 1k
+
+This is a standalone script, deliberately not a pytest module: the
+timings are workload benchmarks, not assertions (the figure/claim
+regenerations under ``benchmarks/test_*.py`` stay pytest-based).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.database import SeedDatabase  # noqa: E402
+from repro.core.indexes import brute_objects  # noqa: E402
+from repro.core.query.retrieval import Retrieval  # noqa: E402
+from repro.core.schema.builder import SchemaBuilder  # noqa: E402
+
+FULL_SIZES = (1_000, 10_000, 50_000)
+QUICK_SIZES = (1_000,)
+
+
+def harness_schema():
+    """A small mixed schema: class family + an ACYCLIC association."""
+    builder = SchemaBuilder("perf")
+    builder.entity_class("Artifact")
+    builder.entity_class("Doc", specializes="Artifact")
+    builder.entity_class("Code", specializes="Artifact")
+    builder.entity_class("Note", specializes="Artifact")
+    builder.entity_class("Step")
+    builder.association(
+        "Contained",
+        ("contained", "Step", "0..*"),
+        ("container", "Step", "0..*"),
+        acyclic=True,
+    )
+    return builder.build()
+
+
+def median_time(fn, repeats: int) -> float:
+    """Median wall-clock seconds of *repeats* calls of *fn*."""
+    samples = []
+    for __ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def bench_size(size: int, repeats: int) -> dict:
+    """All measurements for one database size."""
+    db = SeedDatabase(harness_schema(), f"perf-{size}")
+    retrieval = Retrieval(db)
+    result: dict = {"objects": size, "acyclic_edges": size}
+
+    # -- create: `size` objects, every 10th a Doc -----------------------
+    classes = ["Doc"] + ["Code"] * 5 + ["Note"] * 4
+    started = time.perf_counter()
+    for i in range(size):
+        db.create_object(classes[i % 10], f"Obj{i}")
+    elapsed = time.perf_counter() - started
+    result["create_objects_s"] = elapsed
+    result["create_objects_per_s"] = round(size / elapsed)
+
+    # -- relate: a Contained forest of `size` edges ---------------------
+    # containers form chains of 10; each leaf hangs off one container,
+    # so incremental reachability walks at most ~10 nodes
+    container_count = max(size // 10, 1)
+    containers = [
+        db.create_object("Step", f"Container{i}") for i in range(container_count)
+    ]
+    for i in range(1, container_count):
+        if i % 10:
+            db.relate(
+                "Contained",
+                contained=containers[i],
+                container=containers[i - 1],
+            )
+    chain_edges = sum(1 for i in range(1, container_count) if i % 10)
+    leaves = [db.create_object("Step", f"Leaf{i}") for i in range(size - chain_edges)]
+    started = time.perf_counter()
+    for i, leaf in enumerate(leaves):
+        db.relate(
+            "Contained",
+            contained=leaf,
+            container=containers[i % container_count],
+        )
+    elapsed = time.perf_counter() - started
+    result["create_relationships_s"] = elapsed
+    result["create_relationships_per_s"] = round(len(leaves) / elapsed)
+
+    # -- query: class extent, indexed vs. seed full scan ----------------
+    indexed = median_time(lambda: db.objects("Doc"), repeats)
+    brute = median_time(lambda: brute_objects(db, "Doc"), repeats)
+    assert [o.oid for o in db.objects("Doc")] == [
+        o.oid for o in brute_objects(db, "Doc")
+    ]
+    result["query_extent"] = {
+        "extent_size": len(db.objects("Doc")),
+        "indexed_s": indexed,
+        "bruteforce_s": brute,
+        "speedup": round(brute / indexed, 1) if indexed else None,
+    }
+
+    # -- query: name prefix, bisect vs. seed full scan ------------------
+    prefix = "Obj1"
+    indexed = median_time(lambda: retrieval.by_name_prefix(prefix), repeats)
+    brute = median_time(
+        lambda: [
+            obj
+            for obj in brute_objects(db, independent_only=True)
+            if obj.simple_name.startswith(prefix)
+        ],
+        repeats,
+    )
+    result["query_name_prefix"] = {
+        "matches": len(retrieval.by_name_prefix(prefix)),
+        "indexed_s": indexed,
+        "bruteforce_s": brute,
+        "speedup": round(brute / indexed, 1) if indexed else None,
+    }
+
+    # -- query: participation count, counter vs. enumeration ------------
+    association = db.schema.association("Contained")
+    busy = containers[0]
+    indexed = median_time(
+        lambda: db.patterns.count_participations(busy, association, 1), repeats
+    )
+    brute = median_time(
+        lambda: db.patterns.count_participations_scan(busy, association, 1),
+        repeats,
+    )
+    assert db.patterns.count_participations(
+        busy, association, 1
+    ) == db.patterns.count_participations_scan(busy, association, 1)
+    result["count_participations"] = {
+        "count": db.patterns.count_participations(busy, association, 1),
+        "indexed_s": indexed,
+        "bruteforce_s": brute,
+        "speedup": round(brute / indexed, 1) if indexed else None,
+    }
+
+    # -- commit: one relationship into the ACYCLIC association ----------
+    # the seed re-derived the whole family graph and DFS-walked it on
+    # every such commit; that full check is timed as the baseline
+    commit_samples = []
+    for i in range(repeats):
+        extra = db.create_object("Step", f"Extra{i}")
+        started = time.perf_counter()
+        db.relate(
+            "Contained",
+            contained=extra,
+            container=containers[i % container_count],
+        )
+        commit_samples.append(time.perf_counter() - started)
+    commit = statistics.median(commit_samples)
+    full_check = median_time(
+        lambda: db.consistency.validate_acyclic(association, use_index=False),
+        repeats,
+    )
+    indexed_full_check = median_time(
+        lambda: db.consistency.validate_acyclic(association), repeats
+    )
+    result["commit_acyclic"] = {
+        "graph_edges": size + repeats,
+        "indexed_commit_s": commit,
+        "seed_full_check_s": full_check,
+        "indexed_full_check_s": indexed_full_check,
+        "speedup": round(full_check / commit, 1) if commit else None,
+    }
+
+    # -- commit: version snapshot over the dirty set --------------------
+    started = time.perf_counter()
+    db.create_version()
+    result["create_version_s"] = time.perf_counter() - started
+
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smallest size, fewer repeats",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        help="override the database sizes to benchmark",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR1.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = tuple(args.sizes) if args.sizes else (
+        QUICK_SIZES if args.quick else FULL_SIZES
+    )
+    repeats = 3 if args.quick else 7
+
+    report = {
+        "benchmark": "PR1: indexed extents + incremental consistency",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "repeats": repeats,
+        "results": {},
+    }
+    for size in sizes:
+        print(f"benchmarking size {size} ...", flush=True)
+        report["results"][str(size)] = bench_size(size, repeats)
+
+    acceptance = {}
+    at_10k = report["results"].get("10000")
+    if at_10k:
+        acceptance["extent_speedup_at_10k"] = at_10k["query_extent"]["speedup"]
+        acceptance["extent_speedup_ok"] = at_10k["query_extent"]["speedup"] >= 5
+        acceptance["acyclic_commit_speedup_at_10k"] = at_10k["commit_acyclic"][
+            "speedup"
+        ]
+        acceptance["acyclic_commit_speedup_ok"] = (
+            at_10k["commit_acyclic"]["speedup"] >= 10
+        )
+    report["acceptance"] = acceptance
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for size, data in report["results"].items():
+        print(
+            f"  {size}: extent x{data['query_extent']['speedup']}, "
+            f"prefix x{data['query_name_prefix']['speedup']}, "
+            f"participation x{data['count_participations']['speedup']}, "
+            f"acyclic commit x{data['commit_acyclic']['speedup']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,7 @@ from repro.core.errors import (
     VersionError,
 )
 from repro.core.identifiers import DottedName, check_simple_name
+from repro.core.indexes import IndexLayer
 from repro.core.objects import SeedObject
 from repro.core.patterns import PatternManager
 from repro.core.relationships import SeedRelationship
@@ -66,7 +67,7 @@ Item = Union[SeedObject, SeedRelationship]
 class _Transaction:
     """Bookkeeping for one (explicit or implicit) update transaction."""
 
-    __slots__ = ("undo", "touched", "dirty_added")
+    __slots__ = ("undo", "touched", "dirty_added", "force_acyclic")
 
     def __init__(self) -> None:
         #: undo closures in application order
@@ -75,6 +76,10 @@ class _Transaction:
         self.touched: dict[ItemKey, tuple[Item, set[str]]] = {}
         #: dirty keys newly added by this transaction (for rollback)
         self.dirty_added: set[ItemKey] = set()
+        #: family root name -> association whose ACYCLIC condition needs
+        #: a full re-check (edges appeared outside plain relationship
+        #: creation: pattern inheritance or un-marking a pattern)
+        self.force_acyclic: dict[str, Any] = {}
 
     def touch(self, item: Item, operation: str) -> None:
         key = _key_of(item)
@@ -105,6 +110,7 @@ class SeedDatabase:
         self._next_id = 1
         self._dirty: set[ItemKey] = set()
         self._txn: Optional[_Transaction] = None
+        self.indexes = IndexLayer(self)
         self.consistency = ConsistencyEngine(self)
         self.completeness = CompletenessEngine(self)
         self.patterns = PatternManager(self)
@@ -201,18 +207,16 @@ class SeedDatabase:
     def _validate(self, txn: _Transaction) -> list[Violation]:
         violations: list[Violation] = []
         checked_objects: set[int] = set()
-        acyclic_roots: dict[str, Any] = {}
+        # ACYCLIC families needing a full graph check (virtual edges may
+        # have appeared: pattern inheritance, un-marking a pattern, or a
+        # pattern relationship was touched)
+        acyclic_roots: dict[str, Any] = dict(txn.force_acyclic)
+        # newly created plain edges: checked incrementally by
+        # reachability from the edge's target instead of a full DFS
+        new_edges: dict[str, tuple[Any, list[tuple[int, int]]]] = {}
         for key, (item, operations) in txn.touched.items():
             if isinstance(item, SeedObject):
                 violations.extend(self._validate_object_context(item, checked_objects))
-                # pattern inheritance can introduce virtual edges, so
-                # touched objects pull their effective relationships'
-                # ACYCLIC families into the check set too
-                if not item.deleted:
-                    for rel in self.patterns.effective_relationships(item):
-                        association = rel.association  # type: ignore[union-attr]
-                        if association.effective_acyclic():
-                            acyclic_roots[association.family_root().name] = association
             else:
                 violations.extend(self.consistency.validate_relationship(item))
                 for endpoint in item.bound_objects():
@@ -220,14 +224,44 @@ class SeedDatabase:
                         self._validate_object_context(endpoint, checked_objects)
                     )
                 association = item.association
-                if association.effective_acyclic():
-                    acyclic_roots[association.family_root().name] = association
+                if (
+                    not item.deleted
+                    and "create" in operations
+                    and association.effective_acyclic()
+                ):
+                    # deletions only remove edges; attribute updates and
+                    # re-classification keep the edge graph unchanged
+                    # (endpoints are positional and families are closed
+                    # under re-classification), so only creations can
+                    # introduce a cycle through plain relationships
+                    root = association.family_root()
+                    if item.in_pattern_context or not getattr(
+                        root, "acyclic", False
+                    ):
+                        # pattern expansion, or ACYCLIC declared below
+                        # the family root: edges of unconstrained family
+                        # members may predate this transaction unchecked,
+                        # so the incremental premise (graph acyclic
+                        # before the transaction) does not hold — run
+                        # the full graph check
+                        acyclic_roots[root.name] = association
+                    else:
+                        entry = new_edges.setdefault(root.name, (association, []))
+                        entry[1].append(
+                            (item.bound_at(0).oid, item.bound_at(1).oid)
+                        )
             for operation in operations:
                 violations.extend(
                     self.consistency.run_attached_procedures(item, operation)
                 )
         for association in acyclic_roots.values():
             violations.extend(self.consistency.validate_acyclic(association))
+        for root_name, (association, edges) in new_edges.items():
+            if root_name in acyclic_roots:
+                continue  # the full check above already covered the family
+            violations.extend(
+                self.consistency.validate_new_edges(association, edges)
+            )
         return violations
 
     def _validate_object_context(
@@ -286,6 +320,8 @@ class SeedDatabase:
             obj.is_pattern = pattern
             self._objects[obj.oid] = obj
             self._name_index[name] = obj.oid
+            self.indexes.add_object(obj)
+            self.indexes.add_name(name)
             txn.undo.append(lambda: self._unregister_object(obj))
             txn.touch(obj, "create")
             self._mark_dirty(txn, obj)
@@ -293,8 +329,10 @@ class SeedDatabase:
 
     def _unregister_object(self, obj: SeedObject) -> None:
         self._objects.pop(obj.oid, None)
+        self.indexes.remove_object(obj)
         if obj.parent is None and self._name_index.get(obj.simple_name) == obj.oid:
             del self._name_index[obj.simple_name]
+            self.indexes.remove_name(obj.simple_name)
         if obj.parent is not None:
             siblings = obj.parent._children_of_role(obj.simple_name)
             if obj in siblings:
@@ -348,6 +386,7 @@ class SeedDatabase:
                 obj.value = dependent_class.accepts_value(value)
             self._objects[obj.oid] = obj
             parent._attach_child(obj)
+            self.indexes.add_object(obj)
             txn.undo.append(lambda: self._unregister_object(obj))
             txn.touch(obj, "create")
             txn.touch(parent, "update")
@@ -406,6 +445,7 @@ class SeedDatabase:
             self._relationships[rel.rid] = rel
             for obj in rel.bound_objects():
                 self._incidence.setdefault(obj.oid, []).append(rel.rid)
+            self.indexes.index_relationship(rel)
             txn.undo.append(lambda: self._unregister_relationship(rel))
             txn.touch(rel, "create")
             self._mark_dirty(txn, rel)
@@ -415,6 +455,7 @@ class SeedDatabase:
             return rel
 
     def _unregister_relationship(self, rel: SeedRelationship) -> None:
+        self.indexes.unindex_relationship(rel)
         self._relationships.pop(rel.rid, None)
         for obj in rel.bound_objects():
             incident = self._incidence.get(obj.oid)
@@ -484,11 +525,15 @@ class SeedDatabase:
             old_name = obj.simple_name
             del self._name_index[old_name]
             self._name_index[new_name] = obj.oid
+            self.indexes.remove_name(old_name)
+            self.indexes.add_name(new_name)
             obj._rename(new_name)
 
             def undo() -> None:
                 del self._name_index[new_name]
                 self._name_index[old_name] = obj.oid
+                self.indexes.remove_name(new_name)
+                self.indexes.add_name(old_name)
                 obj._rename(old_name)
 
             txn.undo.append(undo)
@@ -540,11 +585,16 @@ class SeedDatabase:
             self.patterns.unregister_inheritance(pattern_oid, obj.oid)
         obj.inherited_patterns = []
         obj.deleted = True
+        self.indexes.remove_object(obj)
+        removed_name = False
         if obj.parent is None and self._name_index.get(obj.simple_name) == obj.oid:
             del self._name_index[obj.simple_name]
+            self.indexes.remove_name(obj.simple_name)
+            removed_name = True
 
         def undo() -> None:
             obj.deleted = False
+            self.indexes.add_object(obj)
             obj.inherited_patterns = own_links
             for pattern_oid in own_links:
                 self.patterns.register_inheritance(pattern_oid, obj.oid)
@@ -553,6 +603,8 @@ class SeedDatabase:
                 self.patterns.register_inheritance(pattern_oid, inheritor.oid)
             if obj.parent is None:
                 self._name_index[obj.simple_name] = obj.oid
+                if removed_name:
+                    self.indexes.add_name(obj.simple_name)
 
         txn.undo.append(undo)
         txn.touch(obj, "delete")
@@ -560,7 +612,13 @@ class SeedDatabase:
 
     def _tombstone_relationship(self, txn: _Transaction, rel: SeedRelationship) -> None:
         rel.deleted = True
-        txn.undo.append(lambda: setattr(rel, "deleted", False))
+        self.indexes.unindex_relationship(rel)
+
+        def undo() -> None:
+            rel.deleted = False
+            self.indexes.index_relationship(rel)
+
+        txn.undo.append(undo)
         txn.touch(rel, "delete")
         self._mark_dirty(txn, rel)
         for endpoint in rel.bound_objects():
@@ -586,7 +644,13 @@ class SeedDatabase:
                 )
                 old_class = item.entity_class
                 item.entity_class = new_class
-                txn.undo.append(lambda: setattr(item, "entity_class", old_class))
+                self.indexes.move_object(item, old_class, new_class)
+
+                def undo_object() -> None:
+                    item.entity_class = old_class
+                    self.indexes.move_object(item, new_class, old_class)
+
+                txn.undo.append(undo_object)
                 txn.touch(item, "reclassify")
                 self._mark_dirty(txn, item)
                 for rid in self._incidence.get(item.oid, ()):
@@ -608,6 +672,7 @@ class SeedDatabase:
                     new_association.role_at(position).name: item.bound_at(position)
                     for position in (0, 1)
                 }
+                self.indexes.unindex_relationship(item)
                 item.association = new_association
                 item._bindings = new_bindings
                 # attributes not declared on the new chain are dropped —
@@ -617,11 +682,14 @@ class SeedDatabase:
                     for attr_name, attr_value in old_attributes.items()
                     if new_association.has_attribute(attr_name)
                 }
+                self.indexes.index_relationship(item)
 
                 def undo() -> None:
+                    self.indexes.unindex_relationship(item)
                     item.association = old_association
                     item._bindings = old_bindings
                     item._attributes = old_attributes
+                    self.indexes.index_relationship(item)
 
                 txn.undo.append(undo)
                 txn.touch(item, "reclassify")
@@ -647,6 +715,7 @@ class SeedDatabase:
                 # patterns are invisible to retrieval by name
                 pass
             txn.undo.append(lambda: setattr(item, "is_pattern", False))
+            self._refresh_pattern_status(txn, item)
             txn.touch(item, "update")
             self._mark_dirty(txn, item)
 
@@ -662,8 +731,51 @@ class SeedDatabase:
                 )
             item.is_pattern = False
             txn.undo.append(lambda: setattr(item, "is_pattern", True))
+            self._refresh_pattern_status(txn, item, recheck_acyclic=True)
             txn.touch(item, "update")
             self._mark_dirty(txn, item)
+
+    def _refresh_pattern_status(
+        self, txn: _Transaction, item: Item, *, recheck_acyclic: bool = False
+    ) -> None:
+        """Re-index relationships whose pattern context the flag flip changed.
+
+        Marking an object affects every relationship bound to it or to
+        any of its descendants. Un-marking (``recheck_acyclic=True``)
+        can add effective edges to a family graph even for
+        relationships that *stay* in pattern context — a formerly
+        suppressed endpoint now substitutes for itself while the other
+        endpoint still expands to its inheritors — so every incident
+        ACYCLIC family is queued for a full re-check at commit, not
+        just the ones whose indexed status flipped. Marking only ever
+        removes or preserves effective edges and needs no re-check.
+        """
+        if isinstance(item, SeedObject):
+            rids = sorted(
+                {
+                    rid
+                    for node in item.walk()
+                    for rid in self._incidence.get(node.oid, ())
+                }
+            )
+        else:
+            rids = [item.rid]
+        for rid in rids:
+            rel = self._relationships[rid]
+            if rel.deleted:
+                continue
+            if recheck_acyclic and rel.association.effective_acyclic():
+                root = rel.association.family_root()
+                txn.force_acyclic[root.name] = rel.association
+            change = self.indexes.refresh_relationship(rel)
+            if change is None:
+                continue
+            old_status = change[0]
+
+            def undo(rel: SeedRelationship = rel, status: str = old_status) -> None:
+                self.indexes.set_relationship_status(rel, status)
+
+            txn.undo.append(undo)
 
     def inherit(self, pattern: SeedObject, inheritor: SeedObject) -> None:
         """Establish the inherits-relationship pattern → inheritor.
@@ -678,6 +790,13 @@ class SeedDatabase:
             self.patterns.check_inheritance_allowed(pattern, inheritor)
             inheritor.inherited_patterns.append(pattern.oid)
             self.patterns.register_inheritance(pattern.oid, inheritor.oid)
+            # the new inheritor materialises virtual edges out of every
+            # relationship bound to the pattern: ACYCLIC families among
+            # them need a full graph check at commit
+            for rel in self.relationships_of_object(pattern, include_patterns=True):
+                if rel.association.effective_acyclic():
+                    root = rel.association.family_root()
+                    txn.force_acyclic[root.name] = rel.association
 
             def undo() -> None:
                 inheritor.inherited_patterns.remove(pattern.oid)
@@ -732,6 +851,22 @@ class SeedDatabase:
             obj = child
         return obj
 
+    def objects_by_name_prefix(
+        self, prefix: str, *, include_patterns: bool = False
+    ) -> list[SeedObject]:
+        """Live independent objects whose name starts with *prefix*.
+
+        Bisects the sorted name index: O(log n + |matches|), results in
+        name order.
+        """
+        results = []
+        for name in self.indexes.names_with_prefix(prefix):
+            obj = self._objects[self._name_index[name]]
+            if obj.is_pattern and not include_patterns:
+                continue
+            results.append(obj)
+        return results
+
     def get_object(
         self, name: str | DottedName, *, include_patterns: bool = False
     ) -> SeedObject:
@@ -740,6 +875,41 @@ class SeedDatabase:
         if obj is None:
             raise SeedError(f"no object named {name!s}")
         return obj
+
+    def iter_objects(
+        self,
+        class_name: Optional[str] = None,
+        *,
+        include_specials: bool = True,
+        include_patterns: bool = False,
+        independent_only: bool = False,
+    ) -> Iterator[SeedObject]:
+        """Lazily yield live objects, optionally filtered by class.
+
+        With a class filter the extent index is consulted, so the cost
+        is O(|extent|) instead of O(|database|); results come in oid
+        (creation) order. Without a filter every live object is scanned.
+        """
+        if class_name is None:
+            for obj in self._objects.values():
+                if obj.deleted:
+                    continue
+                if obj.in_pattern_context and not include_patterns:
+                    continue
+                if independent_only and obj.parent is not None:
+                    continue
+                yield obj
+            return
+        wanted = self.schema.entity_class(class_name)
+        for oid in self.indexes.extent_oids(wanted, include_specials):
+            obj = self._objects[oid]
+            if obj.deleted:  # pragma: no cover - extent holds live oids
+                continue
+            if obj.in_pattern_context and not include_patterns:
+                continue
+            if independent_only and obj.parent is not None:
+                continue
+            yield obj
 
     def objects(
         self,
@@ -755,23 +925,50 @@ class SeedDatabase:
         specializations as instances of the given class, matching the
         'is-a' semantics of generalization.
         """
-        wanted = self.schema.entity_class(class_name) if class_name else None
-        results = []
-        for obj in self._objects.values():
-            if obj.deleted:
-                continue
-            if obj.in_pattern_context and not include_patterns:
-                continue
-            if independent_only and obj.parent is not None:
-                continue
-            if wanted is not None:
-                if include_specials:
-                    if not obj.entity_class.is_kind_of(wanted):
-                        continue
-                elif obj.entity_class is not wanted:
+        return list(
+            self.iter_objects(
+                class_name,
+                include_specials=include_specials,
+                include_patterns=include_patterns,
+                independent_only=independent_only,
+            )
+        )
+
+    def iter_relationships(
+        self,
+        association: Optional[str] = None,
+        *,
+        include_specials: bool = True,
+        include_patterns: bool = False,
+    ) -> Iterator[SeedRelationship]:
+        """Lazily yield live relationships, optionally filtered.
+
+        With an association filter only the association family's indexed
+        relationships are visited (rid order) instead of every
+        relationship in the database.
+        """
+        if association is None:
+            for rel in self._relationships.values():
+                if rel.deleted:
                     continue
-            results.append(obj)
-        return results
+                if rel.in_pattern_context and not include_patterns:
+                    continue
+                yield rel
+            return
+        wanted = self.schema.association(association)
+        root_name = wanted.family_root().name
+        for rid in self.indexes.family_relationship_ids(root_name):
+            rel = self._relationships[rid]
+            if rel.deleted:  # pragma: no cover - index holds live rids
+                continue
+            if rel.in_pattern_context and not include_patterns:
+                continue
+            if include_specials:
+                if not rel.association.is_kind_of(wanted):
+                    continue
+            elif rel.association is not wanted:
+                continue
+            yield rel
 
     def relationships(
         self,
@@ -781,21 +978,13 @@ class SeedDatabase:
         include_patterns: bool = False,
     ) -> list[SeedRelationship]:
         """Live relationships, optionally filtered by association."""
-        wanted = self.schema.association(association) if association else None
-        results = []
-        for rel in self._relationships.values():
-            if rel.deleted:
-                continue
-            if rel.in_pattern_context and not include_patterns:
-                continue
-            if wanted is not None:
-                if include_specials:
-                    if not rel.association.is_kind_of(wanted):
-                        continue
-                elif rel.association is not wanted:
-                    continue
-            results.append(rel)
-        return results
+        return list(
+            self.iter_relationships(
+                association,
+                include_specials=include_specials,
+                include_patterns=include_patterns,
+            )
+        )
 
     def relationships_of_object(
         self,
@@ -1004,6 +1193,7 @@ class SeedDatabase:
             max_id = max(max_id, rel.rid)
         self._next_id = max(self._next_id, max_id + 1)
         self.patterns.rebuild_index()
+        self.indexes.rebuild()
 
     # ------------------------------------------------------------------
     # schema evolution
@@ -1037,6 +1227,10 @@ class SeedDatabase:
                     old_associations[rel.rid]
                 )
             self.schema = new_schema
+            # hierarchy shapes (and with them extent keys and family
+            # roots) may have changed: recompute the index layer before
+            # re-validating under the new schema
+            self.indexes.rebuild()
             violations = self.check_consistency()
             if violations:
                 raise ConsistencyError(
@@ -1051,6 +1245,7 @@ class SeedDatabase:
                 obj.entity_class = old_schema.entity_class(old_classes[obj.oid])
             for rel in self._relationships.values():
                 rel.association = old_schema.association(old_associations[rel.rid])
+            self.indexes.rebuild()
             raise
         # every live item now depends on the new schema version
         for obj in self._objects.values():

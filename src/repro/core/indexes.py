@@ -1,0 +1,427 @@
+"""Maintained secondary indexes: every hot path becomes sublinear.
+
+The seed answered class-extent queries, participation counts, name
+lookups, and ACYCLIC checks by scanning all objects or all
+relationships — O(database) work per update or query. This layer keeps
+four secondary structures incrementally up to date so the same answers
+cost O(answer) or O(1):
+
+``extent``
+    class full-name → set of live oids classified exactly in that
+    class. A query for class ``C`` unions the sets of ``C`` and its
+    transitive specializations (generalization rollup), so extents are
+    read in O(|extent|). The sets include pattern-context objects;
+    visibility filtering stays a query-time concern because marking a
+    pattern flips the context of a whole sub-tree at once.
+
+``names``
+    sorted list of independent-object names, mirroring the database's
+    ``_name_index`` keys exactly. Prefix retrieval bisects instead of
+    scanning.
+
+``participation``
+    ``(association name, oid, position) → count`` over live
+    **normal** (non-pattern-context) relationships. Each relationship
+    contributes one count per element of its association's kind chain,
+    so ``count_participations`` is a dict lookup. Virtual (pattern-
+    inherited) participations are not counted here; the pattern manager
+    falls back to enumeration for the few objects with pattern
+    influence (tracked by ``pattern_incidence``).
+
+``adjacency`` / ``family_rids`` / ``pattern_rids``
+    per association-family edge multigraph (src oid → tgt oid →
+    multiplicity) plus the sets of live normal and pattern relationship
+    ids per family. ACYCLIC validation walks this graph instead of
+    re-deriving it from a full relationship scan, and the incremental
+    check on insert only explores reachability from the new edge's
+    target.
+
+Invariants (checked by :meth:`IndexLayer.verify` and the equivalence
+tests in ``tests/test_indexes.py``):
+
+1. **Mirror invariant** — after any committed operation, every
+   structure equals what :meth:`rebuild` would compute from the raw
+   records. Mutation paths in :class:`~repro.core.database.SeedDatabase`
+   update the indexes in the same code paths that update the records.
+2. **Rollback invariant** — every index mutation inside a transaction
+   is paired with an undo closure in the transaction's undo log, so a
+   rolled-back transaction leaves all structures byte-identical to the
+   pre-transaction state.
+3. **Status invariant** — each live relationship is indexed under
+   exactly one status, ``normal`` or ``pattern`` (cached in
+   ``_rel_status``); pattern-flag changes re-index through
+   :meth:`refresh_relationship` / :meth:`set_relationship_status`.
+4. **Fallback invariant** — indexed fast paths are only taken when
+   they provably agree with the brute-force scan; pattern-influenced
+   objects (inherited patterns or incident pattern relationships) use
+   the scan. The brute-force reference implementations live in this
+   module (:func:`brute_objects`, :func:`brute_relationships`) and in
+   the pattern manager so tests can compare answers forever.
+
+Bulk loaders that bypass the operational interface (version restore,
+schema migration, image deserialization, multi-user checkout) call
+:meth:`rebuild`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.database import SeedDatabase
+    from repro.core.objects import SeedObject
+    from repro.core.relationships import SeedRelationship
+    from repro.core.schema.entity_class import EntityClass
+
+__all__ = ["IndexLayer", "brute_objects", "brute_relationships"]
+
+#: relationship index status values
+NORMAL = "normal"
+PATTERN = "pattern"
+
+
+class IndexLayer:
+    """Incrementally maintained secondary indexes for one database."""
+
+    def __init__(self, database: "SeedDatabase") -> None:
+        self._db = database
+        #: class full-name -> set of live oids of exactly that class
+        self.extent: dict[str, set[int]] = {}
+        #: sorted mirror of the database's independent-name index keys
+        self.names: list[str] = []
+        #: (association name, oid, position) -> live normal-rel count
+        self.participation: dict[tuple[str, int, int], int] = {}
+        #: family root name -> src oid -> tgt oid -> edge multiplicity
+        self.adjacency: dict[str, dict[int, dict[int, int]]] = {}
+        #: family root name -> live normal relationship ids
+        self.family_rids: dict[str, set[int]] = {}
+        #: family root name -> live pattern-context relationship ids
+        self.pattern_rids: dict[str, set[int]] = {}
+        #: oid -> number of live pattern-context relationships touching it
+        self.pattern_incidence: dict[int, int] = {}
+        #: rid -> status the relationship is currently indexed under
+        self._rel_status: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # object extent
+    # ------------------------------------------------------------------
+
+    def add_object(self, obj: "SeedObject") -> None:
+        """Enter a live object into its class extent."""
+        self.extent.setdefault(obj.entity_class.full_name, set()).add(obj.oid)
+
+    def remove_object(self, obj: "SeedObject") -> None:
+        """Remove an object (tombstoned or rolled back) from its extent."""
+        bucket = self.extent.get(obj.entity_class.full_name)
+        if bucket is not None:
+            bucket.discard(obj.oid)
+            if not bucket:
+                del self.extent[obj.entity_class.full_name]
+
+    def move_object(
+        self, obj: "SeedObject", old_class: "EntityClass", new_class: "EntityClass"
+    ) -> None:
+        """Re-file an object after re-classification."""
+        bucket = self.extent.get(old_class.full_name)
+        if bucket is not None:
+            bucket.discard(obj.oid)
+            if not bucket:
+                del self.extent[old_class.full_name]
+        self.extent.setdefault(new_class.full_name, set()).add(obj.oid)
+
+    def extent_oids(
+        self, wanted: "EntityClass", include_specials: bool = True
+    ) -> list[int]:
+        """Sorted oids of the extent of *wanted* (rolled up when asked).
+
+        Sorting by oid reproduces creation order, matching the order the
+        seed's full scan produced.
+        """
+        if not include_specials:
+            return sorted(self.extent.get(wanted.full_name, ()))
+        result: set[int] = set()
+        result.update(self.extent.get(wanted.full_name, ()))
+        for special in wanted.all_specials():
+            result.update(self.extent.get(special.full_name, ()))
+        return sorted(result)
+
+    # ------------------------------------------------------------------
+    # sorted name index
+    # ------------------------------------------------------------------
+
+    def add_name(self, name: str) -> None:
+        """Mirror an insertion into the database's name index."""
+        insort(self.names, name)
+
+    def remove_name(self, name: str) -> None:
+        """Mirror a removal from the database's name index."""
+        position = bisect_left(self.names, name)
+        if position < len(self.names) and self.names[position] == name:
+            del self.names[position]
+
+    def names_with_prefix(self, prefix: str) -> list[str]:
+        """All indexed names starting with *prefix*, in sorted order."""
+        position = bisect_left(self.names, prefix)
+        result: list[str] = []
+        while position < len(self.names) and self.names[position].startswith(prefix):
+            result.append(self.names[position])
+            position += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # relationship indexes
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _status_of(rel: "SeedRelationship") -> str:
+        return PATTERN if rel.in_pattern_context else NORMAL
+
+    def index_relationship(self, rel: "SeedRelationship") -> None:
+        """Enter a live relationship under its current pattern status."""
+        self._index_as(rel, self._status_of(rel))
+
+    def unindex_relationship(self, rel: "SeedRelationship") -> None:
+        """Remove a relationship using the status it was indexed under.
+
+        The cached status, not the current flags, drives removal so the
+        call stays correct while flags are mid-rollback.
+        """
+        status = self._rel_status.pop(rel.rid, None)
+        if status is None:  # pragma: no cover - defensive
+            return
+        self._unindex_as(rel, status)
+
+    def refresh_relationship(
+        self, rel: "SeedRelationship"
+    ) -> Optional[tuple[str, str]]:
+        """Re-index after a pattern-flag change; returns (old, new) or None."""
+        old_status = self._rel_status.get(rel.rid)
+        new_status = self._status_of(rel)
+        if old_status == new_status or old_status is None:
+            return None
+        self.set_relationship_status(rel, new_status)
+        return (old_status, new_status)
+
+    def set_relationship_status(self, rel: "SeedRelationship", status: str) -> None:
+        """Force a relationship's indexed status (used by undo closures)."""
+        current = self._rel_status.pop(rel.rid, None)
+        if current is not None:
+            self._unindex_as(rel, current)
+        self._index_as(rel, status)
+
+    def _index_as(self, rel: "SeedRelationship", status: str) -> None:
+        self._rel_status[rel.rid] = status
+        root_name = rel.association.family_root().name
+        if status == PATTERN:
+            self.pattern_rids.setdefault(root_name, set()).add(rel.rid)
+            for endpoint in rel.bound_objects():
+                self.pattern_incidence[endpoint.oid] = (
+                    self.pattern_incidence.get(endpoint.oid, 0) + 1
+                )
+            return
+        self.family_rids.setdefault(root_name, set()).add(rel.rid)
+        for element in rel.association.kind_chain():
+            for position in (0, 1):
+                key = (element.name, rel.bound_at(position).oid, position)
+                self.participation[key] = self.participation.get(key, 0) + 1
+        source_oid = rel.bound_at(0).oid
+        target_oid = rel.bound_at(1).oid
+        targets = self.adjacency.setdefault(root_name, {}).setdefault(source_oid, {})
+        targets[target_oid] = targets.get(target_oid, 0) + 1
+
+    def _unindex_as(self, rel: "SeedRelationship", status: str) -> None:
+        root_name = rel.association.family_root().name
+        if status == PATTERN:
+            rids = self.pattern_rids.get(root_name)
+            if rids is not None:
+                rids.discard(rel.rid)
+                if not rids:
+                    del self.pattern_rids[root_name]
+            for endpoint in rel.bound_objects():
+                remaining = self.pattern_incidence.get(endpoint.oid, 0) - 1
+                if remaining > 0:
+                    self.pattern_incidence[endpoint.oid] = remaining
+                else:
+                    self.pattern_incidence.pop(endpoint.oid, None)
+            return
+        rids = self.family_rids.get(root_name)
+        if rids is not None:
+            rids.discard(rel.rid)
+            if not rids:
+                del self.family_rids[root_name]
+        for element in rel.association.kind_chain():
+            for position in (0, 1):
+                key = (element.name, rel.bound_at(position).oid, position)
+                remaining = self.participation.get(key, 0) - 1
+                if remaining > 0:
+                    self.participation[key] = remaining
+                else:
+                    self.participation.pop(key, None)
+        source_oid = rel.bound_at(0).oid
+        target_oid = rel.bound_at(1).oid
+        sources = self.adjacency.get(root_name)
+        if sources is not None:
+            targets = sources.get(source_oid)
+            if targets is not None:
+                remaining = targets.get(target_oid, 0) - 1
+                if remaining > 0:
+                    targets[target_oid] = remaining
+                else:
+                    targets.pop(target_oid, None)
+                    if not targets:
+                        del sources[source_oid]
+            if not sources:
+                del self.adjacency[root_name]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def participations(self, association_name: str, oid: int, position: int) -> int:
+        """O(1) participation count over live normal relationships."""
+        return self.participation.get((association_name, oid, position), 0)
+
+    def pattern_influenced(self, obj: "SeedObject") -> bool:
+        """True when *obj*'s effective structure may diverge from counters."""
+        return bool(obj.inherited_patterns) or (
+            self.pattern_incidence.get(obj.oid, 0) > 0
+        )
+
+    def normal_edges(self, root_name: str) -> Iterator[tuple[int, int]]:
+        """Edges of a family's normal relationships, with multiplicity."""
+        for source_oid, targets in self.adjacency.get(root_name, {}).items():
+            for target_oid, count in targets.items():
+                for __ in range(count):
+                    yield (source_oid, target_oid)
+
+    def successors(self, root_name: str, node: int) -> Iterator[int]:
+        """Distinct normal-edge successors of *node* in a family graph."""
+        return iter(self.adjacency.get(root_name, {}).get(node, ()))
+
+    def pattern_relationships(self, root_name: str) -> list["SeedRelationship"]:
+        """Live pattern-context relationships of a family, by rid order."""
+        return [
+            self._db._relationships[rid]
+            for rid in sorted(self.pattern_rids.get(root_name, ()))
+        ]
+
+    def family_relationship_ids(self, root_name: str) -> list[int]:
+        """All live relationship ids of a family (normal and pattern)."""
+        rids = self.family_rids.get(root_name, set()) | self.pattern_rids.get(
+            root_name, set()
+        )
+        return sorted(rids)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Recompute every structure from the raw records.
+
+        Called after bulk state replacement (version selection, schema
+        migration, image load, checkout) where incremental maintenance
+        is impossible or family roots may have changed.
+        """
+        self.extent.clear()
+        self.participation.clear()
+        self.adjacency.clear()
+        self.family_rids.clear()
+        self.pattern_rids.clear()
+        self.pattern_incidence.clear()
+        self._rel_status.clear()
+        self.names = sorted(self._db._name_index)
+        for obj in self._db.all_objects_raw():
+            if not obj.deleted:
+                self.add_object(obj)
+        for rel in self._db.all_relationships_raw():
+            if not rel.deleted:
+                self.index_relationship(rel)
+
+    def snapshot(self) -> dict:
+        """Deep copy of every structure (for rollback-identity tests)."""
+        return {
+            "extent": {name: set(oids) for name, oids in self.extent.items()},
+            "names": list(self.names),
+            "participation": dict(self.participation),
+            "adjacency": {
+                root: {src: dict(tgts) for src, tgts in sources.items()}
+                for root, sources in self.adjacency.items()
+            },
+            "family_rids": {root: set(r) for root, r in self.family_rids.items()},
+            "pattern_rids": {root: set(r) for root, r in self.pattern_rids.items()},
+            "pattern_incidence": dict(self.pattern_incidence),
+            "rel_status": dict(self._rel_status),
+        }
+
+    def verify(self) -> None:
+        """Assert the mirror invariant: indexes equal a fresh rebuild."""
+        current = self.snapshot()
+        reference = IndexLayer(self._db)
+        reference.rebuild()
+        expected = reference.snapshot()
+        for field in expected:
+            assert current[field] == expected[field], (
+                f"index {field!r} diverged from the raw records:\n"
+                f"  maintained: {current[field]!r}\n"
+                f"  rebuilt:    {expected[field]!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# brute-force reference implementations (seed semantics, kept verbatim)
+# ----------------------------------------------------------------------
+
+
+def brute_objects(
+    db: "SeedDatabase",
+    class_name: Optional[str] = None,
+    *,
+    include_specials: bool = True,
+    include_patterns: bool = False,
+    independent_only: bool = False,
+) -> list["SeedObject"]:
+    """The seed's full-scan ``objects()`` — the reference the index must match."""
+    wanted = db.schema.entity_class(class_name) if class_name else None
+    results = []
+    for obj in db.all_objects_raw():
+        if obj.deleted:
+            continue
+        if obj.in_pattern_context and not include_patterns:
+            continue
+        if independent_only and obj.parent is not None:
+            continue
+        if wanted is not None:
+            if include_specials:
+                if not obj.entity_class.is_kind_of(wanted):
+                    continue
+            elif obj.entity_class is not wanted:
+                continue
+        results.append(obj)
+    return results
+
+
+def brute_relationships(
+    db: "SeedDatabase",
+    association: Optional[str] = None,
+    *,
+    include_specials: bool = True,
+    include_patterns: bool = False,
+) -> list["SeedRelationship"]:
+    """The seed's full-scan ``relationships()`` — reference implementation."""
+    wanted = db.schema.association(association) if association else None
+    results = []
+    for rel in db.all_relationships_raw():
+        if rel.deleted:
+            continue
+        if rel.in_pattern_context and not include_patterns:
+            continue
+        if wanted is not None:
+            if include_specials:
+                if not rel.association.is_kind_of(wanted):
+                    continue
+            elif rel.association is not wanted:
+                continue
+        results.append(rel)
+    return results

@@ -242,7 +242,21 @@ class PatternManager:
         kind of *association* and where *obj* is (virtually) bound at
         role *position*. Used for maximum-cardinality enforcement and
         minimum-cardinality completeness alike.
+
+        Objects without pattern influence (no inherited patterns, no
+        incident pattern relationships) are answered from the
+        participation counters in O(1); the enumeration below remains
+        the reference (and the pattern-aware fallback).
         """
+        indexes = self._db.indexes
+        if not indexes.pattern_influenced(obj):
+            return indexes.participations(association.name, obj.oid, position)
+        return self.count_participations_scan(obj, association, position)
+
+    def count_participations_scan(
+        self, obj: "SeedObject", association: Association, position: int
+    ) -> int:
+        """Brute-force participation count over effective relationships."""
         count = 0
         for rel in self.effective_relationships(obj, association):
             rel_association: Association = rel.association  # type: ignore[attr-defined]
@@ -251,8 +265,8 @@ class PatternManager:
                 count += 1
         return count
 
-    def effective_edges(self, association: Association) -> Iterator[tuple[int, int]]:
-        """Effective edges (oid → oid) of an association family's graph.
+    def expand_edges(self, rel: object) -> Iterator[tuple[int, int]]:
+        """Effective edges of one relationship, pattern-substituted.
 
         Normal relationships contribute their endpoints directly;
         pattern relationships contribute one edge per substitution of an
@@ -260,26 +274,51 @@ class PatternManager:
         endpoint left over (uninherited patterns) are *not* emitted —
         uninherited pattern content is not consistency-checked.
         """
-        seen: set[int] = set()
-        for rel in self._db.relationships(
-            association.name, include_specials=True, include_patterns=True
-        ):
-            if rel.rid in seen:  # pragma: no cover - defensive
-                continue
-            seen.add(rel.rid)
-            endpoints = rel.endpoints()
-            substitutions: list[list["SeedObject"]] = []
-            for endpoint in endpoints:
-                if endpoint.in_pattern_context:
-                    if endpoint.is_pattern and self.has_inheritors(endpoint):
-                        substitutions.append(self.inheritors_of(endpoint))
-                    else:
-                        substitutions.append([])
+        endpoints = rel.endpoints()  # type: ignore[attr-defined]
+        substitutions: list[list["SeedObject"]] = []
+        for endpoint in endpoints:
+            if endpoint.in_pattern_context:
+                if endpoint.is_pattern and self.has_inheritors(endpoint):
+                    substitutions.append(self.inheritors_of(endpoint))
                 else:
-                    substitutions.append([endpoint])
-            for source in substitutions[0]:
-                for target in substitutions[1]:
-                    yield (source.oid, target.oid)
+                    substitutions.append([])
+            else:
+                substitutions.append([endpoint])
+        for source in substitutions[0]:
+            for target in substitutions[1]:
+                yield (source.oid, target.oid)
+
+    def effective_edges(
+        self, association: Association, *, use_index: bool = True
+    ) -> Iterator[tuple[int, int]]:
+        """Effective edges (oid → oid) of an association family's graph.
+
+        For a family root the adjacency index supplies the normal edges
+        and only the family's pattern relationships are expanded; the
+        full relationship scan remains for non-root associations and as
+        the reference implementation (``use_index=False``).
+        """
+        root = association.family_root()
+        if use_index and association is root:
+            yield from self._db.indexes.normal_edges(root.name)
+            for rel in self._db.indexes.pattern_relationships(root.name):
+                yield from self.expand_edges(rel)
+            return
+        yield from self.effective_edges_scan(association)
+
+    def effective_edges_scan(
+        self, association: Association
+    ) -> Iterator[tuple[int, int]]:
+        """Brute-force effective edges via a full relationship scan."""
+        from repro.core.indexes import brute_relationships
+
+        for rel in brute_relationships(
+            self._db,
+            association.name,
+            include_specials=True,
+            include_patterns=True,
+        ):
+            yield from self.expand_edges(rel)
 
     # -- validation helpers -------------------------------------------------------------
 

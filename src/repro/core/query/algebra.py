@@ -228,7 +228,8 @@ def extent(
     """One-column relation of a class's live instances."""
     name = column or class_name.lower()
     rows = tuple(
-        (obj,) for obj in db.objects(class_name, include_specials=include_specials)
+        (obj,)
+        for obj in db.iter_objects(class_name, include_specials=include_specials)
     )
     return Relation((name,), rows)
 
@@ -253,7 +254,7 @@ def relationship_relation(
     first_role, second_role = assoc.role_names()
     columns = (first_role, second_role) + tuple(with_attributes)
     rows = []
-    for rel in db.relationships(association, include_specials=include_specials):
+    for rel in db.iter_relationships(association, include_specials=include_specials):
         row = [rel.bound_at(0), rel.bound_at(1)]
         row.extend(rel.attribute(attr) for attr in with_attributes)
         rows.append(tuple(row))

@@ -12,13 +12,20 @@ being the full algebra (see :mod:`repro.core.query.algebra`).
 from __future__ import annotations
 
 import re
-from typing import Optional
+from functools import lru_cache
+from typing import Iterator, Optional
 
 from repro.core.database import SeedDatabase
 from repro.core.objects import SeedObject
 from repro.core.query.predicates import Predicate
 
 __all__ = ["Retrieval"]
+
+
+@lru_cache(maxsize=256)
+def _compiled(pattern: str) -> "re.Pattern[str]":
+    """Compiled-regex cache: repeated name-pattern queries skip re.compile."""
+    return re.compile(pattern)
 
 
 class Retrieval:
@@ -34,23 +41,49 @@ class Retrieval:
         return self._db.find_object(name)
 
     def by_name_prefix(self, prefix: str) -> list[SeedObject]:
-        """All independent objects whose name starts with *prefix*."""
-        return [
-            obj
-            for obj in self._db.objects(independent_only=True)
-            if obj.simple_name.startswith(prefix)
-        ]
+        """All independent objects whose name starts with *prefix*.
+
+        The sorted name index is bisected, so the cost is
+        O(log n + |matches|); results come in name order.
+        """
+        return self._db.objects_by_name_prefix(prefix)
 
     def by_name_pattern(self, pattern: str) -> list[SeedObject]:
-        """All objects (any depth) whose dotted name matches a regex."""
-        compiled = re.compile(pattern)
+        """All objects (any depth) whose dotted name matches a regex.
+
+        Compiled patterns are cached, so repeatedly issuing the same
+        query (the persistent-query workload) skips recompilation.
+        """
+        compiled = _compiled(pattern)
         return [
             obj
-            for obj in self._db.objects()
+            for obj in self._db.iter_objects()
             if compiled.search(str(obj.name)) is not None
         ]
 
     # -- class extents ----------------------------------------------------------
+
+    def iter_instances(
+        self,
+        class_name: str,
+        where: Optional[Predicate] = None,
+        *,
+        include_specials: bool = True,
+    ) -> Iterator[SeedObject]:
+        """Lazily yield instances of a class, optionally predicate-filtered.
+
+        Backed by the extent index: consumers that stop early (or only
+        count) never materialise the full extent list.
+        """
+        extent = self._db.iter_objects(
+            class_name, include_specials=include_specials
+        )
+        if where is None:
+            yield from extent
+            return
+        for obj in extent:
+            if where(obj):
+                yield obj
 
     def instances(
         self,
@@ -60,14 +93,30 @@ class Retrieval:
         include_specials: bool = True,
     ) -> list[SeedObject]:
         """Instances of a class, optionally filtered by a predicate."""
-        extent = self._db.objects(class_name, include_specials=include_specials)
-        if where is None:
-            return extent
-        return [obj for obj in extent if where(obj)]
+        return list(
+            self.iter_instances(
+                class_name, where, include_specials=include_specials
+            )
+        )
+
+    def count_instances(
+        self,
+        class_name: str,
+        where: Optional[Predicate] = None,
+        *,
+        include_specials: bool = True,
+    ) -> int:
+        """Number of matching instances without building a result list."""
+        return sum(
+            1
+            for __ in self.iter_instances(
+                class_name, where, include_specials=include_specials
+            )
+        )
 
     def select(self, where: Predicate) -> list[SeedObject]:
         """All live objects satisfying *where*."""
-        return [obj for obj in self._db.objects() if where(obj)]
+        return [obj for obj in self._db.iter_objects() if where(obj)]
 
     # -- navigation ------------------------------------------------------------------
 

@@ -397,4 +397,5 @@ def database_from_dict(
     )
     db._dirty = {tuple(key) for key in data["dirty"]}  # noqa: SLF001
     db.patterns.rebuild_index()
+    db.indexes.rebuild()
     return db

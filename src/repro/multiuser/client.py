@@ -140,6 +140,7 @@ class SeedClient:
         # fresh local ids must not collide with *any* master id
         local._next_id = max(max_id, master._next_id) + 1_000_000  # noqa: SLF001
         local.patterns.rebuild_index()
+        local.indexes.rebuild()
         local.clear_dirty()
         return local
 
