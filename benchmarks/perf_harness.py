@@ -3,9 +3,13 @@
 Times the hot paths the PR-1 index layer targets, at several database
 sizes, against the seed's brute-force implementations (which are kept
 in the tree as reference code: :func:`repro.core.indexes.brute_objects`,
-``count_participations_scan``, ``validate_acyclic(use_index=False)``).
-Results are written to ``BENCH_PR1.json`` at the repository root so
-future PRs have a perf trajectory to compare against.
+``count_participations_scan``, ``validate_acyclic(use_index=False)``),
+plus the PR-2 multi-join query scenario: the same three-way ER-algebra
+query evaluated by the cost-based planner (selection pushed into a
+bisected prefix scan, joins reordered, rows streamed) versus the eager
+left-to-right ``Relation`` algebra. Results are written to
+``BENCH_PR2.json`` at the repository root so future PRs have a perf
+trajectory to compare against (``BENCH_PR1.json`` holds the PR-1 run).
 
 Run::
 
@@ -14,7 +18,9 @@ Run::
 
 This is a standalone script, deliberately not a pytest module: the
 timings are workload benchmarks, not assertions (the figure/claim
-regenerations under ``benchmarks/test_*.py`` stay pytest-based).
+regenerations under ``benchmarks/test_*.py`` stay pytest-based); CI
+passes ``--gate-planner`` to fail the smoke run if the planner ever
+evaluates the multi-join scenario slower than the eager algebra.
 """
 
 from __future__ import annotations
@@ -32,6 +38,9 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.core.database import SeedDatabase  # noqa: E402
 from repro.core.indexes import brute_objects  # noqa: E402
+from repro.core.query.algebra import Relation, extent, relationship_relation  # noqa: E402
+from repro.core.query.planner import on, plan  # noqa: E402
+from repro.core.query.predicates import name_prefix  # noqa: E402
 from repro.core.query.retrieval import Retrieval  # noqa: E402
 from repro.core.schema.builder import SchemaBuilder  # noqa: E402
 
@@ -52,6 +61,16 @@ def harness_schema():
         ("contained", "Step", "0..*"),
         ("container", "Step", "0..*"),
         acyclic=True,
+    )
+    builder.association(
+        "Mentions",
+        ("doc", "Doc", "0..*"),
+        ("code", "Code", "0..*"),
+    )
+    builder.association(
+        "Covers",
+        ("note", "Note", "0..*"),
+        ("doc", "Doc", "0..*"),
     )
     return builder.build()
 
@@ -193,6 +212,63 @@ def bench_size(size: int, repeats: int) -> dict:
     db.create_version()
     result["create_version_s"] = time.perf_counter() - started
 
+    # -- query: multi-join, cost-based planner vs eager algebra ---------
+    # "which code is mentioned by docs covered by notes named Obj10*":
+    # the eager algebra evaluates the query as written — full Note
+    # extent, two fully materialized joins, selection last; the planner
+    # pushes the selection into a bisected prefix scan, reorders the
+    # joins smallest-first, and streams the probe sides. This section
+    # runs LAST: its extra relationships must not inflate the brute
+    # baselines of the PR-1 measurements above (the perf trajectory
+    # against BENCH_PR1.json has to stay apples to apples).
+    docs = db.objects("Doc")
+    codes = db.objects("Code")
+    notes = db.objects("Note")
+    for position, doc in enumerate(docs):
+        for offset in range(6):
+            db.relate(
+                "Mentions",
+                doc=doc,
+                code=codes[(position * 6 + offset) % len(codes)],
+            )
+    for position, note in enumerate(notes):
+        db.relate("Covers", note=note, doc=docs[position % len(docs)])
+    note_prefix = "Obj10"
+    predicate = on("note", name_prefix(note_prefix))
+
+    def eager_multijoin() -> Relation:
+        return (
+            extent(db, "Note", column="note")
+            .join(relationship_relation(db, "Covers"))
+            .join(relationship_relation(db, "Mentions"))
+            .select(predicate)
+            .project("code")
+        )
+
+    def planned_multijoin() -> Relation:
+        return (
+            plan(db)
+            .extent("Note", column="note")
+            .join(plan(db).relationship("Covers"))
+            .join(plan(db).relationship("Mentions"))
+            .select(predicate)
+            .project("code")
+            .execute()
+        )
+
+    assert sorted(o.oid for o in eager_multijoin().column("code")) == sorted(
+        o.oid for o in planned_multijoin().column("code")
+    )
+    planner_time = median_time(planned_multijoin, repeats)
+    eager_time = median_time(eager_multijoin, repeats)
+    result["query_multijoin"] = {
+        "joined_relationships": len(docs) * 6 + len(notes),
+        "result_rows": len(planned_multijoin()),
+        "planner_s": planner_time,
+        "eager_s": eager_time,
+        "speedup": round(eager_time / planner_time, 1) if planner_time else None,
+    }
+
     return result
 
 
@@ -212,8 +288,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR1.json",
+        default=REPO_ROOT / "BENCH_PR2.json",
         help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--gate-planner",
+        action="store_true",
+        help="fail (exit 2) if the planner evaluates the multi-join "
+             "scenario slower than the eager algebra at any size",
     )
     args = parser.parse_args(argv)
 
@@ -223,7 +305,7 @@ def main(argv=None) -> int:
     repeats = 3 if args.quick else 7
 
     report = {
-        "benchmark": "PR1: indexed extents + incremental consistency",
+        "benchmark": "PR2: cost-based query planner over the index layer",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "repeats": repeats,
@@ -244,6 +326,12 @@ def main(argv=None) -> int:
         acceptance["acyclic_commit_speedup_ok"] = (
             at_10k["commit_acyclic"]["speedup"] >= 10
         )
+        acceptance["multijoin_speedup_at_10k"] = at_10k["query_multijoin"][
+            "speedup"
+        ]
+        acceptance["multijoin_speedup_ok"] = (
+            at_10k["query_multijoin"]["speedup"] >= 5
+        )
     report["acceptance"] = acceptance
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -253,8 +341,22 @@ def main(argv=None) -> int:
             f"  {size}: extent x{data['query_extent']['speedup']}, "
             f"prefix x{data['query_name_prefix']['speedup']}, "
             f"participation x{data['count_participations']['speedup']}, "
-            f"acyclic commit x{data['commit_acyclic']['speedup']}"
+            f"acyclic commit x{data['commit_acyclic']['speedup']}, "
+            f"multijoin x{data['query_multijoin']['speedup']}"
         )
+    if args.gate_planner:
+        # compare raw medians, not the rounded display value: a 5%
+        # regression must not hide behind round(0.96, 1) == 1.0
+        slow = {
+            size: data["query_multijoin"]["speedup"]
+            for size, data in report["results"].items()
+            if data["query_multijoin"]["planner_s"]
+            >= data["query_multijoin"]["eager_s"]
+        }
+        if slow:
+            print(f"planner slower than eager algebra: {slow}")
+            return 2
+        print("planner gate ok: multijoin speedup >= 1x at every size")
     return 0
 
 

@@ -10,6 +10,8 @@ Usage (also via ``python -m repro``)::
     python -m repro snapshot DB.seed [-v VERSION]  # create a version
     python -m repro print DB.seed                  # database -> spec text
     python -m repro ddl DB.seed                    # schema as DDL text
+    python -m repro query DB.seed --extent Data --prefix Alarm --via Access
+                                                   # planned ER-algebra query
 
 The CLI operates on the SPADES schema (the paper's application); it is a
 thin layer over the library so scripted use mirrors programmatic use.
@@ -66,6 +68,22 @@ def _build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("database", type=Path)
     snapshot.add_argument("-v", "--version", default=None,
                           help="explicit decimal version id (e.g. 2.0)")
+
+    query = commands.add_parser(
+        "query", help="run a planned ER-algebra query (cost-based planner)")
+    query.add_argument("database", type=Path, help="database file")
+    query.add_argument("--extent", metavar="CLASS",
+                       help="scan the extent of a class")
+    query.add_argument("--prefix", metavar="PREFIX",
+                       help="name-prefix selection on the extent "
+                            "(rewritten into an indexed scan)")
+    query.add_argument("--via", metavar="ASSOC",
+                       help="join the extent with an association "
+                            "(extent column takes the first role name)")
+    query.add_argument("--association", metavar="ASSOC",
+                       help="scan an association's instances directly")
+    query.add_argument("--explain", action="store_true",
+                       help="print the optimized plan tree before the rows")
     return parser
 
 
@@ -122,7 +140,66 @@ def _dispatch(args: argparse.Namespace) -> int:
         save_database(db, args.database)
         print(f"saved version {version}")
         return 0
+    if args.command == "query":
+        return _run_query(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    """Build, optionally explain, and execute a planned query."""
+    from repro.core.errors import QueryError
+    from repro.core.objects import SeedObject
+    from repro.core.query.planner import on, plan
+    from repro.core.query.predicates import name_prefix
+
+    db = load_database(args.database)
+    if args.extent and args.association:
+        raise QueryError("use either --extent or --association, not both")
+    if args.association and (args.prefix or args.via):
+        raise QueryError("--prefix/--via apply to --extent queries only")
+    if args.extent:
+        column = args.extent.lower()
+        if args.via:
+            # name the extent column after the association role that
+            # accepts the extent's class, so the natural join targets
+            # the right end (first role wins for self-associations)
+            wanted = db.schema.entity_class(args.extent)
+            association = db.schema.association(args.via)
+            matching = [
+                role.name
+                for role in association.roles
+                if role.accepts(wanted) or role.target.is_kind_of(wanted)
+            ]
+            if not matching:
+                raise QueryError(
+                    f"class {args.extent!r} is bound at no role of "
+                    f"{args.via!r} (roles: "
+                    f"{', '.join(str(r) for r in association.roles)})"
+                )
+            column = matching[0]
+        query = plan(db).extent(args.extent, column=column)
+        if args.prefix:
+            query = query.select(on(column, name_prefix(args.prefix)))
+        if args.via:
+            query = query.join(plan(db).relationship(args.via))
+    elif args.association:
+        query = plan(db).relationship(args.association)
+    else:
+        raise QueryError("query needs --extent CLASS or --association ASSOC")
+    if args.explain:
+        print(query.explain())
+        print()
+    result = query.execute()
+    print("\t".join(result.columns))
+    for row in result.rows:
+        print(
+            "\t".join(
+                str(cell.name) if isinstance(cell, SeedObject) else str(cell)
+                for cell in row
+            )
+        )
+    print(f"({len(result)} rows)")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

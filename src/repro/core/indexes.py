@@ -92,6 +92,8 @@ class IndexLayer:
         self.names: list[str] = []
         #: (association name, oid, position) -> live normal-rel count
         self.participation: dict[tuple[str, int, int], int] = {}
+        #: association element name -> live normal-rel count (incl. specials)
+        self.assoc_counts: dict[str, int] = {}
         #: family root name -> src oid -> tgt oid -> edge multiplicity
         self.adjacency: dict[str, dict[int, dict[int, int]]] = {}
         #: family root name -> live normal relationship ids
@@ -222,6 +224,7 @@ class IndexLayer:
             return
         self.family_rids.setdefault(root_name, set()).add(rel.rid)
         for element in rel.association.kind_chain():
+            self.assoc_counts[element.name] = self.assoc_counts.get(element.name, 0) + 1
             for position in (0, 1):
                 key = (element.name, rel.bound_at(position).oid, position)
                 self.participation[key] = self.participation.get(key, 0) + 1
@@ -251,6 +254,11 @@ class IndexLayer:
             if not rids:
                 del self.family_rids[root_name]
         for element in rel.association.kind_chain():
+            left = self.assoc_counts.get(element.name, 0) - 1
+            if left > 0:
+                self.assoc_counts[element.name] = left
+            else:
+                self.assoc_counts.pop(element.name, None)
             for position in (0, 1):
                 key = (element.name, rel.bound_at(position).oid, position)
                 remaining = self.participation.get(key, 0) - 1
@@ -281,6 +289,46 @@ class IndexLayer:
     def participations(self, association_name: str, oid: int, position: int) -> int:
         """O(1) participation count over live normal relationships."""
         return self.participation.get((association_name, oid, position), 0)
+
+    # ------------------------------------------------------------------
+    # statistics (cost-model accessors for the query planner)
+    # ------------------------------------------------------------------
+
+    def extent_size(self, wanted: "EntityClass", include_specials: bool = True) -> int:
+        """Number of live instances of *wanted* without materializing them.
+
+        With ``include_specials`` the generalization rollup is summed;
+        exact-class buckets are disjoint so the sum is exact.
+        """
+        total = len(self.extent.get(wanted.full_name, ()))
+        if include_specials:
+            for special in wanted.all_specials():
+                total += len(self.extent.get(special.full_name, ()))
+        return total
+
+    def association_size(self, element_name: str) -> int:
+        """Live normal relationships of an association, specials included.
+
+        Maintained as a counter (one increment per kind-chain element on
+        index), so the planner reads cardinalities in O(1).
+        """
+        return self.assoc_counts.get(element_name, 0)
+
+    def name_prefix_count(self, prefix: str) -> int:
+        """Number of indexed independent names starting with *prefix*.
+
+        Two bisections — O(log n), no list materialization — since the
+        planner re-estimates on every optimize/execute/explain. The
+        exclusive upper bound is the successor string of the prefix.
+        """
+        if not prefix:
+            return len(self.names)
+        last = prefix[-1]
+        if ord(last) >= 0x10FFFF:  # pragma: no cover - no successor char
+            return len(self.names_with_prefix(prefix))
+        low = bisect_left(self.names, prefix)
+        high = bisect_left(self.names, prefix[:-1] + chr(ord(last) + 1), lo=low)
+        return high - low
 
     def pattern_influenced(self, obj: "SeedObject") -> bool:
         """True when *obj*'s effective structure may diverge from counters."""
@@ -326,6 +374,7 @@ class IndexLayer:
         """
         self.extent.clear()
         self.participation.clear()
+        self.assoc_counts.clear()
         self.adjacency.clear()
         self.family_rids.clear()
         self.pattern_rids.clear()
@@ -345,6 +394,7 @@ class IndexLayer:
             "extent": {name: set(oids) for name, oids in self.extent.items()},
             "names": list(self.names),
             "participation": dict(self.participation),
+            "assoc_counts": dict(self.assoc_counts),
             "adjacency": {
                 root: {src: dict(tgts) for src, tgts in sources.items()}
                 for root, sources in self.adjacency.items()

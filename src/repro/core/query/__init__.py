@@ -1,14 +1,52 @@
-"""Query layer: by-name retrieval, predicates, and the ER algebra.
+"""Query layer: by-name retrieval, predicates, the ER algebra, planner.
 
 * :class:`~repro.core.query.retrieval.Retrieval` — the prototype-level
   retrieval operations (by name, class extents, navigation chains);
-* :mod:`~repro.core.query.predicates` — composable object predicates;
+* :mod:`~repro.core.query.predicates` — composable, optimizer-readable
+  object predicates;
 * :mod:`~repro.core.query.algebra` — the entity-relationship algebra
   extension (select/project/join/union/difference over class extents
-  and relationship relations).
+  and relationship relations), evaluated eagerly — the reference
+  implementation;
+* :mod:`~repro.core.query.planner` — the cost-based planner: the same
+  algebra built as a logical plan, optimized with index-layer
+  statistics (selection pushdown, indexed scans, join reordering) and
+  executed through streaming generators.
+
+Planner example — the builder mirrors the ``Relation`` API, and
+``explain()`` shows what the optimizer did::
+
+    from repro.core.query import plan, on
+    from repro.core.query.predicates import name_prefix
+
+    query = (
+        plan(db).extent("Data", column="data")
+        .join(plan(db).relationship("Access"))
+        .select(on("data", name_prefix("Alarm")))
+    )
+    print(query.explain())
+    # Join on [data]  est~3
+    # ├─ ExtentScan Data as data prefix='Alarm'  est~1
+    # └─ RelScan Access (data, by)  est~3
+    result = query.execute()   # a Relation, multiset-equal to the
+                               # eager evaluation of the same query
+
+The selection was pushed below the join and rewritten from a full
+extent scan into a bisected name-index range scan; the join streams the
+larger input and materializes only the smaller.
 """
 
 from repro.core.query.algebra import Relation, extent, relationship_relation
+from repro.core.query.planner import Plan, PlanBuilder, on, plan
 from repro.core.query.retrieval import Retrieval
 
-__all__ = ["Relation", "extent", "relationship_relation", "Retrieval"]
+__all__ = [
+    "Relation",
+    "extent",
+    "relationship_relation",
+    "Retrieval",
+    "Plan",
+    "PlanBuilder",
+    "on",
+    "plan",
+]

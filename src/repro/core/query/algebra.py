@@ -30,7 +30,43 @@ from repro.core.database import SeedDatabase
 from repro.core.errors import QueryError
 from repro.core.objects import SeedObject
 
-__all__ = ["Relation", "extent", "relationship_relation"]
+__all__ = [
+    "Relation",
+    "extent",
+    "relationship_relation",
+    "dereference",
+    "relationship_row",
+]
+
+
+def dereference(obj: SeedObject, steps: Sequence[str]) -> Iterator[Any]:
+    """Defined values at a role path below *obj* (undefined skipped).
+
+    Shared by the eager :meth:`Relation.values` and the planner's
+    streaming ``Values`` operator so the two evaluation paths cannot
+    drift apart.
+    """
+    frontier = [obj]
+    for step in steps:
+        frontier = [
+            child
+            for node in frontier
+            for child in node.effective_sub_objects(step)
+        ]
+    for node in frontier:
+        if node.value is not None:
+            yield node.value
+
+
+def relationship_row(rel: Any, attributes: Sequence[str]) -> tuple:
+    """The relation row of one relationship: both bindings + attributes.
+
+    Shared by :func:`relationship_relation` and the planner's
+    association scans (full and incidence-indexed).
+    """
+    row = [rel.bound_at(0), rel.bound_at(1)]
+    row.extend(rel.attribute(attr) for attr in attributes)
+    return tuple(row)
 
 
 @dataclass(frozen=True)
@@ -129,17 +165,24 @@ class Relation:
         return Relation(self.columns, tuple(rows))
 
     def difference(self, other: "Relation") -> "Relation":
-        """Set difference (columns must match)."""
+        """Set difference (columns must match).
+
+        Set semantics, symmetric with :meth:`union`: duplicate kept rows
+        collapse to their first occurrence (previously duplicates leaked
+        through, making ``r.difference(empty)`` disagree with
+        ``r.union(empty)`` on relations holding duplicate rows).
+        """
         self._require_same_columns(other)
         exclude = {
             tuple(self._cell_key(cell) for cell in row) for row in other.rows
         }
-        rows = tuple(
-            row
-            for row in self.rows
-            if tuple(self._cell_key(cell) for cell in row) not in exclude
-        )
-        return Relation(self.columns, rows)
+        rows = []
+        for row in self.rows:
+            key = tuple(self._cell_key(cell) for cell in row)
+            if key not in exclude:
+                exclude.add(key)
+                rows.append(row)
+        return Relation(self.columns, tuple(rows))
 
     def values(self, column: str, role_path: str, into: str) -> "Relation":
         """Add a column of values dereferenced from an object column.
@@ -150,22 +193,20 @@ class Relation:
         nothing.
         """
         source = self._index(column)
+        if not role_path:
+            # "".split(".") is [""], which silently matched no role and
+            # dropped every row; reject the degenerate path instead
+            raise QueryError("empty role path")
+        if into in self.columns:
+            raise QueryError(f"duplicate column names: {self.columns + (into,)}")
         steps = role_path.split(".")
         rows = []
         for row in self.rows:
             obj = row[source]
             if not isinstance(obj, SeedObject):
                 raise QueryError(f"column {column!r} does not hold objects")
-            frontier = [obj]
-            for step in steps:
-                frontier = [
-                    child
-                    for node in frontier
-                    for child in node.effective_sub_objects(step)
-                ]
-            for node in frontier:
-                if node.value is not None:
-                    rows.append(row + (node.value,))
+            for value in dereference(obj, steps):
+                rows.append(row + (value,))
         return Relation(self.columns + (into,), tuple(rows))
 
     # -- inspection --------------------------------------------------------------------
@@ -253,9 +294,10 @@ def relationship_relation(
     assoc = db.schema.association(association)
     first_role, second_role = assoc.role_names()
     columns = (first_role, second_role) + tuple(with_attributes)
-    rows = []
-    for rel in db.iter_relationships(association, include_specials=include_specials):
-        row = [rel.bound_at(0), rel.bound_at(1)]
-        row.extend(rel.attribute(attr) for attr in with_attributes)
-        rows.append(tuple(row))
-    return Relation(columns, tuple(rows))
+    rows = tuple(
+        relationship_row(rel, with_attributes)
+        for rel in db.iter_relationships(
+            association, include_specials=include_specials
+        )
+    )
+    return Relation(columns, rows)

@@ -1,0 +1,1031 @@
+"""Cost-based query planner over the index layer.
+
+The eager :class:`~repro.core.query.algebra.Relation` algebra evaluates
+strictly left-to-right and fully materializes every intermediate table.
+This module keeps that algebra as the *reference implementation* and adds
+a planned evaluation path with three layers:
+
+1. **Logical plans** — a small tree of immutable nodes
+   (:class:`ExtentScan`, :class:`RelScan`, :class:`Select`,
+   :class:`Project`, :class:`Rename`, :class:`Join`, :class:`Union`,
+   :class:`Difference`, :class:`Values`) built through :func:`plan`,
+   whose builder mirrors the ``Relation`` API method for method.
+
+2. **A cost-based optimizer** that reads cardinality statistics from the
+   PR-1 :class:`~repro.core.indexes.IndexLayer` (extent sizes,
+   association counters, name-prefix counts) to
+
+   * push selections below joins, unions, differences, renames,
+     projections, and value dereferences;
+   * rewrite recognizable predicates into indexed scans — a
+     :class:`~repro.core.query.predicates.NamePrefix` selection over an
+     extent of independent classes becomes a bisected
+     ``objects_by_name_prefix`` range scan, and an
+     :class:`~repro.core.query.predicates.InClass` selection narrows the
+     scanned extent (``extent_oids``);
+   * reorder join trees greedily — smallest estimated input first,
+     always preferring join partners that share a column (no accidental
+     cartesian products) — restoring the original column order with an
+     internal :class:`Reorder` node.
+
+3. **A streaming executor** that yields rows through generators.
+   Selections, projections, renames, value dereferences, and the probe
+   side of every join stream; only pipeline breakers materialize (the
+   build side of a join — chosen as the smaller estimated input — the
+   subtrahend of a difference, and the duplicate-elimination sets of
+   union/projection). A join whose driving side is far smaller than a
+   bare association scan skips the scan entirely: it fetches each
+   driving object's incident relationships from the incidence index
+   (index nested-loop join), turning the join cost from O(association)
+   into O(matching edges).
+
+Equivalence contract: for any query built both ways, the planner's
+:meth:`Plan.execute` returns a relation whose row *multiset* equals the
+eager evaluation (verified for randomized schemas/populations/queries in
+``tests/test_planner_equivalence.py``). :meth:`Plan.explain` renders a
+deterministic plan tree with cardinality estimates for golden-snapshot
+testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.core.database import SeedDatabase
+from repro.core.errors import QueryError
+from repro.core.objects import SeedObject
+from repro.core.query.algebra import Relation, dereference, relationship_row
+from repro.core.query.predicates import (
+    And,
+    InClass,
+    NamePrefix,
+    describe_predicate,
+    narrowed_class,
+)
+
+__all__ = [
+    "plan",
+    "on",
+    "Plan",
+    "PlanBuilder",
+    "ColumnPredicate",
+    "ExtentScan",
+    "RelScan",
+    "Select",
+    "Project",
+    "Rename",
+    "Join",
+    "Union",
+    "Difference",
+    "Values",
+    "Reorder",
+]
+
+
+# ----------------------------------------------------------------------
+# predicates over rows
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnPredicate:
+    """A row predicate that tests a single column with an object predicate.
+
+    Works directly as a ``Relation.select`` predicate (it is a callable
+    over row dicts), while giving the optimizer the structure it needs:
+    the referenced column (for pushdown) and the cell-level predicate
+    (for indexed-scan rewrites).
+    """
+
+    column: str
+    predicate: Callable[[Any], bool]
+
+    def __call__(self, row: dict[str, Any]) -> bool:
+        return bool(self.predicate(row[self.column]))
+
+    def describe(self) -> str:
+        return f"{self.column}: {describe_predicate(self.predicate)}"
+
+
+def on(column: str, predicate: Callable[[Any], bool]) -> ColumnPredicate:
+    """Bind an object/value predicate to one column of a relation."""
+    return ColumnPredicate(column, predicate)
+
+
+# ----------------------------------------------------------------------
+# logical plan nodes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class PlanNode:
+    """Base of all logical plan nodes (immutable, identity-hashed)."""
+
+
+@dataclass(frozen=True, eq=False)
+class ExtentScan(PlanNode):
+    """Scan the live extent of a class into a one-column relation.
+
+    With ``prefix`` set (by the optimizer) the scan bisects the sorted
+    name index instead of walking the extent — sound only when every
+    class of the scanned family is independent, which the rewrite checks.
+    """
+
+    class_name: str
+    column: str
+    include_specials: bool = True
+    prefix: Optional[str] = None
+
+
+@dataclass(frozen=True, eq=False)
+class RelScan(PlanNode):
+    """Scan an association's instances into a two-column relation."""
+
+    association: str
+    include_specials: bool = True
+    with_attributes: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True, eq=False)
+class Select(PlanNode):
+    """Keep rows satisfying a predicate (row dict or :func:`on`)."""
+
+    child: PlanNode
+    predicate: Callable[[dict[str, Any]], bool]
+
+
+@dataclass(frozen=True, eq=False)
+class Project(PlanNode):
+    """Keep only the named columns, removing duplicate rows."""
+
+    child: PlanNode
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True, eq=False)
+class Rename(PlanNode):
+    """Rename columns; ``renames`` is a sorted (old, new) tuple."""
+
+    child: PlanNode
+    renames: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True, eq=False)
+class Join(PlanNode):
+    """Natural join on all shared columns (cartesian when none)."""
+
+    left: PlanNode
+    right: PlanNode
+
+
+@dataclass(frozen=True, eq=False)
+class Union(PlanNode):
+    """Set union of two same-column relations."""
+
+    left: PlanNode
+    right: PlanNode
+
+
+@dataclass(frozen=True, eq=False)
+class Difference(PlanNode):
+    """Set difference of two same-column relations."""
+
+    left: PlanNode
+    right: PlanNode
+
+
+@dataclass(frozen=True, eq=False)
+class Values(PlanNode):
+    """Dereference a role path of an object column into a value column."""
+
+    child: PlanNode
+    column: str
+    role_path: str
+    into: str
+
+
+@dataclass(frozen=True, eq=False)
+class Reorder(PlanNode):
+    """Permute columns (optimizer-internal; restores the original layout
+    after join reordering without the duplicate-removal of a Project)."""
+
+    child: PlanNode
+    columns: tuple[str, ...]
+
+
+# ----------------------------------------------------------------------
+# schema helpers
+# ----------------------------------------------------------------------
+
+
+def _columns_of(db: SeedDatabase, node: PlanNode) -> tuple[str, ...]:
+    """Output columns of *node*, computed statically."""
+    if isinstance(node, ExtentScan):
+        return (node.column,)
+    if isinstance(node, RelScan):
+        assoc = db.schema.association(node.association)
+        return assoc.role_names() + node.with_attributes
+    if isinstance(node, Select):
+        return _columns_of(db, node.child)
+    if isinstance(node, (Project, Reorder)):
+        return node.columns
+    if isinstance(node, Rename):
+        mapping = dict(node.renames)
+        return tuple(
+            mapping.get(column, column) for column in _columns_of(db, node.child)
+        )
+    if isinstance(node, Join):
+        left = _columns_of(db, node.left)
+        right = _columns_of(db, node.right)
+        return left + tuple(column for column in right if column not in left)
+    if isinstance(node, (Union, Difference)):
+        return _columns_of(db, node.left)
+    if isinstance(node, Values):
+        return _columns_of(db, node.child) + (node.into,)
+    raise AssertionError(f"unhandled node {type(node).__name__}")  # pragma: no cover
+
+
+def _family_is_independent(db: SeedDatabase, scan: ExtentScan) -> bool:
+    """True when every class the scan can yield is a top-level class.
+
+    Only then does every scanned instance appear in the sorted name
+    index, making the prefix range scan equivalent to the predicate.
+    """
+    wanted = db.schema.entity_class(scan.class_name)
+    if not wanted.is_independent:
+        return False
+    if scan.include_specials:
+        return all(special.is_independent for special in wanted.all_specials())
+    return True
+
+
+# ----------------------------------------------------------------------
+# cost model
+# ----------------------------------------------------------------------
+
+
+def _estimate(db: SeedDatabase, node: PlanNode, memo: dict[int, int]) -> int:
+    """Estimated output rows of *node*, from index-layer statistics."""
+    cached = memo.get(id(node))
+    if cached is not None:
+        return cached
+    estimate = _estimate_uncached(db, node, memo)
+    memo[id(node)] = estimate
+    return estimate
+
+
+def _estimate_uncached(db: SeedDatabase, node: PlanNode, memo: dict[int, int]) -> int:
+    indexes = db.indexes
+    if isinstance(node, ExtentScan):
+        wanted = db.schema.entity_class(node.class_name)
+        size = indexes.extent_size(wanted, node.include_specials)
+        if node.prefix is not None:
+            size = min(size, indexes.name_prefix_count(node.prefix))
+        return size
+    if isinstance(node, RelScan):
+        return indexes.association_size(node.association)
+    if isinstance(node, Select):
+        # fixed 1/3 selectivity: deterministic, and coarse is fine — the
+        # ordering decisions only need relative magnitudes
+        return max(1, _estimate(db, node.child, memo) // 3)
+    if isinstance(node, (Project, Rename, Reorder, Values)):
+        return _estimate(db, node.child, memo)
+    if isinstance(node, Join):
+        left = _estimate(db, node.left, memo)
+        right = _estimate(db, node.right, memo)
+        left_columns = _columns_of(db, node.left)
+        right_columns = _columns_of(db, node.right)
+        if any(column in left_columns for column in right_columns):
+            return max(left, right)
+        return left * right
+    if isinstance(node, Union):
+        return _estimate(db, node.left, memo) + _estimate(db, node.right, memo)
+    if isinstance(node, Difference):
+        return _estimate(db, node.left, memo)
+    raise AssertionError(f"unhandled node {type(node).__name__}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# optimizer
+# ----------------------------------------------------------------------
+
+
+def optimize(db: SeedDatabase, node: PlanNode) -> PlanNode:
+    """Full rewrite pipeline: pushdown, indexed scans, join order."""
+    node = _push_selections(db, node)
+    node = _rewrite_scans(db, node)
+    node = _reorder_joins(db, node)
+    return node
+
+
+def _push_selections(db: SeedDatabase, node: PlanNode) -> PlanNode:
+    """Sink every Select as deep as soundness allows."""
+    if isinstance(node, Select):
+        child = _push_selections(db, node.child)
+        return _sink(db, node.predicate, child)
+    if isinstance(node, (Project, Rename, Values, Reorder)):
+        return replace(node, child=_push_selections(db, node.child))
+    if isinstance(node, (Join, Union, Difference)):
+        return replace(
+            node,
+            left=_push_selections(db, node.left),
+            right=_push_selections(db, node.right),
+        )
+    return node
+
+
+def _sink(
+    db: SeedDatabase, predicate: Callable[[dict[str, Any]], bool], node: PlanNode
+) -> PlanNode:
+    """Place *predicate* as low in *node*'s tree as it stays sound."""
+    column = predicate.column if isinstance(predicate, ColumnPredicate) else None
+
+    if isinstance(node, Select):
+        # slide below sibling selections so scans end up directly under
+        # their filters (predicates are pure; order cannot matter)
+        return Select(_sink(db, predicate, node.child), node.predicate)
+    if isinstance(node, (Union, Difference)):
+        # σ(A ∪ B) = σA ∪ σB and σ(A − B) = σA − σB (key-equal rows give
+        # equal predicate results, so filtering the subtrahend is sound)
+        return replace(
+            node,
+            left=_sink(db, predicate, node.left),
+            right=_sink(db, predicate, node.right),
+        )
+    if column is None:
+        # opaque row predicate: only union/difference pushes are sound
+        return Select(node, predicate)
+    if isinstance(node, Rename):
+        inverse = {new: old for old, new in node.renames}
+        renamed = ColumnPredicate(inverse.get(column, column), predicate.predicate)
+        return replace(node, child=_sink(db, renamed, node.child))
+    if isinstance(node, Reorder):
+        return replace(node, child=_sink(db, predicate, node.child))
+    if isinstance(node, Project):
+        if column in node.columns:
+            return replace(node, child=_sink(db, predicate, node.child))
+        return Select(node, predicate)
+    if isinstance(node, Values):
+        if column != node.into:
+            return replace(node, child=_sink(db, predicate, node.child))
+        return Select(node, predicate)
+    if isinstance(node, Join):
+        left_columns = _columns_of(db, node.left)
+        right_columns = _columns_of(db, node.right)
+        left, right = node.left, node.right
+        pushed = False
+        if column in left_columns:
+            left = _sink(db, predicate, left)
+            pushed = True
+        if column in right_columns:
+            right = _sink(db, predicate, right)
+            pushed = True
+        if pushed:
+            return Join(left, right)
+        return Select(node, predicate)  # pragma: no cover - unknown column
+    return Select(node, predicate)
+
+
+def _rewrite_scans(db: SeedDatabase, node: PlanNode) -> PlanNode:
+    """Turn recognizable selections over extent scans into indexed scans."""
+    if isinstance(node, Select):
+        child = _rewrite_scans(db, node.child)
+        if isinstance(child, ExtentScan) and isinstance(
+            node.predicate, ColumnPredicate
+        ):
+            if node.predicate.column == child.column:
+                return _absorb_into_scan(db, child, node.predicate)
+        return Select(child, node.predicate)
+    if isinstance(node, (Project, Rename, Values, Reorder)):
+        return replace(node, child=_rewrite_scans(db, node.child))
+    if isinstance(node, (Join, Union, Difference)):
+        return replace(
+            node,
+            left=_rewrite_scans(db, node.left),
+            right=_rewrite_scans(db, node.right),
+        )
+    return node
+
+
+def _absorb_into_scan(
+    db: SeedDatabase, scan: ExtentScan, predicate: ColumnPredicate
+) -> PlanNode:
+    """Fold the indexable parts of *predicate* into *scan*."""
+    parts = (
+        list(predicate.predicate.parts)
+        if isinstance(predicate.predicate, And)
+        else [predicate.predicate]
+    )
+    residual: list[Callable[[Any], bool]] = []
+    for part in parts:
+        if isinstance(part, NamePrefix) and _family_is_independent(db, scan):
+            if scan.prefix is None or part.prefix.startswith(scan.prefix):
+                scan = replace(scan, prefix=part.prefix)
+            elif not scan.prefix.startswith(part.prefix):
+                # incompatible prefixes: provably empty, but keep the
+                # filter (no dedicated empty node) — it matches nothing
+                residual.append(part)
+        elif (
+            isinstance(part, InClass)
+            and part.include_specials
+            and scan.include_specials
+        ):
+            target = narrowed_class(db, scan.class_name, part)
+            if target is None:
+                residual.append(part)
+            else:  # narrowed, or implied (target == scanned class)
+                scan = replace(scan, class_name=target)
+        else:
+            residual.append(part)
+    if not residual:
+        return scan
+    remaining = residual[0] if len(residual) == 1 else And(tuple(residual))
+    return Select(scan, ColumnPredicate(predicate.column, remaining))
+
+
+def _reorder_joins(db: SeedDatabase, node: PlanNode) -> PlanNode:
+    """Greedily reorder maximal join chains, smallest estimate first."""
+    if isinstance(node, (Select, Project, Rename, Values, Reorder)):
+        return replace(node, child=_reorder_joins(db, node.child))
+    if isinstance(node, (Union, Difference)):
+        return replace(
+            node,
+            left=_reorder_joins(db, node.left),
+            right=_reorder_joins(db, node.right),
+        )
+    if not isinstance(node, Join):
+        return node
+
+    factors = [_reorder_joins(db, factor) for factor in _flatten_join(node)]
+    if len(factors) < 3:
+        rebuilt: PlanNode = factors[0]
+        for factor in factors[1:]:
+            rebuilt = Join(rebuilt, factor)
+        return rebuilt
+
+    original_columns = _columns_of(db, node)
+    memo: dict[int, int] = {}
+    estimates = [_estimate(db, factor, memo) for factor in factors]
+    remaining = list(range(len(factors)))
+    start = min(remaining, key=lambda i: (estimates[i], i))
+    remaining.remove(start)
+    tree: PlanNode = factors[start]
+    tree_columns = set(_columns_of(db, factors[start]))
+    tree_estimate = estimates[start]
+
+    while remaining:
+        connected = [
+            i
+            for i in remaining
+            if tree_columns & set(_columns_of(db, factors[i]))
+        ]
+        candidates = connected or remaining  # cartesian only when forced
+        def joined_size(i: int) -> int:
+            if tree_columns & set(_columns_of(db, factors[i])):
+                return max(tree_estimate, estimates[i])
+            return tree_estimate * estimates[i]
+        chosen = min(candidates, key=lambda i: (joined_size(i), estimates[i], i))
+        remaining.remove(chosen)
+        tree = Join(tree, factors[chosen])
+        tree_columns |= set(_columns_of(db, factors[chosen]))
+        tree_estimate = joined_size(chosen)
+
+    if _columns_of(db, tree) != original_columns:
+        tree = Reorder(tree, original_columns)
+    return tree
+
+
+def _flatten_join(node: PlanNode) -> list[PlanNode]:
+    if isinstance(node, Join):
+        return _flatten_join(node.left) + _flatten_join(node.right)
+    return [node]
+
+
+# ----------------------------------------------------------------------
+# streaming executor
+# ----------------------------------------------------------------------
+
+_cell_key = Relation._cell_key  # identical comparison semantics
+
+
+class _Executor:
+    """Generator-based evaluation of an (optimized) plan tree."""
+
+    def __init__(self, db: SeedDatabase) -> None:
+        self._db = db
+
+    def rows(self, node: PlanNode) -> Iterator[tuple]:
+        if isinstance(node, ExtentScan):
+            yield from self._scan_extent(node)
+        elif isinstance(node, RelScan):
+            yield from self._scan_relationships(node)
+        elif isinstance(node, Select):
+            yield from self._select(node)
+        elif isinstance(node, Project):
+            yield from self._project(node)
+        elif isinstance(node, Rename):
+            yield from self.rows(node.child)
+        elif isinstance(node, Reorder):
+            yield from self._reorder(node)
+        elif isinstance(node, Join):
+            yield from self._join(node)
+        elif isinstance(node, Union):
+            yield from self._union(node)
+        elif isinstance(node, Difference):
+            yield from self._difference(node)
+        elif isinstance(node, Values):
+            yield from self._values(node)
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unhandled node {type(node).__name__}")
+
+    # -- scans ---------------------------------------------------------
+
+    def _scan_extent(self, node: ExtentScan) -> Iterator[tuple]:
+        if node.prefix is None:
+            for obj in self._db.iter_objects(
+                node.class_name, include_specials=node.include_specials
+            ):
+                yield (obj,)
+            return
+        wanted = self._db.schema.entity_class(node.class_name)
+        for obj in self._db.objects_by_name_prefix(node.prefix):
+            if node.include_specials:
+                if not obj.entity_class.is_kind_of(wanted):
+                    continue
+            elif obj.entity_class is not wanted:
+                continue
+            yield (obj,)
+
+    def _scan_relationships(self, node: RelScan) -> Iterator[tuple]:
+        for rel in self._db.iter_relationships(
+            node.association, include_specials=node.include_specials
+        ):
+            yield relationship_row(rel, node.with_attributes)
+
+    # -- streaming operators -------------------------------------------
+
+    def _select(self, node: Select) -> Iterator[tuple]:
+        columns = _columns_of(self._db, node.child)
+        predicate = node.predicate
+        if isinstance(predicate, ColumnPredicate):
+            index = columns.index(predicate.column)
+            cell_test = predicate.predicate
+            for row in self.rows(node.child):
+                if cell_test(row[index]):
+                    yield row
+            return
+        for row in self.rows(node.child):
+            if predicate(dict(zip(columns, row))):
+                yield row
+
+    def _project(self, node: Project) -> Iterator[tuple]:
+        child_columns = _columns_of(self._db, node.child)
+        indices = [child_columns.index(column) for column in node.columns]
+        seen: set[tuple] = set()
+        for row in self.rows(node.child):
+            key = tuple(_cell_key(row[i]) for i in indices)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield tuple(row[i] for i in indices)
+
+    def _reorder(self, node: Reorder) -> Iterator[tuple]:
+        child_columns = _columns_of(self._db, node.child)
+        indices = [child_columns.index(column) for column in node.columns]
+        for row in self.rows(node.child):
+            yield tuple(row[i] for i in indices)
+
+    def _join(self, node: Join) -> Iterator[tuple]:
+        left_columns = _columns_of(self._db, node.left)
+        right_columns = _columns_of(self._db, node.right)
+        shared = [column for column in left_columns if column in right_columns]
+        right_only = [c for c in right_columns if c not in shared]
+        left_key = [left_columns.index(column) for column in shared]
+        right_key = [right_columns.index(column) for column in shared]
+        right_extra = [right_columns.index(column) for column in right_only]
+        memo: dict[int, int] = {}
+        left_estimate = _estimate(self._db, node.left, memo)
+        right_estimate = _estimate(self._db, node.right, memo)
+
+        # index nested-loop join: when one input is far smaller and the
+        # other is an association scan (possibly under selections, which
+        # then apply to the few fetched rows) joined through a role
+        # column, fetch only the incident relationships (incidence
+        # index) per driving row instead of scanning the whole family
+        if len(shared) == 1:
+            right_base, right_filter = self._peel_selects(node.right, right_columns)
+            if (
+                isinstance(right_base, RelScan)
+                and left_estimate <= right_estimate // 2
+                and shared[0] in right_columns[:2]
+            ):
+                yield from self._index_join(
+                    drive=node.left,
+                    scan=right_base,
+                    scan_filter=right_filter,
+                    position=right_columns[:2].index(shared[0]),
+                    source=left_columns.index(shared[0]),
+                    # the scanned side is the join's right: keep its
+                    # extra columns after the driving (left) row
+                    emit=lambda drive_row, rel_row: drive_row
+                    + tuple(rel_row[i] for i in right_extra),
+                )
+                return
+            left_base, left_filter = self._peel_selects(node.left, left_columns)
+            if (
+                isinstance(left_base, RelScan)
+                and right_estimate <= left_estimate // 2
+                and shared[0] in left_columns[:2]
+            ):
+                yield from self._index_join(
+                    drive=node.right,
+                    scan=left_base,
+                    scan_filter=left_filter,
+                    position=left_columns[:2].index(shared[0]),
+                    source=right_columns.index(shared[0]),
+                    # the scanned side is the join's left: its row
+                    # leads, the driving (right) row supplies extras
+                    emit=lambda drive_row, rel_row: rel_row
+                    + tuple(drive_row[i] for i in right_extra),
+                )
+                return
+
+        # hash join: materialize (build) the smaller estimated side,
+        # stream (probe) the larger — the pipeline breaker is half-size
+        build_left = left_estimate < right_estimate
+        if build_left:
+            table: dict[tuple, list[tuple]] = {}
+            for row in self.rows(node.left):
+                key = tuple(_cell_key(row[i]) for i in left_key)
+                table.setdefault(key, []).append(row)
+            for row in self.rows(node.right):
+                key = tuple(_cell_key(row[i]) for i in right_key)
+                extra = tuple(row[i] for i in right_extra)
+                for match in table.get(key, ()):
+                    yield match + extra
+        else:
+            table = {}
+            for row in self.rows(node.right):
+                key = tuple(_cell_key(row[i]) for i in right_key)
+                table.setdefault(key, []).append(row)
+            for row in self.rows(node.left):
+                key = tuple(_cell_key(row[i]) for i in left_key)
+                for match in table.get(key, ()):
+                    yield row + tuple(match[i] for i in right_extra)
+
+    def _index_join(
+        self,
+        *,
+        drive: PlanNode,
+        scan: RelScan,
+        scan_filter: Callable[[tuple], bool],
+        position: int,
+        source: int,
+        emit: Callable[[tuple, tuple], tuple],
+    ) -> Iterator[tuple]:
+        """Index nested-loop join core: stream *drive*, probe incidence.
+
+        Both join orientations share this loop; only the parameters
+        (which role position anchors, where the anchor sits in the
+        driving row, and how the output row is assembled) differ.
+        """
+        for row in self.rows(drive):
+            anchor = row[source]
+            if not isinstance(anchor, SeedObject):
+                continue  # value cell: can never match a role
+            for rel_row in self._incident_rows(scan, anchor, position):
+                if scan_filter(rel_row):
+                    yield emit(row, rel_row)
+
+    @staticmethod
+    def _peel_selects(
+        node: PlanNode, columns: tuple[str, ...]
+    ) -> tuple[PlanNode, Callable[[tuple], bool]]:
+        """Strip Select wrappers, returning the base and a row filter.
+
+        Selections preserve columns, so the peeled predicates can be
+        re-applied to rows produced for the base node.
+        """
+        tests: list[Callable[[tuple], bool]] = []
+        while isinstance(node, Select):
+            predicate = node.predicate
+            if isinstance(predicate, ColumnPredicate):
+                index = columns.index(predicate.column)
+                tests.append(
+                    lambda row, i=index, f=predicate.predicate: bool(f(row[i]))
+                )
+            else:
+                tests.append(
+                    lambda row, f=predicate: bool(f(dict(zip(columns, row))))
+                )
+            node = node.child
+        if not tests:
+            return node, lambda row: True
+        return node, lambda row: all(test(row) for test in tests)
+
+    def _incident_rows(
+        self, scan: RelScan, anchor: SeedObject, position: int
+    ) -> Iterator[tuple]:
+        """RelScan rows whose role at *position* binds *anchor*.
+
+        Served from the incidence index — O(degree of *anchor*) instead
+        of O(association). The bound-object identity check (not a role
+        lookup) keeps self-loop relationships correct.
+        """
+        wanted = self._db.schema.association(scan.association)
+        for rel in self._db.relationships_of_object(anchor, scan.association):
+            if not scan.include_specials and rel.association is not wanted:
+                continue
+            if rel.bound_at(position).oid != anchor.oid:
+                continue
+            yield relationship_row(rel, scan.with_attributes)
+
+    def _union(self, node: Union) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for side in (node.left, node.right):
+            for row in self.rows(side):
+                key = tuple(_cell_key(cell) for cell in row)
+                if key not in seen:
+                    seen.add(key)
+                    yield row
+
+    def _difference(self, node: Difference) -> Iterator[tuple]:
+        exclude = {
+            tuple(_cell_key(cell) for cell in row) for row in self.rows(node.right)
+        }
+        for row in self.rows(node.left):
+            key = tuple(_cell_key(cell) for cell in row)
+            if key not in exclude:
+                exclude.add(key)  # set semantics: first occurrence only
+                yield row
+
+    def _values(self, node: Values) -> Iterator[tuple]:
+        child_columns = _columns_of(self._db, node.child)
+        source = child_columns.index(node.column)
+        steps = node.role_path.split(".")
+        for row in self.rows(node.child):
+            obj = row[source]
+            if not isinstance(obj, SeedObject):
+                raise QueryError(f"column {node.column!r} does not hold objects")
+            for value in dereference(obj, steps):
+                yield row + (value,)
+
+
+# ----------------------------------------------------------------------
+# explain
+# ----------------------------------------------------------------------
+
+
+def _node_label(db: SeedDatabase, node: PlanNode, memo: dict[int, int]) -> str:
+    estimate = _estimate(db, node, memo)
+    if isinstance(node, ExtentScan):
+        detail = f"ExtentScan {node.class_name} as {node.column}"
+        if not node.include_specials:
+            detail += " exact"
+        if node.prefix is not None:
+            detail += f" prefix={node.prefix!r}"
+    elif isinstance(node, RelScan):
+        roles = ", ".join(_columns_of(db, node))
+        detail = f"RelScan {node.association} ({roles})"
+    elif isinstance(node, Select):
+        detail = f"Select {describe_predicate(node.predicate)}"
+    elif isinstance(node, Project):
+        detail = f"Project [{', '.join(node.columns)}]"
+    elif isinstance(node, Rename):
+        pairs = ", ".join(f"{old}->{new}" for old, new in node.renames)
+        detail = f"Rename {pairs}"
+    elif isinstance(node, Reorder):
+        detail = f"Reorder [{', '.join(node.columns)}]"
+    elif isinstance(node, Join):
+        left = _columns_of(db, node.left)
+        shared = [c for c in _columns_of(db, node.right) if c in left]
+        detail = f"Join on [{', '.join(shared)}]" if shared else "Join cartesian"
+    elif isinstance(node, Union):
+        detail = "Union"
+    elif isinstance(node, Difference):
+        detail = "Difference"
+    elif isinstance(node, Values):
+        detail = f"Values {node.column}.{node.role_path} -> {node.into}"
+    else:  # pragma: no cover - exhaustive
+        raise AssertionError(f"unhandled node {type(node).__name__}")
+    return f"{detail}  est~{estimate}"
+
+
+def _children_of(node: PlanNode) -> tuple[PlanNode, ...]:
+    if isinstance(node, (Select, Project, Rename, Values, Reorder)):
+        return (node.child,)
+    if isinstance(node, (Join, Union, Difference)):
+        return (node.left, node.right)
+    return ()
+
+
+def _render(
+    db: SeedDatabase,
+    node: PlanNode,
+    memo: dict[int, int],
+    lines: list[str],
+    indent: str,
+    branch: str,
+    follow: str,
+) -> None:
+    lines.append(indent + branch + _node_label(db, node, memo))
+    children = _children_of(node)
+    for position, child in enumerate(children):
+        last = position == len(children) - 1
+        _render(
+            db,
+            child,
+            memo,
+            lines,
+            indent + follow,
+            "└─ " if last else "├─ ",
+            "   " if last else "│  ",
+        )
+
+
+def explain(db: SeedDatabase, node: PlanNode) -> str:
+    """Deterministic multi-line rendering of a plan tree with estimates."""
+    memo: dict[int, int] = {}
+    lines: list[str] = []
+    _render(db, node, memo, lines, "", "", "")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the builder API (mirrors Relation)
+# ----------------------------------------------------------------------
+
+
+class Plan:
+    """An immutable logical query plan bound to one database.
+
+    Composes exactly like :class:`~repro.core.query.algebra.Relation`
+    (``select``/``project``/``rename``/``join``/``union``/``difference``/
+    ``values``) but builds a plan tree instead of evaluating; call
+    :meth:`execute` for a materialized ``Relation``, :meth:`rows` to
+    stream, or :meth:`explain` for the optimized plan tree.
+    """
+
+    def __init__(self, db: SeedDatabase, node: PlanNode) -> None:
+        self._db = db
+        self.node = node
+
+    # -- composition (mirrors Relation) --------------------------------
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return _columns_of(self._db, self.node)
+
+    def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "Plan":
+        """Keep rows whose column dict satisfies *predicate*.
+
+        Pass :func:`on` (a :class:`ColumnPredicate`) to give the
+        optimizer pushdown and indexed-rewrite opportunities; plain
+        row callables are executed as opaque filters.
+        """
+        if isinstance(predicate, ColumnPredicate):
+            self._require_column(predicate.column)
+        return Plan(self._db, Select(self.node, predicate))
+
+    def project(self, *columns: str) -> "Plan":
+        """Keep only *columns* (duplicate rows removed)."""
+        for column in columns:
+            self._require_column(column)
+        if len(set(columns)) != len(columns):
+            raise QueryError(f"duplicate column names: {tuple(columns)}")
+        return Plan(self._db, Project(self.node, tuple(columns)))
+
+    def rename(self, **renames: str) -> "Plan":
+        """Rename columns: ``plan.rename(by="reader")``."""
+        for old in renames:
+            self._require_column(old)
+        renamed = tuple(
+            renames.get(column, column) for column in self.columns
+        )
+        if len(set(renamed)) != len(renamed):
+            raise QueryError(f"duplicate column names: {renamed}")
+        return Plan(
+            self._db, Rename(self.node, tuple(sorted(renames.items())))
+        )
+
+    def join(self, other: "Plan") -> "Plan":
+        """Natural join on all shared columns (object identity)."""
+        self._require_same_db(other)
+        return Plan(self._db, Join(self.node, other.node))
+
+    def union(self, other: "Plan") -> "Plan":
+        """Set union (columns must match)."""
+        self._require_same_db(other)
+        self._require_same_columns(other)
+        return Plan(self._db, Union(self.node, other.node))
+
+    def difference(self, other: "Plan") -> "Plan":
+        """Set difference (columns must match)."""
+        self._require_same_db(other)
+        self._require_same_columns(other)
+        return Plan(self._db, Difference(self.node, other.node))
+
+    def values(self, column: str, role_path: str, into: str) -> "Plan":
+        """Add a column of values dereferenced from an object column."""
+        self._require_column(column)
+        if not role_path:
+            raise QueryError("empty role path")
+        if into in self.columns:
+            raise QueryError(f"duplicate column names: {self.columns + (into,)}")
+        return Plan(self._db, Values(self.node, column, role_path, into))
+
+    # -- evaluation ----------------------------------------------------
+
+    def optimized(self) -> PlanNode:
+        """The optimizer's output for this plan (a new node tree)."""
+        return optimize(self._db, self.node)
+
+    def explain(self, *, optimized: bool = True) -> str:
+        """Deterministic plan-tree rendering with cardinality estimates.
+
+        Example::
+
+            >>> print(plan(db).extent("Data", column="d")
+            ...          .select(on("d", name_prefix("Al")))
+            ...          .explain())
+            ExtentScan Data as d prefix='Al'  est~1
+        """
+        node = self.optimized() if optimized else self.node
+        return explain(self._db, node)
+
+    def rows(self, *, optimized: bool = True) -> Iterator[tuple]:
+        """Stream result rows (tuples aligned with :attr:`columns`)."""
+        node = self.optimized() if optimized else self.node
+        return _Executor(self._db).rows(node)
+
+    def execute(self, *, optimized: bool = True) -> Relation:
+        """Materialize the (by default optimized) plan into a Relation."""
+        return Relation(self.columns, tuple(self.rows(optimized=optimized)))
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        columns = self.columns
+        for row in self.rows():
+            yield dict(zip(columns, row))
+
+    # -- internals -----------------------------------------------------
+
+    def _require_column(self, column: str) -> None:
+        columns = self.columns
+        if column not in columns:
+            raise QueryError(
+                f"no column {column!r} (columns: {', '.join(columns)})"
+            )
+
+    def _require_same_columns(self, other: "Plan") -> None:
+        if self.columns != other.columns:
+            raise QueryError(
+                f"column mismatch: {self.columns} vs {other.columns}"
+            )
+
+    def _require_same_db(self, other: "Plan") -> None:
+        if other._db is not self._db:
+            raise QueryError("cannot combine plans over different databases")
+
+
+class PlanBuilder:
+    """Entry point producing leaf plans for one database."""
+
+    def __init__(self, db: SeedDatabase) -> None:
+        self._db = db
+
+    def extent(
+        self,
+        class_name: str,
+        *,
+        column: Optional[str] = None,
+        include_specials: bool = True,
+    ) -> Plan:
+        """One-column plan over a class's live instances."""
+        self._db.schema.entity_class(class_name)  # validate early
+        name = column or class_name.lower()
+        return Plan(
+            self._db, ExtentScan(class_name, name, include_specials)
+        )
+
+    def relationship(
+        self,
+        association: str,
+        *,
+        include_specials: bool = True,
+        with_attributes: Sequence[str] = (),
+    ) -> Plan:
+        """Two-column plan over an association's instances."""
+        assoc = self._db.schema.association(association)  # validate early
+        columns = assoc.role_names() + tuple(with_attributes)
+        if len(set(columns)) != len(columns):
+            raise QueryError(f"duplicate column names: {columns}")
+        return Plan(
+            self._db,
+            RelScan(association, include_specials, tuple(with_attributes)),
+        )
+
+
+def plan(db: SeedDatabase) -> PlanBuilder:
+    """Start building a planned query: ``plan(db).extent("Data")...``."""
+    return PlanBuilder(db)

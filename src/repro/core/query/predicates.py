@@ -4,7 +4,18 @@ The SEED prototype only offered retrieval by name; this module is part
 of the query extension (the paper cites Parent & Spaccapietra's
 entity-relationship algebra as the natural next step). Predicates are
 small composable callables used by :mod:`repro.core.query.retrieval`
-selections and :mod:`repro.core.query.algebra` operations.
+selections, :mod:`repro.core.query.algebra` operations, and the
+cost-based planner in :mod:`repro.core.query.planner`.
+
+Predicates are *structured*: each factory returns an
+:class:`ObjectPredicate` — still a plain callable ``obj -> bool``, but
+one the planner can inspect. :class:`NamePrefix` and :class:`InClass`
+carry enough metadata to be rewritten into indexed scans
+(``objects_by_name_prefix`` / ``extent_oids``), and :class:`And` /
+:class:`Or` / :class:`Not` preserve the boolean structure so a
+conjunction can be split into an indexable part and a residual filter.
+Every predicate renders a deterministic :meth:`~ObjectPredicate.describe`
+string, which keeps ``explain()`` output stable across runs.
 
 Per the paper's stated semantics for incomplete data, "an undefined
 object matches nothing": value predicates are false for undefined
@@ -14,18 +25,29 @@ values rather than raising.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.core.objects import SeedObject
 
 __all__ = [
     "Predicate",
+    "ObjectPredicate",
+    "FunctionPredicate",
+    "And",
+    "Or",
+    "Not",
+    "NamePrefix",
+    "InClass",
+    "describe_predicate",
+    "narrowed_class",
     "true",
     "false",
     "both",
     "either",
     "negate",
     "name_is",
+    "name_prefix",
     "name_matches",
     "in_class",
     "has_value",
@@ -35,8 +57,149 @@ __all__ = [
     "participates_in",
 ]
 
-#: a predicate over objects
+#: a predicate over objects (any callable works; structured ones optimize)
 Predicate = Callable[[SeedObject], bool]
+
+
+class ObjectPredicate:
+    """A callable object predicate the planner can inspect.
+
+    Subclasses implement ``__call__`` (the test) and :meth:`describe`
+    (a deterministic rendering used by ``explain()`` and golden plan
+    snapshots — never ``repr`` a closure, addresses vary per run).
+    """
+
+    def __call__(self, obj: SeedObject) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+def describe_predicate(predicate: Any) -> str:
+    """Deterministic description of any predicate-like callable."""
+    if isinstance(predicate, ObjectPredicate):
+        return predicate.describe()
+    if hasattr(predicate, "describe"):
+        return predicate.describe()
+    name = getattr(predicate, "__name__", None)
+    return name if name else "predicate"
+
+
+@dataclass(frozen=True)
+class FunctionPredicate(ObjectPredicate):
+    """Wrap an opaque callable with a stable description."""
+
+    fn: Predicate
+    description: str
+
+    def __call__(self, obj: SeedObject) -> bool:
+        return bool(self.fn(obj))
+
+    def describe(self) -> str:
+        return self.description
+
+
+@dataclass(frozen=True)
+class And(ObjectPredicate):
+    """Conjunction; the planner splits it into indexable + residual parts."""
+
+    parts: tuple[Predicate, ...]
+
+    def __call__(self, obj: SeedObject) -> bool:
+        return all(part(obj) for part in self.parts)
+
+    def describe(self) -> str:
+        return "(" + " and ".join(describe_predicate(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or(ObjectPredicate):
+    """Disjunction."""
+
+    parts: tuple[Predicate, ...]
+
+    def __call__(self, obj: SeedObject) -> bool:
+        return any(part(obj) for part in self.parts)
+
+    def describe(self) -> str:
+        return "(" + " or ".join(describe_predicate(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Not(ObjectPredicate):
+    """Negation."""
+
+    part: Predicate
+
+    def __call__(self, obj: SeedObject) -> bool:
+        return not self.part(obj)
+
+    def describe(self) -> str:
+        return f"not {describe_predicate(self.part)}"
+
+
+@dataclass(frozen=True)
+class NamePrefix(ObjectPredicate):
+    """Match objects whose full dotted name starts with *prefix*.
+
+    Recognized by the planner: a selection with this predicate over an
+    extent of independent classes becomes a bisected name-index scan.
+    """
+
+    prefix: str
+
+    def __call__(self, obj: SeedObject) -> bool:
+        return str(obj.name).startswith(self.prefix)
+
+    def describe(self) -> str:
+        return f"name^={self.prefix!r}"
+
+
+@dataclass(frozen=True)
+class InClass(ObjectPredicate):
+    """Match instances of *class_name* (specializations by default).
+
+    Recognized by the planner: a selection with this predicate over an
+    extent scan narrows the scanned extent (``extent_oids``) instead of
+    testing every row.
+    """
+
+    class_name: str
+    include_specials: bool = True
+
+    def __call__(self, obj: SeedObject) -> bool:
+        schema = obj._database.schema  # noqa: SLF001 - query-internal access
+        wanted = schema.entity_class(self.class_name)
+        if self.include_specials:
+            return obj.entity_class.is_kind_of(wanted)
+        return obj.entity_class is wanted
+
+    def describe(self) -> str:
+        exact = "" if self.include_specials else ", exact"
+        return f"in_class({self.class_name}{exact})"
+
+
+def narrowed_class(db: Any, base_name: str, predicate: InClass) -> Optional[str]:
+    """Class the extent of *base_name* narrows to under *predicate*.
+
+    Returns the narrower class name when the predicate implies a
+    sub-extent, *base_name* itself when the scanned class already
+    implies the predicate (the test can be dropped), or None when the
+    classes are unrelated and the predicate must stay a filter. Shared
+    by the planner's scan rewrite and ``Retrieval``'s fast paths so the
+    narrowing semantics cannot drift apart.
+    """
+    wanted = db.schema.entity_class(predicate.class_name)
+    base = db.schema.entity_class(base_name)
+    if wanted.is_kind_of(base):
+        return predicate.class_name
+    if base.is_kind_of(wanted):
+        return base_name
+    return None
 
 
 def true(_obj: SeedObject) -> bool:
@@ -49,63 +212,45 @@ def false(_obj: SeedObject) -> bool:
     return False
 
 
-def both(*predicates: Predicate) -> Predicate:
+def both(*predicates: Predicate) -> And:
     """Conjunction of *predicates*."""
-
-    def check(obj: SeedObject) -> bool:
-        return all(predicate(obj) for predicate in predicates)
-
-    return check
+    return And(tuple(predicates))
 
 
-def either(*predicates: Predicate) -> Predicate:
+def either(*predicates: Predicate) -> Or:
     """Disjunction of *predicates*."""
-
-    def check(obj: SeedObject) -> bool:
-        return any(predicate(obj) for predicate in predicates)
-
-    return check
+    return Or(tuple(predicates))
 
 
-def negate(predicate: Predicate) -> Predicate:
+def negate(predicate: Predicate) -> Not:
     """Negation of *predicate*."""
-
-    def check(obj: SeedObject) -> bool:
-        return not predicate(obj)
-
-    return check
+    return Not(predicate)
 
 
-def name_is(name: str) -> Predicate:
+def name_is(name: str) -> ObjectPredicate:
     """Match objects whose full dotted name equals *name*."""
-
-    def check(obj: SeedObject) -> bool:
-        return str(obj.name) == name
-
-    return check
+    return FunctionPredicate(
+        lambda obj: str(obj.name) == name, f"name=={name!r}"
+    )
 
 
-def name_matches(pattern: str) -> Predicate:
+def name_prefix(prefix: str) -> NamePrefix:
+    """Match objects whose full dotted name starts with *prefix*."""
+    return NamePrefix(prefix)
+
+
+def name_matches(pattern: str) -> ObjectPredicate:
     """Match objects whose dotted name matches regex *pattern*."""
     compiled = re.compile(pattern)
+    return FunctionPredicate(
+        lambda obj: compiled.search(str(obj.name)) is not None,
+        f"name~{pattern!r}",
+    )
 
-    def check(obj: SeedObject) -> bool:
-        return compiled.search(str(obj.name)) is not None
 
-    return check
-
-
-def in_class(class_name: str, *, include_specials: bool = True) -> Predicate:
+def in_class(class_name: str, *, include_specials: bool = True) -> InClass:
     """Match instances of *class_name* (specializations count by default)."""
-
-    def check(obj: SeedObject) -> bool:
-        schema = obj._database.schema  # noqa: SLF001 - query-internal access
-        wanted = schema.entity_class(class_name)
-        if include_specials:
-            return obj.entity_class.is_kind_of(wanted)
-        return obj.entity_class is wanted
-
-    return check
+    return InClass(class_name, include_specials)
 
 
 def has_value(_obj: Optional[SeedObject] = None) -> Any:
@@ -115,30 +260,29 @@ def has_value(_obj: Optional[SeedObject] = None) -> Any:
     argument to obtain the predicate explicitly.
     """
     if _obj is None:
-        return lambda obj: obj.value is not None
+        return FunctionPredicate(lambda obj: obj.value is not None, "has_value")
     return _obj.value is not None
 
 
-def value_is(expected: Any) -> Predicate:
+def value_is(expected: Any) -> ObjectPredicate:
     """Match defined values equal to *expected* (undefined matches nothing)."""
+    return FunctionPredicate(
+        lambda obj: obj.value is not None and obj.value == expected,
+        f"value=={expected!r}",
+    )
 
-    def check(obj: SeedObject) -> bool:
-        return obj.value is not None and obj.value == expected
 
-    return check
-
-
-def value_matches(pattern: str) -> Predicate:
+def value_matches(pattern: str) -> ObjectPredicate:
     """Match defined string values against regex *pattern*."""
     compiled = re.compile(pattern)
+    return FunctionPredicate(
+        lambda obj: isinstance(obj.value, str)
+        and compiled.search(obj.value) is not None,
+        f"value~{pattern!r}",
+    )
 
-    def check(obj: SeedObject) -> bool:
-        return isinstance(obj.value, str) and compiled.search(obj.value) is not None
 
-    return check
-
-
-def sub_object_value(role_path: str, expected: Any) -> Predicate:
+def sub_object_value(role_path: str, expected: Any) -> ObjectPredicate:
     """Match objects with a sub-object at *role_path* holding *expected*.
 
     ``sub_object_value("Text.Selector", "Representation")`` matches the
@@ -159,10 +303,10 @@ def sub_object_value(role_path: str, expected: Any) -> Predicate:
                 return False
         return any(node.value is not None and node.value == expected for node in frontier)
 
-    return check
+    return FunctionPredicate(check, f"{role_path}=={expected!r}")
 
 
-def participates_in(association: str, role: Optional[str] = None) -> Predicate:
+def participates_in(association: str, role: Optional[str] = None) -> ObjectPredicate:
     """Match objects bound in at least one *association* relationship.
 
     With *role*, the object must be bound in that role. Effective
@@ -180,4 +324,5 @@ def participates_in(association: str, role: Optional[str] = None) -> Predicate:
                 return True
         return False
 
-    return check
+    at_role = f", {role}" if role else ""
+    return FunctionPredicate(check, f"participates_in({association}{at_role})")

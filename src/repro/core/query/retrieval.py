@@ -7,6 +7,12 @@ supported." — the by-name procedures live directly on
 slightly richer retrieval style tools actually need (name patterns,
 class extents with predicates, role navigation chains) without yet
 being the full algebra (see :mod:`repro.core.query.algebra`).
+
+Retrieval is wired through the planner's indexed access paths: complex
+queries start from :meth:`Retrieval.plan`, and the simple operations
+recognize :class:`~repro.core.query.predicates.InClass` /
+:class:`~repro.core.query.predicates.NamePrefix` predicates and serve
+them from the extent / sorted-name indexes instead of scanning.
 """
 
 from __future__ import annotations
@@ -16,8 +22,15 @@ from functools import lru_cache
 from typing import Iterator, Optional
 
 from repro.core.database import SeedDatabase
+from repro.core.errors import SeedError
 from repro.core.objects import SeedObject
-from repro.core.query.predicates import Predicate
+from repro.core.query.planner import PlanBuilder
+from repro.core.query.predicates import (
+    InClass,
+    NamePrefix,
+    Predicate,
+    narrowed_class,
+)
 
 __all__ = ["Retrieval"]
 
@@ -28,11 +41,55 @@ def _compiled(pattern: str) -> "re.Pattern[str]":
     return re.compile(pattern)
 
 
+_METACHARACTERS = r".^$*+?{}[]()|\\"
+
+
+def _literal_prefix(pattern: str) -> Optional[str]:
+    """The literal name prefix implied by a ``^``-anchored regex, if any.
+
+    ``^Alarms\\.Text`` implies every match's name starts with
+    ``Alarms.Text``; the planner-style rewrite turns the full scan into
+    a bisected prefix retrieval. Returns None when no safe prefix can be
+    derived (unanchored, alternation, or a leading metacharacter).
+    """
+    if not pattern.startswith("^") or "|" in pattern:
+        return None
+    literal: list[str] = []
+    position = 1
+    while position < len(pattern):
+        char = pattern[position]
+        if char == "\\" and position + 1 < len(pattern):
+            following = pattern[position + 1]
+            if following in _METACHARACTERS:
+                literal.append(following)
+                position += 2
+                continue
+            break  # escape class like \d: not a literal
+        if char in _METACHARACTERS:
+            if char in "*?{" and literal:
+                literal.pop()  # the quantifier makes the last char optional
+            break
+        literal.append(char)
+        position += 1
+    return "".join(literal) or None
+
+
 class Retrieval:
     """Read-only retrieval helper bound to one database."""
 
     def __init__(self, db: SeedDatabase) -> None:
         self._db = db
+
+    # -- planned queries ---------------------------------------------------
+
+    def plan(self) -> PlanBuilder:
+        """Start a planned ER-algebra query over this database.
+
+        ``retrieval.plan().extent("Data").select(...)`` builds a logical
+        plan the cost-based optimizer evaluates through the index layer;
+        see :mod:`repro.core.query.planner`.
+        """
+        return PlanBuilder(self._db)
 
     # -- by name -----------------------------------------------------------
 
@@ -48,16 +105,58 @@ class Retrieval:
         """
         return self._db.objects_by_name_prefix(prefix)
 
+    def by_name_prefix_deep(self, prefix: str) -> list[SeedObject]:
+        """All objects (any depth) whose dotted name starts with *prefix*.
+
+        Unlike :meth:`by_name_prefix` this includes sub-objects
+        (``Alarms.Text[0].Selector``); like it, the candidate roots come
+        from the bisected name index, so only the matching subtrees are
+        walked. Results come in creation (oid) order, matching what a
+        full scan with a :class:`NamePrefix` predicate yields.
+        """
+        results: list[SeedObject] = []
+        # roots whose own name already starts with the prefix: their
+        # whole subtrees match (descendant names extend the root's name)
+        for root in self._db.objects_by_name_prefix(prefix):
+            results.extend(
+                node for node in root.walk() if not node.in_pattern_context
+            )
+        # roots whose name is a strict prefix of the requested one: the
+        # prefix reaches into their subtree, so filter while walking
+        for length in range(1, len(prefix)):
+            try:
+                root = self._db.find_object(prefix[:length])
+            except SeedError:  # partial prefix is not a parseable name
+                continue
+            if root is None or root.parent is not None:
+                continue
+            results.extend(
+                node
+                for node in root.walk()
+                if not node.in_pattern_context
+                and str(node.name).startswith(prefix)
+            )
+        results.sort(key=lambda obj: obj.oid)
+        return results
+
     def by_name_pattern(self, pattern: str) -> list[SeedObject]:
         """All objects (any depth) whose dotted name matches a regex.
 
-        Compiled patterns are cached, so repeatedly issuing the same
-        query (the persistent-query workload) skips recompilation.
+        Compiled patterns are cached, and ``^``-anchored patterns with a
+        literal prefix are served from the sorted name index (only the
+        matching subtrees are scanned) — the planner's indexed-rewrite
+        applied to the prototype-level operation.
         """
         compiled = _compiled(pattern)
+        prefix = _literal_prefix(pattern)
+        candidates: Iterator[SeedObject] | list[SeedObject]
+        if prefix is not None:
+            candidates = self.by_name_prefix_deep(prefix)
+        else:
+            candidates = self._db.iter_objects()
         return [
             obj
-            for obj in self._db.iter_objects()
+            for obj in candidates
             if compiled.search(str(obj.name)) is not None
         ]
 
@@ -73,8 +172,19 @@ class Retrieval:
         """Lazily yield instances of a class, optionally predicate-filtered.
 
         Backed by the extent index: consumers that stop early (or only
-        count) never materialise the full extent list.
+        count) never materialise the full extent list. A structured
+        :class:`InClass` predicate narrows the scanned extent instead of
+        testing every instance.
         """
+        if (
+            isinstance(where, InClass)
+            and where.include_specials
+            and include_specials
+        ):
+            target = narrowed_class(self._db, class_name, where)
+            if target is not None:  # narrowed sub-extent, or implied
+                yield from self._db.iter_objects(target)
+                return
         extent = self._db.iter_objects(
             class_name, include_specials=include_specials
         )
@@ -115,7 +225,19 @@ class Retrieval:
         )
 
     def select(self, where: Predicate) -> list[SeedObject]:
-        """All live objects satisfying *where*."""
+        """All live objects satisfying *where*.
+
+        Structured predicates use the index layer: :class:`InClass`
+        reads the class extent (generalization rollup included) and
+        :class:`NamePrefix` bisects the name index, each O(|answer|)
+        instead of O(|database|).
+        """
+        if isinstance(where, InClass):
+            return self._db.objects(
+                where.class_name, include_specials=where.include_specials
+            )
+        if isinstance(where, NamePrefix):
+            return self.by_name_prefix_deep(where.prefix)
         return [obj for obj in self._db.iter_objects() if where(obj)]
 
     # -- navigation ------------------------------------------------------------------

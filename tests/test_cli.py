@@ -81,3 +81,69 @@ class TestCommands:
         db_path = tmp_path / "gappy.seed"
         main(["load", str(spec_path), "-o", str(db_path)])
         assert main(["completeness", str(db_path)]) == 2
+
+
+class TestQueryCommand:
+    def test_extent_query(self, db_file, capsys):
+        assert main(["query", str(db_file), "--extent", "Data"]) == 0
+        out = capsys.readouterr().out
+        assert "Alarms" in out
+        assert "(1 rows)" in out
+
+    def test_extent_with_prefix_and_join(self, db_file, capsys):
+        assert main([
+            "query", str(db_file),
+            "--extent", "Data", "--prefix", "Al", "--via", "Access",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "data\tby" in out
+        assert "Alarms\tHandler" in out
+        assert "(2 rows)" in out  # one read + one write flow
+
+    def test_explain_shows_indexed_scan(self, db_file, capsys):
+        assert main([
+            "query", str(db_file),
+            "--extent", "Data", "--prefix", "Al", "--via", "Access",
+            "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ExtentScan Data as data prefix='Al'" in out
+        assert "RelScan Access (data, by)" in out
+
+    def test_association_scan(self, db_file, capsys):
+        assert main(["query", str(db_file), "--association", "Write"]) == 0
+        out = capsys.readouterr().out
+        assert "to\tby" in out
+        assert "Alarms\tHandler" in out
+
+    def test_query_without_source_is_error(self, db_file, capsys):
+        assert main(["query", str(db_file)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_conflicting_sources_are_rejected(self, db_file, capsys):
+        assert main([
+            "query", str(db_file), "--extent", "Data", "--association", "Read",
+        ]) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_prefix_without_extent_is_rejected(self, db_file, capsys):
+        assert main([
+            "query", str(db_file), "--association", "Write", "--prefix", "Al",
+        ]) == 1
+        assert "--extent queries only" in capsys.readouterr().err
+
+    def test_via_picks_the_matching_role(self, db_file, capsys):
+        # Action binds the second role of Access ("by"); the join must
+        # target that role, not default to the first
+        assert main([
+            "query", str(db_file), "--extent", "Action", "--via", "Access",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "by\tdata" in out
+        assert "(2 rows)" in out  # Handler reads and writes Alarms
+
+    def test_via_with_unbound_class_is_error(self, db_file, capsys):
+        assert main([
+            "query", str(db_file), "--extent", "Module", "--via", "Read",
+        ]) == 1
+        assert "bound at no role" in capsys.readouterr().err

@@ -1,0 +1,317 @@
+"""Optimizer soundness and plan determinism.
+
+Property tests: selection pushdown, indexed-scan rewrites, and join
+reordering never change result multisets (optimized vs. unoptimized
+execution of the same plan); ``explain()`` is deterministic across
+plan objects, runs, and identically-built databases (golden snapshots).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _planner_gen import build_population, random_query, row_multiset
+from repro.core.database import SeedDatabase
+from repro.core.errors import QueryError
+from repro.core.indexes import brute_objects, brute_relationships
+from repro.core.query.planner import (
+    ExtentScan,
+    Join,
+    Reorder,
+    Select,
+    Union,
+    on,
+    plan,
+)
+from repro.core.query.predicates import both, in_class, name_prefix
+from repro.core.query.retrieval import Retrieval
+from repro.spades.model import spades_schema
+
+
+def make_db() -> SeedDatabase:
+    """A small deterministic figure-1-style database."""
+    db = SeedDatabase(spades_schema(), "plans")
+    alarms = db.create_object("OutputData", "Alarms")
+    status = db.create_object("InputData", "Status")
+    db.create_object("Data", "Config")
+    handler = db.create_object("Action", "Handler")
+    handler.add_sub_object("Description", "handles")
+    monitor = db.create_object("Action", "Monitor")
+    monitor.add_sub_object("Description", "monitors")
+    db.relate("Write", {"to": alarms, "by": handler}, attributes={"NumberOfWrites": 2})
+    db.relate("Read", {"from": status, "by": handler})
+    db.relate("Read", {"from": status, "by": monitor})
+    db.relate("Triggers", trigger=handler, triggered=monitor)
+    text = alarms.add_sub_object("Text")
+    text.add_sub_object("Body").add_sub_object("Contents", "alarm matrix")
+    text.add_sub_object("Selector", "Representation")
+    return db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_db()
+
+
+class TestGoldenPlans:
+    def test_conjunction_absorbed_into_indexed_scan(self, db):
+        query = (
+            plan(db)
+            .extent("Data", column="d")
+            .select(on("d", both(name_prefix("Al"), in_class("OutputData"))))
+        )
+        assert query.explain() == (
+            "ExtentScan OutputData as d prefix='Al'  est~1"
+        )
+
+    def test_selection_pushed_through_multiway_join(self, db):
+        query = (
+            plan(db)
+            .extent("Data", column="data")
+            .join(
+                plan(db)
+                .relationship("Read")
+                .rename(**{"from": "data"})
+                .rename(by="reader")
+            )
+            .join(
+                plan(db)
+                .relationship("Write")
+                .rename(to="data")
+                .rename(by="writer")
+            )
+            .select(on("data", name_prefix("St")))
+        )
+        assert query.explain() == "\n".join(
+            [
+                "Join on [data]  est~1",
+                "├─ Join on [data]  est~1",
+                "│  ├─ ExtentScan Data as data prefix='St'  est~1",
+                "│  └─ Rename by->reader  est~1",
+                "│     └─ Rename from->data  est~1",
+                "│        └─ Select from: name^='St'  est~1",
+                "│           └─ RelScan Read (from, by)  est~2",
+                "└─ Rename by->writer  est~1",
+                "   └─ Rename to->data  est~1",
+                "      └─ Select to: name^='St'  est~1",
+                "         └─ RelScan Write (to, by)  est~1",
+            ]
+        )
+
+    def test_selection_pushed_through_union_and_renames(self, db):
+        reads = plan(db).relationship("Read").rename(**{"from": "d"})
+        writes = plan(db).relationship("Write").rename(to="d")
+        query = reads.union(writes).select(on("by", name_prefix("Hand")))
+        assert query.explain() == "\n".join(
+            [
+                "Union  est~2",
+                "├─ Rename from->d  est~1",
+                "│  └─ Select by: name^='Hand'  est~1",
+                "│     └─ RelScan Read (from, by)  est~2",
+                "└─ Rename to->d  est~1",
+                "   └─ Select by: name^='Hand'  est~1",
+                "      └─ RelScan Write (to, by)  est~1",
+            ]
+        )
+
+    def test_selection_pushed_below_values(self, db):
+        query = (
+            plan(db)
+            .extent("Data", column="d")
+            .values("d", "Text.Selector", into="sel")
+            .select(on("d", in_class("OutputData")))
+        )
+        assert query.explain() == "\n".join(
+            [
+                "Values d.Text.Selector -> sel  est~1",
+                "└─ ExtentScan OutputData as d  est~1",
+            ]
+        )
+
+
+class TestDeterminism:
+    def test_explain_stable_across_calls_and_plan_objects(self, db):
+        def build():
+            return (
+                plan(db)
+                .extent("Thing", column="t")
+                .select(on("t", name_prefix("Al")))
+                .join(plan(db).relationship("Access").rename(data="t"))
+            )
+
+        first = build().explain()
+        assert build().explain() == first
+        assert build().explain() == first  # repeated optimization runs
+
+    def test_explain_stable_across_identical_databases(self):
+        queries = []
+        for __ in range(2):
+            fresh = make_db()
+            queries.append(
+                plan(fresh)
+                .extent("Data", column="data")
+                .join(plan(fresh).relationship("Access"))
+                .select(on("data", name_prefix("Al")))
+                .explain()
+            )
+        assert queries[0] == queries[1]
+
+    def test_random_query_explains_are_deterministic(self):
+        db = build_population(7)
+        for seed in range(10):
+            first = random_query(random.Random(seed), db)
+            second = random_query(random.Random(seed), db)
+            assert first.plan.explain() == second.plan.explain()
+
+
+class TestOptimizerSoundness:
+    """Pushdown and reordering never change result multisets."""
+
+    @pytest.mark.parametrize("population_seed", (11, 12, 13))
+    def test_optimized_equals_unoptimized(self, population_seed):
+        db = build_population(population_seed)
+        rng = random.Random(population_seed * 733)
+        for __ in range(12):
+            query = random_query(rng, db)
+            optimized = query.plan.execute(optimized=True)
+            raw = query.plan.execute(optimized=False)
+            assert row_multiset(optimized) == row_multiset(raw), (
+                query.plan.explain()
+            )
+
+    def test_join_reorder_restores_column_order(self, db):
+        # the Thing extent is the largest input, so the greedy order
+        # starts from the Access scan instead — which flips the column
+        # layout, and a Reorder must restore the original one
+        query = (
+            plan(db)
+            .extent("Thing", column="by")
+            .join(plan(db).relationship("Access"))
+            .join(plan(db).extent("Data", column="data"))
+        )
+        optimized = query.optimized()
+        assert isinstance(optimized, Reorder)
+        assert query.execute().columns == ("by", "data")
+        raw = query.execute(optimized=False)
+        assert row_multiset(query.execute()) == row_multiset(raw)
+
+    def test_incompatible_prefixes_keep_filter(self, db):
+        query = (
+            plan(db)
+            .extent("Data", column="d")
+            .select(on("d", name_prefix("Al")))
+            .select(on("d", name_prefix("St")))
+        )
+        optimized = query.optimized()
+        # one prefix lands in the scan, the contradictory one stays a filter
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, ExtentScan)
+        assert len(query.execute()) == 0
+
+    def test_opaque_predicates_are_not_pushed_into_scans(self, db):
+        def starts_with_a(row):
+            return str(row["d"].name).startswith("A")
+
+        query = plan(db).extent("Data", column="d").select(starts_with_a)
+        optimized = query.optimized()
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, ExtentScan)
+        assert optimized.child.prefix is None
+        assert {row["d"].simple_name for row in query} == {"Alarms"}
+
+    def test_plan_validation_mirrors_relation_errors(self, db):
+        base = plan(db).extent("Data", column="d")
+        with pytest.raises(QueryError, match="no column"):
+            base.project("nope")
+        with pytest.raises(QueryError, match="column mismatch"):
+            base.union(plan(db).extent("Action", column="a"))
+        with pytest.raises(QueryError, match="empty role path"):
+            base.values("d", "", into="v")
+        with pytest.raises(QueryError, match="duplicate column"):
+            base.values("d", "Text.Selector", into="d")
+        with pytest.raises(QueryError, match="duplicate column"):
+            plan(db).relationship("Access").rename(data="by")
+        with pytest.raises(QueryError, match="duplicate column"):
+            plan(db).relationship("Access").project("by", "by")
+
+
+class TestStatisticsAccessors:
+    """The cost model's statistics must agree with brute-force counts."""
+
+    def test_extent_size(self):
+        db = build_population(21)
+        for class_name in ("Thing", "Data", "Action", "OutputData"):
+            wanted = db.schema.entity_class(class_name)
+            assert db.indexes.extent_size(wanted) == len(
+                brute_objects(db, class_name)
+            )
+            assert db.indexes.extent_size(wanted, include_specials=False) == len(
+                brute_objects(db, class_name, include_specials=False)
+            )
+
+    def test_association_size(self):
+        db = build_population(22)
+        for association in ("Access", "Read", "Write", "Contained", "Triggers"):
+            assert db.indexes.association_size(association) == len(
+                brute_relationships(db, association)
+            )
+
+    def test_name_prefix_count(self):
+        db = build_population(23)
+        retrieval = Retrieval(db)
+        for prefix in ("Al", "Handle", "Mo", "Zz", ""):
+            assert db.indexes.name_prefix_count(prefix) == len(
+                retrieval.by_name_prefix(prefix)
+            )
+
+
+class TestRetrievalWiring:
+    def test_plan_accessor(self, db):
+        retrieval = Retrieval(db)
+        result = retrieval.plan().extent("Data", column="d").execute()
+        assert len(result) == 3
+
+    def test_select_in_class_uses_extent(self, db):
+        retrieval = Retrieval(db)
+        indexed = retrieval.select(in_class("Data"))
+        brute = [
+            obj for obj in db.iter_objects() if in_class("Data")(obj)
+        ]
+        assert [o.oid for o in indexed] == [o.oid for o in brute]
+
+    def test_select_name_prefix_uses_name_index(self, db):
+        retrieval = Retrieval(db)
+        indexed = retrieval.select(name_prefix("Alarms.Text"))
+        brute = [
+            obj
+            for obj in db.iter_objects()
+            if str(obj.name).startswith("Alarms.Text")
+        ]
+        assert [o.oid for o in indexed] == [o.oid for o in brute]
+
+    def test_instances_narrowed_by_in_class(self, db):
+        retrieval = Retrieval(db)
+        narrowed = retrieval.instances("Data", in_class("OutputData"))
+        assert [o.simple_name for o in narrowed] == ["Alarms"]
+        implied = retrieval.instances("OutputData", in_class("Data"))
+        assert [o.simple_name for o in implied] == ["Alarms"]
+
+    def test_by_name_pattern_prefix_fast_path(self, db):
+        retrieval = Retrieval(db)
+        anchored = retrieval.by_name_pattern(r"^Alarms\.Text.*Selector")
+        assert [str(o.name) for o in anchored] == ["Alarms.Text[0].Selector"]
+        # unanchored patterns still work via the full scan
+        assert retrieval.by_name_pattern(r"Selector$") == anchored
+
+    def test_by_name_prefix_deep(self, db):
+        retrieval = Retrieval(db)
+        deep = retrieval.by_name_prefix_deep("Alarms.Text[0].B")
+        assert [str(o.name) for o in deep] == [
+            "Alarms.Text[0].Body",
+            "Alarms.Text[0].Body.Contents",
+        ]
+        shallow_and_deep = retrieval.by_name_prefix_deep("Al")
+        assert str(shallow_and_deep[0].name) == "Alarms"
+        assert len(shallow_and_deep) == 5  # Alarms + its 4 sub-objects

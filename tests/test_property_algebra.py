@@ -8,8 +8,10 @@ hold for any cell type because keys are computed uniformly).
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.errors import QueryError
 from repro.core.query.algebra import Relation
 
 cells = st.one_of(st.integers(-5, 5), st.text(max_size=3), st.booleans())
@@ -121,3 +123,81 @@ class TestSelectProjectLaws:
         renamed = r.rename(a="x")
         assert renamed.columns == ("x", "b")
         assert row_set(renamed) == row_set(r)
+
+
+class TestSetOperationDuplicates:
+    """Regressions: duplicate-row handling in union/difference.
+
+    ``difference`` used to keep duplicate left rows while ``union``
+    deduplicated, so the two "set" operations disagreed on relations
+    holding duplicate rows (which select/join legitimately produce).
+    """
+
+    EMPTY = Relation(AB, ())
+    DUPES = Relation(AB, ((1, 2), (1, 2), (3, 4)))
+
+    def test_difference_deduplicates_kept_rows(self):
+        kept = self.DUPES.difference(Relation(AB, ((3, 4),)))
+        assert kept.rows == ((1, 2),)
+
+    def test_difference_of_empty_agrees_with_union_of_empty(self):
+        assert (
+            self.DUPES.difference(self.EMPTY).rows
+            == self.DUPES.union(self.EMPTY).rows
+            == ((1, 2), (3, 4))
+        )
+
+    @settings(max_examples=60)
+    @given(relations(AB), relations(AB))
+    def test_difference_output_has_no_duplicates(self, r, s):
+        result = r.difference(s)
+        keys = [tuple(map(repr, row)) for row in result.rows]
+        assert len(keys) == len(set(keys))
+
+    @settings(max_examples=60)
+    @given(relations(AB), relations(AB))
+    def test_union_of_difference_and_intersection_rebuilds_left(self, r, s):
+        # (r − s) ∪ (r − (r − s)) == dedup(r): the set laws now hold
+        minus = r.difference(s)
+        inter = r.difference(minus)
+        assert row_set(minus.union(inter)) == row_set(r)
+
+
+class TestJoinEdgeCases:
+    """Regressions: empty and degenerate relation joins."""
+
+    def test_join_with_empty_is_empty(self):
+        filled = Relation(AB, ((1, 2),))
+        empty_same = Relation(AB, ())
+        empty_other = Relation(("c",), ())
+        assert filled.join(empty_same).rows == ()
+        assert empty_same.join(filled).rows == ()
+        # no shared columns: the cartesian product with nothing is nothing
+        assert filled.join(empty_other).rows == ()
+        assert filled.join(empty_other).columns == ("a", "b", "c")
+
+    def test_join_with_zero_column_relation_is_identity(self):
+        filled = Relation(AB, ((1, 2), (3, 4)))
+        unit = Relation((), ((),))  # the algebra's unit: one empty row
+        assert filled.join(unit).rows == filled.rows
+        assert unit.join(filled).rows == filled.rows
+        void = Relation((), ())
+        assert filled.join(void).rows == ()
+
+    def test_join_on_fully_shared_columns_multiplies_duplicates(self):
+        # bag semantics: duplicates multiply — documented behaviour the
+        # planner's streaming join must reproduce exactly
+        dupes = Relation(("a",), ((1,), (1,)))
+        assert dupes.join(dupes).rows == ((1,), (1,), (1,), (1,))
+
+
+class TestValuesEdgeCases:
+    def test_empty_role_path_is_rejected(self):
+        relation = Relation(("a",), ())
+        with pytest.raises(QueryError, match="empty role path"):
+            relation.values("a", "", into="v")
+
+    def test_duplicate_target_column_is_rejected(self):
+        relation = Relation(AB, ())
+        with pytest.raises(QueryError, match="duplicate column"):
+            relation.values("a", "Text.Selector", into="b")
