@@ -1,0 +1,145 @@
+"""CI benchmark-trend gate: diff a fresh run against committed baselines.
+
+Loads every ``BENCH_PR<n>.json`` committed at the repository root,
+takes — per (size, section) — the *newest* baseline that measured it,
+and compares the fresh run's speedup against it. Speedups are ratios of
+medians measured in the same process, so they transfer across machines
+where raw seconds do not; a fresh speedup more than ``--tolerance``
+(default 25%) below the baseline's fails the gate.
+
+Only *gated* sections participate: result sub-dicts carrying a numeric
+``"speedup"`` field (extent/prefix/participation scans, acyclic
+commits, the planner multi-join, and the PR-3 version-walk and
+incremental-completeness sections). Sections or sizes the fresh run
+did not measure are skipped with a note — a smoke run at size 1000 is
+gated against the baselines' size-1000 entries only.
+
+Usage (CI wires this after the harness smoke run)::
+
+    python benchmarks/compare_bench.py bench_smoke.json
+    python benchmarks/compare_bench.py bench_smoke.json --tolerance 0.4
+
+Exit codes: 0 trend ok, 1 regression(s), 2 usage/baseline problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+BASELINE_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def discover_baselines(root: Path) -> list[tuple[int, Path]]:
+    """Committed ``BENCH_PR<n>.json`` files, oldest first."""
+    found = []
+    for path in root.glob("BENCH_PR*.json"):
+        match = BASELINE_PATTERN.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def gated_sections(results: dict) -> dict[tuple[str, str], float]:
+    """(size, section) -> speedup for every gated section of one report."""
+    sections: dict[tuple[str, str], float] = {}
+    for size, data in results.items():
+        for section, value in data.items():
+            if (
+                isinstance(value, dict)
+                and isinstance(value.get("speedup"), (int, float))
+            ):
+                sections[(size, section)] = float(value["speedup"])
+    return sections
+
+
+def collect_baseline(
+    baselines: list[tuple[int, Path]],
+) -> dict[tuple[str, str], tuple[float, str]]:
+    """(size, section) -> (speedup, source file), newest baseline wins."""
+    reference: dict[tuple[str, str], tuple[float, str]] = {}
+    for __, path in baselines:  # ascending: later files overwrite
+        report = json.loads(path.read_text())
+        for key, speedup in gated_sections(report.get("results", {})).items():
+            reference[key] = (speedup, path.name)
+    return reference
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="JSON report of the fresh run")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup regression (default: 0.25)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the committed BENCH_PR<n>.json files",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.fresh.exists():
+        print(f"error: fresh report {args.fresh} does not exist")
+        return 2
+    baselines = discover_baselines(args.baseline_dir)
+    if not baselines:
+        print(f"error: no BENCH_PR<n>.json baselines in {args.baseline_dir}")
+        return 2
+    reference = collect_baseline(baselines)
+    fresh = gated_sections(
+        json.loads(args.fresh.read_text()).get("results", {})
+    )
+    if not fresh:
+        print(f"error: {args.fresh} contains no gated sections")
+        return 2
+
+    floor = 1.0 - args.tolerance
+    regressions: list[str] = []
+    compared = 0
+    for (size, section), fresh_speedup in sorted(fresh.items()):
+        baseline = reference.get((size, section))
+        if baseline is None:
+            print(f"  new      {section}@{size}: x{fresh_speedup} (no baseline yet)")
+            continue
+        baseline_speedup, source = baseline
+        compared += 1
+        ratio = (
+            fresh_speedup / baseline_speedup if baseline_speedup else float("inf")
+        )
+        status = "ok" if ratio >= floor else "REGRESSED"
+        print(
+            f"  {status:9}{section}@{size}: x{fresh_speedup} vs "
+            f"x{baseline_speedup} ({source}), ratio {ratio:.2f}"
+        )
+        if ratio < floor:
+            regressions.append(
+                f"{section}@{size}: x{fresh_speedup} is more than "
+                f"{args.tolerance:.0%} below baseline x{baseline_speedup} "
+                f"({source})"
+            )
+    if not compared:
+        print("error: fresh run shares no gated (size, section) with baselines")
+        return 2
+    if regressions:
+        print(f"\ntrend gate FAILED ({len(regressions)} regression(s)):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(
+        f"\ntrend gate ok: {compared} gated sections within "
+        f"{args.tolerance:.0%} of the committed baselines"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -8,6 +8,8 @@ Usage (also via ``python -m repro``)::
     python -m repro flows DB.seed                  # dataflow report
     python -m repro history DB.seed [NAME]         # version tree / cluster
     python -m repro snapshot DB.seed [-v VERSION]  # create a version
+    python -m repro compact DB.seed [--snapshot-interval K] [--keep-last N]
+                                                   # squash chains, consolidate
     python -m repro print DB.seed                  # database -> spec text
     python -m repro ddl DB.seed                    # schema as DDL text
     python -m repro query DB.seed --extent Data --prefix Alarm --via Access
@@ -68,6 +70,26 @@ def _build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("database", type=Path)
     snapshot.add_argument("-v", "--version", default=None,
                           help="explicit decimal version id (e.g. 2.0)")
+
+    compact = commands.add_parser(
+        "compact",
+        help="compact the version store (chain squashing + snapshots)")
+    compact.add_argument("database", type=Path)
+    compact.add_argument("--snapshot-interval", type=int, default=0,
+                         metavar="K",
+                         help="materialize a full snapshot every K versions "
+                              "along a chain (0 = off)")
+    compact.add_argument("--keep-last", type=int, default=2, metavar="N",
+                         help="never squash the newest N versions "
+                              "(default: 2)")
+    compact.add_argument("--pin", action="append", default=[],
+                         metavar="VERSION",
+                         help="protect a version from squashing "
+                              "(repeatable)")
+    compact.add_argument("--no-squash", action="store_true",
+                         help="skip chain squashing; snapshots only")
+    compact.add_argument("--dry-run", action="store_true",
+                         help="report store statistics without compacting")
 
     query = commands.add_parser(
         "query", help="run a planned ER-algebra query (cost-based planner)")
@@ -140,9 +162,42 @@ def _dispatch(args: argparse.Namespace) -> int:
         save_database(db, args.database)
         print(f"saved version {version}")
         return 0
+    if args.command == "compact":
+        return _run_compact(args)
     if args.command == "query":
         return _run_query(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def _run_compact(args: argparse.Namespace) -> int:
+    """Compact a database's version store and report what changed."""
+    from repro.core.versions.compaction import RetentionPolicy
+
+    db = load_database(args.database)
+
+    def store_stats() -> str:
+        stats = db.statistics()
+        return (
+            f"{stats['saved_versions']} versions, "
+            f"{stats['stored_states']} stored states, "
+            f"{db.versions.store.cell_count()} cells, "
+            f"{stats['snapshot_versions']} snapshots"
+        )
+
+    print(f"before: {store_stats()}")
+    if args.dry_run:
+        return 0
+    policy = RetentionPolicy(
+        squash_chains=not args.no_squash,
+        snapshot_interval=args.snapshot_interval,
+        keep_last=args.keep_last,
+        pins=frozenset(args.pin),
+    )
+    result = db.compact(policy)
+    size = save_database(db, args.database)
+    print(f"compacted: {result.summary()}")
+    print(f"after:  {store_stats()} ({size} bytes on disk)")
+    return 0
 
 
 def _run_query(args: argparse.Namespace) -> int:

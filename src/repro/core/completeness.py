@@ -30,6 +30,33 @@ Gap kinds:
     eventually be specialized;
 ``attribute-minimum``
     a mandatory association attribute has no value yet.
+
+Incremental maintenance
+-----------------------
+
+The seed answered :meth:`CompletenessEngine.check_database` by scanning
+every live item — O(database × schema) per check. The engine now keeps a
+per-item gap map (item key → its current gaps) and a dirty set,
+maintained through every :class:`~repro.core.database.SeedDatabase`
+mutation path: when a transaction commits, the database hands the
+engine its touched-item set (:meth:`CompletenessEngine.note_commit`)
+and the engine marks every item whose gaps could have changed —
+the touched item and its sub-tree, the owning parent (sub-object
+minima), relationship endpoints (participation minima), and, for
+pattern-context items, every inheritor of the pattern root (effective
+views). Rolled-back transactions mark nothing, mirroring the
+transaction-safety of the PR-1 index layer. ``check_database`` then
+re-derives gaps for dirty items only and assembles the report from the
+map — O(dirty × schema + gaps) instead of O(database × schema).
+
+Bulk state replacement (version selection, schema migration, image
+load, checkout) calls :meth:`CompletenessEngine.invalidate`; the next
+check primes the map with one full scan.
+
+The seed's full scanner is retained verbatim as
+:meth:`CompletenessEngine.check_database_scan` — the reference the
+equivalence property tests in
+``tests/test_completeness_incremental.py`` compare against forever.
 """
 
 from __future__ import annotations
@@ -37,7 +64,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, TYPE_CHECKING
 
+from repro.core.patterns import pattern_root
 from repro.core.schema.association import Association
+from repro.core.versions.store import ItemKey
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.database import SeedDatabase
@@ -120,11 +149,37 @@ class CompletenessEngine:
 
     def __init__(self, database: "SeedDatabase") -> None:
         self._db = database
+        #: item key -> its current gaps; only incomplete items appear
+        self._gaps_by_item: dict[ItemKey, tuple[Gap, ...]] = {}
+        #: keys whose gaps must be re-derived before the next report
+        self._dirty: set[ItemKey] = set()
+        #: False until the map was primed by one full scan
+        self._primed = False
 
     # -- entry points ------------------------------------------------------
 
     def check_database(self) -> CompletenessReport:
-        """Analyse every live, normal (non-pattern) item."""
+        """Analyse every live, normal (non-pattern) item.
+
+        Incremental: only items marked dirty since the previous check
+        are re-analysed; the report is assembled from the maintained
+        per-item gap map (deterministic key order — objects before
+        relationships, ids ascending). The first call primes the map
+        with a full scan.
+        """
+        if not self._primed:
+            self._prime()
+        else:
+            for key in self._dirty:
+                self._recompute(key)
+            self._dirty.clear()
+        report = CompletenessReport()
+        for key in sorted(self._gaps_by_item):
+            report.gaps.extend(self._gaps_by_item[key])
+        return report
+
+    def check_database_scan(self) -> CompletenessReport:
+        """The seed's full scan — kept as the equivalence reference."""
         report = CompletenessReport()
         for obj in self._db.objects(include_patterns=False):
             report.gaps.extend(self.object_gaps(obj))
@@ -142,6 +197,147 @@ class CompletenessEngine:
             else:
                 report.gaps.extend(self.relationship_gaps(item))
         return report
+
+    # -- incremental maintenance -------------------------------------------
+
+    def note_commit(
+        self, touched: dict[ItemKey, tuple[object, set[str]]]
+    ) -> None:
+        """Mark every item whose gaps a committed transaction may change.
+
+        Called by the database once per *successful* commit with the
+        transaction's touched-item map (the same map consistency
+        validation runs over); rolled-back transactions never reach
+        this point, so the dirty set stays exact — the undo-closure
+        discipline of the index layer, expressed at the commit boundary
+        instead of per mutation.
+        """
+        if not self._primed:
+            return  # nothing cached yet; priming scans everything anyway
+        # per-commit visited sets keep the fan-out linear: a cascading
+        # delete touches every node of a subtree individually, and
+        # without them each touched node would re-walk its whole
+        # subtree (quadratic in depth). Object marking and
+        # inheritor marking track separate sets because they cover
+        # different things (incident relationships vs. nodes only).
+        marked_objects: set[int] = set()
+        marked_inheritor_nodes: set[int] = set()
+        for item, __ in touched.values():
+            if hasattr(item, "walk"):
+                self._mark_object(  # type: ignore[arg-type]
+                    item, marked_objects, marked_inheritor_nodes
+                )
+            else:
+                self._mark_relationship(  # type: ignore[arg-type]
+                    item, marked_inheritor_nodes
+                )
+
+    def invalidate(self) -> None:
+        """Forget everything (bulk state replacement); next check re-primes."""
+        self._gaps_by_item.clear()
+        self._dirty.clear()
+        self._primed = False
+
+    def dirty_count(self) -> int:
+        """Items pending re-analysis (statistics/benchmarks)."""
+        return len(self._dirty)
+
+    def incomplete_item_count(self) -> int:
+        """Items currently holding at least one gap (may be stale by
+        up to the dirty set until the next check)."""
+        return len(self._gaps_by_item)
+
+    def _prime(self) -> None:
+        """Fill the gap map with one full scan."""
+        self._gaps_by_item.clear()
+        self._dirty.clear()
+        for obj in self._db.objects(include_patterns=False):
+            gaps = self.object_gaps(obj)
+            if gaps:
+                self._gaps_by_item[("o", obj.oid)] = tuple(gaps)
+        for rel in self._db.relationships(include_patterns=False):
+            gaps = self.relationship_gaps(rel)
+            if gaps:
+                self._gaps_by_item[("r", rel.rid)] = tuple(gaps)
+        self._primed = True
+
+    def _recompute(self, key: ItemKey) -> None:
+        """Re-derive one item's gaps and update the map."""
+        kind, item_id = key
+        if kind == "o":
+            item = self._db._objects.get(item_id)  # noqa: SLF001
+            gaps = self.object_gaps(item) if item is not None else []
+        else:
+            rel = self._db._relationships.get(item_id)  # noqa: SLF001
+            gaps = self.relationship_gaps(rel) if rel is not None else []
+        if gaps:
+            self._gaps_by_item[key] = tuple(gaps)
+        else:
+            self._gaps_by_item.pop(key, None)
+
+    def _mark_object(
+        self, obj: "SeedObject", marked: set[int], marked_nodes: set[int]
+    ) -> None:
+        """Dirty an object, its sub-tree, parent, incident items.
+
+        The sub-tree covers renames (gap texts embed dotted names) and
+        pattern-flag flips (a whole context changes visibility); the
+        parent covers sub-object minima; incident relationships and
+        their endpoints cover participation minima and pattern-context
+        flips of relationships the transaction never touched directly.
+        Nodes in *marked* were fully covered earlier in the same commit
+        (e.g. by a touched ancestor) and are pruned with their subtrees.
+        """
+        incidence = self._db._incidence  # noqa: SLF001
+        relationships = self._db._relationships  # noqa: SLF001
+        stack = [obj]
+        while stack:
+            node = stack.pop()
+            if node.oid in marked:
+                continue
+            marked.add(node.oid)
+            self._dirty.add(("o", node.oid))
+            for rid in incidence.get(node.oid, ()):
+                self._dirty.add(("r", rid))
+                for endpoint in relationships[rid].bound_objects():
+                    self._dirty.add(("o", endpoint.oid))
+            stack.extend(node.sub_objects())
+        if obj.parent is not None:
+            self._dirty.add(("o", obj.parent.oid))
+        self._mark_inheritors_of_context(obj, marked_nodes)
+
+    def _mark_relationship(
+        self, rel: "SeedRelationship", marked_nodes: set[int]
+    ) -> None:
+        """Dirty a relationship and both endpoints (participation minima)."""
+        self._dirty.add(("r", rel.rid))
+        for endpoint in rel.bound_objects():
+            self._dirty.add(("o", endpoint.oid))
+            self._mark_inheritors_of_context(endpoint, marked_nodes)
+
+    def _mark_inheritors_of_context(
+        self, obj: "SeedObject", marked_nodes: set[int]
+    ) -> None:
+        """Dirty every inheritor of *obj*'s pattern root (and sub-trees).
+
+        A change inside a pattern context propagates to all inheritors'
+        effective structure — the same fan-out consistency validation
+        performs in ``_validate_object_context``. *marked_nodes* prunes
+        inheritor subtrees already dirtied in this commit (many touched
+        pattern nodes share their inheritors).
+        """
+        root = pattern_root(obj)
+        if not root.is_pattern:
+            return
+        for inheritor in self._db.patterns.inheritors_of(root):
+            stack = [inheritor]
+            while stack:
+                node = stack.pop()
+                if node.oid in marked_nodes:
+                    continue
+                marked_nodes.add(node.oid)
+                self._dirty.add(("o", node.oid))
+                stack.extend(node.sub_objects())
 
     # -- objects --------------------------------------------------------------
 

@@ -49,10 +49,11 @@ from repro.core.errors import (
 from repro.core.identifiers import DottedName, check_simple_name
 from repro.core.indexes import IndexLayer
 from repro.core.objects import SeedObject
-from repro.core.patterns import PatternManager
+from repro.core.patterns import PatternManager, pattern_root
 from repro.core.relationships import SeedRelationship
 from repro.core.schema.generalization import check_reclassification
 from repro.core.schema.schema import Schema
+from repro.core.versions.compaction import CompactionStats, RetentionPolicy
 from repro.core.versions.history import HistoryNavigator
 from repro.core.versions.manager import VersionManager
 from repro.core.versions.store import ItemKey
@@ -155,6 +156,7 @@ class SeedDatabase:
                 + "\n  ".join(str(violation) for violation in violations),
                 violations,
             )
+        self.completeness.note_commit(txn.touched)
 
     @contextmanager
     def _operation(self) -> Iterator[_Transaction]:
@@ -185,6 +187,7 @@ class SeedDatabase:
                 + "\n  ".join(str(violation) for violation in violations),
                 violations,
             )
+        self.completeness.note_commit(txn.touched)
 
     def _rollback(self, txn: _Transaction) -> None:
         self._undo_to(txn, 0)
@@ -276,13 +279,7 @@ class SeedDatabase:
             return violations
         if obj.in_pattern_context:
             # a pattern is checked in the context of each inheritor
-            root = obj
-            node: Optional[SeedObject] = obj
-            while node is not None:
-                if node.is_pattern:
-                    root = node
-                node = node.parent
-            for inheritor in self.patterns.inheritors_of(root):
+            for inheritor in self.patterns.inheritors_of(pattern_root(obj)):
                 violations.extend(
                     self._validate_object_context(inheritor, checked)
                 )
@@ -579,10 +576,13 @@ class SeedDatabase:
             inheritor.inherited_patterns.remove(obj.oid)
             self.patterns.unregister_inheritance(obj.oid, inheritor_oid)
             removed_links.append((inheritor, obj.oid))
-        # drop this object's own inherits links
+        # drop this object's own inherits links; the patterns lose an
+        # inheritor, shrinking the virtual participations of objects
+        # bound to them (completeness fan-out)
         own_links = list(obj.inherited_patterns)
         for pattern_oid in own_links:
             self.patterns.unregister_inheritance(pattern_oid, obj.oid)
+            txn.touch(self._objects[pattern_oid], "update")
         obj.inherited_patterns = []
         obj.deleted = True
         self.indexes.remove_object(obj)
@@ -804,6 +804,10 @@ class SeedDatabase:
 
             txn.undo.append(undo)
             txn.touch(inheritor, "update")
+            # the pattern's effective neighbourhood changed too: objects
+            # bound to it by pattern relationships gain one virtual
+            # participation per inheritor (completeness fan-out)
+            txn.touch(pattern, "update")
             self._mark_dirty(txn, inheritor)
 
     def uninherit(self, pattern: SeedObject, inheritor: SeedObject) -> None:
@@ -824,6 +828,7 @@ class SeedDatabase:
 
             txn.undo.append(undo)
             txn.touch(inheritor, "update")
+            txn.touch(pattern, "update")  # virtual participations shrink
             self._mark_dirty(txn, inheritor)
 
     # ------------------------------------------------------------------
@@ -1064,8 +1069,17 @@ class SeedDatabase:
         return violations
 
     def check_completeness(self) -> CompletenessReport:
-        """On-demand completeness analysis of the whole database."""
+        """On-demand completeness analysis of the whole database.
+
+        Incremental: assembled from the engine's maintained per-object
+        gap map, re-deriving only items dirtied since the last check
+        (see :mod:`repro.core.completeness`).
+        """
         return self.completeness.check_database()
+
+    def check_completeness_scan(self) -> CompletenessReport:
+        """The seed's full-scan analysis — the equivalence reference."""
+        return self.completeness.check_database_scan()
 
     def check_items_completeness(self, items: list[Item]) -> CompletenessReport:
         """Completeness analysis restricted to *items* (and sub-trees)."""
@@ -1110,6 +1124,18 @@ class SeedDatabase:
     def delete_version(self, version: str | VersionId) -> None:
         """Delete a leaf version."""
         self.versions.delete_version(version)
+
+    def compact(self, policy: Optional[RetentionPolicy] = None) -> CompactionStats:
+        """Compact the version store (chain squashing + snapshots).
+
+        Uses :attr:`VersionManager.retention` unless *policy* is given;
+        see :mod:`repro.core.versions.compaction` for the knobs. Views
+        of every surviving version are unchanged. Returns the pass's
+        :class:`~repro.core.versions.compaction.CompactionStats`.
+        """
+        if self._txn is not None:
+            raise TransactionError("cannot compact inside a transaction")
+        return self.versions.compact(policy)
 
     def saved_versions(self) -> list[VersionId]:
         """All saved versions in creation order."""
@@ -1194,6 +1220,7 @@ class SeedDatabase:
         self._next_id = max(self._next_id, max_id + 1)
         self.patterns.rebuild_index()
         self.indexes.rebuild()
+        self.completeness.invalidate()
 
     # ------------------------------------------------------------------
     # schema evolution
@@ -1247,11 +1274,14 @@ class SeedDatabase:
                 rel.association = old_schema.association(old_associations[rel.rid])
             self.indexes.rebuild()
             raise
-        # every live item now depends on the new schema version
+        # every live item now depends on the new schema version; the
+        # completeness rules changed wholesale with the schema, so the
+        # incremental gap map re-primes on the next check
         for obj in self._objects.values():
             self._dirty.add(("o", obj.oid))
         for rel in self._relationships.values():
             self._dirty.add(("r", rel.rid))
+        self.completeness.invalidate()
         return self.versions.register_schema_version(new_schema)
 
     # ------------------------------------------------------------------
@@ -1284,7 +1314,9 @@ class SeedDatabase:
             "tombstoned_relationships": len(self._relationships) - live_relationships,
             "saved_versions": len(self.versions.tree),
             "stored_states": self.versions.total_stored_states(),
+            "snapshot_versions": self.versions.snapshot_count(),
             "dirty_items": len(self._dirty),
+            "completeness_dirty": self.completeness.dirty_count(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -45,7 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.objects import SeedObject
     from repro.core.relationships import SeedRelationship
 
-__all__ = ["InheritedRelationship", "PatternManager"]
+__all__ = ["InheritedRelationship", "PatternManager", "pattern_root"]
 
 
 @dataclass(frozen=True)
@@ -345,8 +345,15 @@ class PatternManager:
             )
 
 
-def _pattern_root(obj: "SeedObject") -> "SeedObject":
-    """The outermost pattern-marked ancestor of *obj* (or obj itself)."""
+def pattern_root(obj: "SeedObject") -> "SeedObject":
+    """The outermost pattern-marked ancestor of *obj* (or obj itself).
+
+    The returned object is the pattern whose inheritors see *obj*'s
+    content; callers check ``is_pattern`` (or ``in_pattern_context``)
+    to distinguish "obj is pattern content" from the identity result.
+    Shared by consistency validation and the completeness engine's
+    dirty fan-out so both agree on what a pattern root is.
+    """
     root = obj
     node = obj
     while node is not None:

@@ -4,9 +4,10 @@
 ``database_from_dict`` produce/consume plain JSON-compatible structures
 covering the *entire* database state: schema (including generalization
 links, covering conditions, attribute declarations, and attached
-procedure names), live items, tombstones, the delta version store, the
-version tree, pattern links, and the dirty set — a load is a faithful
-resumption point.
+procedure names), live items, tombstones, the delta version store
+(including compaction's snapshot markers, so squashed/consolidated
+chains round-trip), the version tree, pattern links, and the dirty
+set — a load is a faithful resumption point.
 
 Attached procedures serialise by *name*; loading re-binds them against a
 :class:`~repro.core.schema.attached.ProcedureRegistry` (the process-wide
@@ -283,15 +284,16 @@ def database_to_dict(db: SeedDatabase) -> dict:
     for key in store.keys():
         kind, item_id = key
         entries = []
-        for version, state in sorted(
-            store.states_of(key).items(), key=lambda pair: pair[0]
-        ):
+        for version, state, materialized in store.entries_of(key):
             encoded = (
                 _object_state_to_dict(state)
                 if kind == "o"
                 else _relationship_state_to_dict(state)  # type: ignore[arg-type]
             )
-            entries.append({"version": str(version), "state": encoded})
+            entry = {"version": str(version), "state": encoded}
+            if materialized:
+                entry["materialized"] = True
+            entries.append(entry)
         cells.append({"kind": kind, "id": item_id, "states": entries})
     tree = db.versions.tree
     return {
@@ -309,6 +311,9 @@ def database_to_dict(db: SeedDatabase) -> dict:
                 "parent": str(tree.parent(version)) if tree.parent(version) else None,
             }
             for version in tree.in_creation_order()
+        ],
+        "snapshot_versions": [
+            str(version) for version in store.snapshot_versions()
         ],
         "schema_version_of": {
             str(version): index
@@ -387,7 +392,12 @@ def database_from_dict(
                 if cell["kind"] == "o"
                 else _relationship_state_from_dict(entry["state"])
             )
-            db.versions.store.record(VersionId.parse(entry["version"]), key, state)
+            version = VersionId.parse(entry["version"])
+            db.versions.store.record(version, key, state)
+            if entry.get("materialized"):
+                db.versions.store.mark_materialized(version, key)
+    for version in data.get("snapshot_versions", ()):
+        db.versions.store.mark_snapshot(VersionId.parse(version))
     db.versions.schema_version_of = {
         VersionId.parse(version): index
         for version, index in data["schema_version_of"].items()

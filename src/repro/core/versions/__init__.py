@@ -10,9 +10,17 @@ Public surface:
 * :class:`~repro.core.versions.manager.VersionManager` — snapshots,
   selection (alternatives), deletion, schema versions;
 * :class:`~repro.core.versions.history.HistoryNavigator` — history
-  retrieval and navigation operations.
+  retrieval and navigation operations;
+* :class:`~repro.core.versions.compaction.RetentionPolicy` /
+  :class:`~repro.core.versions.compaction.CompactionStats` — chain
+  squashing and snapshot consolidation (``SeedDatabase.compact``).
 """
 
+from repro.core.versions.compaction import (
+    CompactionStats,
+    Compactor,
+    RetentionPolicy,
+)
 from repro.core.versions.history import (
     HistoryNavigator,
     ItemHistoryEntry,
@@ -25,6 +33,9 @@ from repro.core.versions.version_id import VersionId
 from repro.core.versions.view import VersionView, ViewObject, ViewRelationship
 
 __all__ = [
+    "CompactionStats",
+    "Compactor",
+    "RetentionPolicy",
     "HistoryNavigator",
     "ItemHistoryEntry",
     "VersionDiff",

@@ -1,0 +1,257 @@
+"""Version-store compaction: chain squashing and snapshot consolidation.
+
+Long-lived databases accumulate one delta per saved version forever (the
+paper's store never forgets), so two costs grow linearly with history
+length: storage for version chains that nobody will ever select again,
+and :meth:`~repro.core.versions.store.VersionStore.state_on_chain`
+walks, which descend the whole ancestry chain in the worst case. This
+module bounds both, under an explicit, conservative
+:class:`RetentionPolicy`:
+
+**Chain squashing**
+    Interior versions that the policy deems unreferenced (not a leaf,
+    not a branch point, not the base of the current state, not pinned,
+    not the newest ``keep_last`` versions, not a schema boundary) are
+    folded into their sole surviving descendant: their states move into
+    the child's delta (unless shadowed by a newer state there, in which
+    case they are discarded — they were invisible from every surviving
+    version anyway) and the version is spliced out of the tree. Every
+    surviving version's view is bit-identical before and after — the
+    equivalence suite in ``tests/test_compaction.py`` checks exactly
+    that over randomized version trees.
+
+**Snapshot consolidation**
+    Every ``snapshot_interval`` versions along a chain, the complete
+    resolved state (tombstones included) is materialized at that
+    version and the version is marked as a snapshot. Chain walks then
+    stop at the nearest snapshot, making ``state_on_chain`` O(K)
+    instead of O(chain length). Storage is traded up deliberately; the
+    policy knob controls the trade.
+
+Policy knobs (also exposed via the ``repro compact`` CLI subcommand):
+
+``squash_chains``
+    enable/disable squashing (default on);
+``snapshot_interval``
+    materialize a snapshot every K versions along each chain
+    (0 = disabled, the default). When set on
+    :attr:`VersionManager.retention`, ``create_version`` consolidates
+    *online*: the snapshot is taken the moment a chain grows K versions
+    past the last one;
+``keep_last``
+    never squash the newest N versions (they are what users select);
+``pins``
+    explicitly protected version ids.
+
+Entry points: :meth:`repro.core.database.SeedDatabase.compact` /
+:meth:`repro.core.versions.manager.VersionManager.compact`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.errors import VersionError
+from repro.core.versions.version_id import VersionId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.versions.manager import VersionManager
+
+__all__ = ["RetentionPolicy", "CompactionStats", "Compactor"]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """What compaction may touch and how aggressively it consolidates."""
+
+    #: fold unreferenced interior versions into their sole descendant
+    squash_chains: bool = True
+    #: materialize a full snapshot every K versions on a chain (0 = off)
+    snapshot_interval: int = 0
+    #: the newest N versions (creation order) are never squashed
+    keep_last: int = 2
+    #: version ids that must survive squashing verbatim
+    pins: frozenset[VersionId] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.snapshot_interval < 0:
+            raise VersionError(
+                f"snapshot_interval must be >= 0, got {self.snapshot_interval}"
+            )
+        if self.keep_last < 0:
+            raise VersionError(f"keep_last must be >= 0, got {self.keep_last}")
+        object.__setattr__(
+            self,
+            "pins",
+            frozenset(VersionId.parse(pin) for pin in self.pins),
+        )
+
+
+@dataclass
+class CompactionStats:
+    """What one :meth:`Compactor.run` actually did."""
+
+    versions_before: int = 0
+    versions_after: int = 0
+    squashed_versions: list[VersionId] = field(default_factory=list)
+    folded_states: int = 0
+    discarded_states: int = 0
+    snapshots_created: list[VersionId] = field(default_factory=list)
+    snapshot_states_added: int = 0
+    stored_states_before: int = 0
+    stored_states_after: int = 0
+
+    def summary(self) -> str:
+        """One line for CLI output and logs."""
+        return (
+            f"versions {self.versions_before} -> {self.versions_after} "
+            f"(squashed {len(self.squashed_versions)}), states "
+            f"{self.stored_states_before} -> {self.stored_states_after} "
+            f"(folded {self.folded_states}, discarded "
+            f"{self.discarded_states}, snapshot +{self.snapshot_states_added} "
+            f"across {len(self.snapshots_created)} new snapshots)"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-compatible form (benchmark reports)."""
+        return {
+            "versions_before": self.versions_before,
+            "versions_after": self.versions_after,
+            "squashed_versions": [str(v) for v in self.squashed_versions],
+            "folded_states": self.folded_states,
+            "discarded_states": self.discarded_states,
+            "snapshots_created": [str(v) for v in self.snapshots_created],
+            "snapshot_states_added": self.snapshot_states_added,
+            "stored_states_before": self.stored_states_before,
+            "stored_states_after": self.stored_states_after,
+        }
+
+
+class Compactor:
+    """One compaction pass over a version manager's store and tree."""
+
+    def __init__(self, manager: "VersionManager", policy: RetentionPolicy) -> None:
+        self._manager = manager
+        self._policy = policy
+
+    # -- protection ----------------------------------------------------------
+
+    def protected_versions(self) -> set[VersionId]:
+        """Versions squashing must leave in place.
+
+        Leaves and branch points structure the tree (and only interior
+        single-child versions can be spliced at all); the current base
+        anchors the live state; pins and the newest ``keep_last``
+        versions are user-facing retention; schema boundaries are kept
+        because folding a state across one would re-interpret it under
+        the successor's schema version.
+        """
+        manager = self._manager
+        tree = manager.tree
+        protected: set[VersionId] = set(self._policy.pins)
+        if manager.current_base is not None:
+            protected.add(manager.current_base)
+        order = tree.in_creation_order()
+        if self._policy.keep_last:
+            protected.update(order[-self._policy.keep_last:])
+        for version in order:
+            children = tree.children(version)
+            if len(children) != 1:
+                protected.add(version)  # leaf or branch point
+                continue
+            own_schema = manager.schema_version_of.get(version)
+            child_schema = manager.schema_version_of.get(children[0])
+            if own_schema != child_schema:
+                protected.add(version)  # schema boundary
+        return protected
+
+    # -- passes --------------------------------------------------------------
+
+    def squash_chains(self, stats: CompactionStats) -> None:
+        """Fold every unprotected single-child version into its child.
+
+        Versions are processed newest-first, so by the time a version is
+        folded its sole child is already the run's terminal survivor —
+        every state moves exactly once, making a whole pass O(stored
+        states) regardless of run lengths.
+        """
+        manager = self._manager
+        protected = self.protected_versions()
+        for version in reversed(manager.tree.in_creation_order()):
+            if version in protected:
+                continue
+            if len(manager.tree.children(version)) != 1:
+                continue  # pragma: no cover - protected covers this
+            child = manager.tree.splice(version)
+            moved, discarded = manager.store.fold_version(version, child)
+            manager.schema_version_of.pop(version, None)
+            stats.squashed_versions.append(version)
+            stats.folded_states += moved
+            stats.discarded_states += discarded
+
+    def consolidate_snapshots(self, stats: CompactionStats) -> None:
+        """Materialize a snapshot every ``snapshot_interval`` versions.
+
+        Walks every root-to-leaf path, counting versions since the last
+        snapshot; on reaching the interval the resolved state is
+        materialized there and the counter resets. Branches inherit the
+        counter of their fork point.
+        """
+        interval = self._policy.snapshot_interval
+        if interval <= 0:
+            return
+        manager = self._manager
+        tree = manager.tree
+        store = manager.store
+        stack: list[tuple[VersionId, int]] = [
+            (root, 1) for root in reversed(tree.roots())
+        ]
+        while stack:
+            version, since = stack.pop()
+            if store.is_snapshot(version):
+                since = 0
+            elif since >= interval:
+                stats.snapshot_states_added += store.materialize_snapshot(
+                    version, tree.chain(version)
+                )
+                stats.snapshots_created.append(version)
+                since = 0
+            for child in reversed(tree.children(version)):
+                stack.append((child, since + 1))
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self) -> CompactionStats:
+        """Squash, then consolidate; returns what happened."""
+        manager = self._manager
+        stats = CompactionStats(
+            versions_before=len(manager.tree),
+            stored_states_before=manager.store.stored_state_count(),
+        )
+        if self._policy.squash_chains:
+            self.squash_chains(stats)
+        self.consolidate_snapshots(stats)
+        stats.versions_after = len(manager.tree)
+        stats.stored_states_after = manager.store.stored_state_count()
+        return stats
+
+
+def auto_snapshot(manager: "VersionManager", version: VersionId) -> Optional[int]:
+    """Online consolidation hook for ``create_version``.
+
+    When the manager's retention policy sets ``snapshot_interval`` and
+    the freshly saved *version* is the K-th since the nearest snapshot
+    on its chain (the same spacing counter the offline pass uses), its
+    full state is materialized right away — chain walks then never
+    exceed K+1 versions. Returns the number of states added, or None
+    when no snapshot was due.
+    """
+    interval = manager.retention.snapshot_interval
+    if interval <= 0:
+        return None
+    chain = manager.tree.chain(version)
+    if manager.store.versions_since_snapshot(chain) < interval:
+        return None
+    added = manager.store.materialize_snapshot(version, chain)
+    return added

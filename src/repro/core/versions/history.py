@@ -5,6 +5,13 @@ navigation, e.g. 'find all versions of object AlarmHandler, beginning
 with version 2.0'." This module implements those operations on top of
 the version manager: per-item version histories, version-to-version
 diffs, and history-line queries.
+
+Compaction (:mod:`repro.core.versions.compaction`) cooperates with
+history retrieval: states materialized by snapshot consolidation are
+filtered out of :meth:`VersionStore.states_of`, so ``versions_of_item``
+keeps listing *changes* only, and a squashed version's surviving states
+surface at the descendant they were folded into — the answer an
+observer restricted to the surviving versions would always have seen.
 """
 
 from __future__ import annotations

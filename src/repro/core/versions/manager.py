@@ -17,6 +17,11 @@ Responsibilities (paper, "Versions"):
   generate schema versions, too": every data version records the schema
   version it was created under, and views interpret items under that
   schema.
+* **Compaction** — :meth:`compact` squashes unreferenced chain runs and
+  consolidates snapshots under a
+  :class:`~repro.core.versions.compaction.RetentionPolicy`; with
+  :attr:`retention` setting a ``snapshot_interval``, ``create_version``
+  consolidates online so chain walks stay O(K).
 """
 
 from __future__ import annotations
@@ -24,6 +29,12 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.errors import VersionError
+from repro.core.versions.compaction import (
+    CompactionStats,
+    Compactor,
+    RetentionPolicy,
+    auto_snapshot,
+)
 from repro.core.versions.store import ItemKey, VersionStore
 from repro.core.versions.tree import VersionTree
 from repro.core.versions.version_id import VersionId
@@ -50,6 +61,9 @@ class VersionManager:
         self.schema_versions: list["Schema"] = [database.schema]
         #: data version -> index into :attr:`schema_versions`
         self.schema_version_of: dict[VersionId, int] = {}
+        #: compaction policy; ``snapshot_interval`` > 0 also turns on
+        #: online snapshot consolidation in :meth:`create_version`
+        self.retention = RetentionPolicy()
 
     # -- snapshots ---------------------------------------------------------
 
@@ -74,7 +88,22 @@ class VersionManager:
         self.schema_version_of[vid] = len(self.schema_versions) - 1
         self._db.clear_dirty()
         self.current_base = vid
+        auto_snapshot(self, vid)
         return vid
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self, policy: Optional[RetentionPolicy] = None) -> CompactionStats:
+        """Squash unreferenced chains and consolidate snapshots.
+
+        Uses :attr:`retention` unless an explicit *policy* is given.
+        Every surviving version's view is unchanged; only squashed
+        versions (which the policy guarantees nobody references)
+        disappear from the history. Safe at any time outside a
+        transaction — the entry point used by applications is
+        :meth:`repro.core.database.SeedDatabase.compact`.
+        """
+        return Compactor(self, policy or self.retention).run()
 
     # -- selection / alternatives ------------------------------------------------
 
@@ -157,10 +186,18 @@ class VersionManager:
         return sorted(self.store.states_of(key).items(), key=lambda pair: pair[0])
 
     def delta_size(self, version: str | VersionId) -> int:
-        """Number of item states stored for *version* (delta size)."""
+        """Number of item states stored for *version*.
+
+        For plain versions this is the delta size; squashed-into and
+        snapshot versions also hold folded/materialized states.
+        """
         vid = VersionId.parse(version)
         return sum(1 for __ in self.store.keys_in_version(vid))
 
     def total_stored_states(self) -> int:
         """Total states across all versions (the storage-cost metric)."""
         return self.store.stored_state_count()
+
+    def snapshot_count(self) -> int:
+        """Number of snapshot-consolidated versions."""
+        return len(self.store.snapshot_versions())

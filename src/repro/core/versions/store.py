@@ -13,6 +13,15 @@ state. Tombstones are ordinary states with ``deleted=True``.
 
 Item keys are ``("o", oid)`` for objects and ``("r", rid)`` for
 relationships.
+
+Compaction support (see :mod:`repro.core.versions.compaction`): a
+version may be marked as a **snapshot** — it then holds the *complete*
+resolved state of every item existing on its chain (tombstones
+included), so :meth:`state_on_chain` stops walking as soon as it passes
+a snapshot version instead of descending to the chain root. With a
+snapshot every ``K`` versions, chain walks cost O(K) instead of
+O(chain length). :meth:`fold_version` moves the states of a squashed
+version into its surviving descendant.
 """
 
 from __future__ import annotations
@@ -35,6 +44,13 @@ class VersionStore:
 
     def __init__(self) -> None:
         self._cells: dict[ItemKey, dict[VersionId, ItemState]] = {}
+        #: versions holding a complete resolved state of their chain
+        self._snapshots: set[VersionId] = set()
+        #: version -> keys whose state there was *materialized* by
+        #: snapshot consolidation rather than recorded as a change;
+        #: history operations filter these so "find all versions of X"
+        #: keeps listing real changes only
+        self._materialized: dict[VersionId, set[ItemKey]] = {}
 
     # -- writing -------------------------------------------------------------
 
@@ -67,14 +83,135 @@ class VersionStore:
         """Erase all states recorded at *version* (version deletion).
 
         Views then fall through to the closest earlier state on the
-        chain. Returns the number of states erased.
+        chain. Cells left without any state are pruned so ``keys()``
+        and ``cell_count()`` stay accurate after heavy version
+        deletion. Returns the number of states erased.
         """
         count = 0
-        for cell in self._cells.values():
+        emptied: list[ItemKey] = []
+        for key, cell in self._cells.items():
             if version in cell:
                 del cell[version]
                 count += 1
+                if not cell:
+                    emptied.append(key)
+        for key in emptied:
+            del self._cells[key]
+        self._snapshots.discard(version)
+        self._materialized.pop(version, None)
         return count
+
+    # -- snapshots (compaction support) --------------------------------------
+
+    def mark_snapshot(self, version: VersionId) -> None:
+        """Declare *version* complete: its states cover its whole chain."""
+        self._snapshots.add(version)
+
+    def is_snapshot(self, version: VersionId) -> bool:
+        """True when *version* holds a complete resolved state."""
+        return version in self._snapshots
+
+    def snapshot_versions(self) -> list[VersionId]:
+        """All snapshot-marked versions, sorted."""
+        return sorted(self._snapshots)
+
+    def materialize_snapshot(self, version: VersionId, chain: list[VersionId]) -> int:
+        """Record the full resolved state of every item at *version*.
+
+        *chain* must be the ancestry chain ending in *version*.
+        Tombstones are materialized too — history operations must keep
+        distinguishing "deleted here" from "never existed". Returns the
+        number of states added (items already recorded at *version*
+        keep their delta state).
+        """
+        if chain and chain[-1] != version:
+            raise VersionError(
+                f"chain {chain} does not end in snapshot version {version}"
+            )
+        added = 0
+        materialized = self._materialized.setdefault(version, set())
+        for key, cell in self._cells.items():
+            if version in cell:
+                continue
+            state = self.state_on_chain(key, chain)
+            if state is not None:
+                cell[version] = state
+                materialized.add(key)
+                added += 1
+        if not materialized:
+            del self._materialized[version]
+        self._snapshots.add(version)
+        return added
+
+    def distance_to_snapshot(self, chain: list[VersionId]) -> int:
+        """Versions a walk from the chain tip visits before terminating.
+
+        The walk stops at the first snapshot version (inclusive) or, in
+        its absence, at the chain root — this is exactly the worst-case
+        cost of :meth:`state_on_chain` over *chain*.
+        """
+        distance = 0
+        for version in reversed(chain):
+            distance += 1
+            if version in self._snapshots:
+                break
+        return distance
+
+    def versions_since_snapshot(self, chain: list[VersionId]) -> int:
+        """Chain-tip versions *since* (exclusive) the nearest snapshot.
+
+        This is the spacing counter snapshot consolidation uses — the
+        online hook and the offline pass both materialize once it
+        reaches the policy interval, so the two place snapshots
+        identically on identical histories.
+        """
+        count = 0
+        for version in reversed(chain):
+            if version in self._snapshots:
+                break
+            count += 1
+        return count
+
+    def fold_version(self, version: VersionId, into: VersionId) -> tuple[int, int]:
+        """Move the states of *version* into its surviving descendant.
+
+        Used by chain squashing: every surviving chain that contained
+        *version* also contains *into* (its sole child), so a state at
+        *version* is visible exactly where the same state at *into*
+        would be — unless *into* already recorded a newer state, in
+        which case the older one is shadowed everywhere and discarded.
+        Returns ``(moved, discarded)``. A snapshot mark on *version*
+        transfers to *into* (the fold makes *into* cover the chain).
+        """
+        moved = 0
+        discarded = 0
+        folded_materialized = self._materialized.get(version, set())
+        for key, cell in self._cells.items():
+            state = cell.pop(version, None)
+            if state is None:
+                continue
+            if into in cell:
+                discarded += 1
+                if key not in folded_materialized:
+                    # a real change was folded away; if the surviving
+                    # entry was merely materialized, it now records that
+                    # change (same state: nothing sat between the two)
+                    into_materialized = self._materialized.get(into)
+                    if into_materialized is not None:
+                        into_materialized.discard(key)
+            else:
+                cell[into] = state
+                moved += 1
+                if key in folded_materialized:
+                    self._materialized.setdefault(into, set()).add(key)
+        self._materialized.pop(version, None)
+        into_materialized = self._materialized.get(into)
+        if into_materialized is not None and not into_materialized:
+            del self._materialized[into]
+        if version in self._snapshots:
+            self._snapshots.discard(version)
+            self._snapshots.add(into)
+        return moved, discarded
 
     # -- reading ----------------------------------------------------------------
 
@@ -85,7 +222,9 @@ class VersionStore:
 
         Walks the chain from its tip backwards and returns the first
         stored state — the paper's "greatest version number less than or
-        equal to n", restricted to the history line of n. Returns None
+        equal to n", restricted to the history line of n. The walk stops
+        early at a snapshot version: snapshots are complete, so an item
+        without a state there did not exist anywhere below. Returns None
         when the item did not exist anywhere on the chain.
         """
         cell = self._cells.get(key)
@@ -95,31 +234,64 @@ class VersionStore:
             state = cell.get(version)
             if state is not None:
                 return state
+            if version in self._snapshots:
+                return None
         return None
 
     def states_of(self, key: ItemKey) -> dict[VersionId, ItemState]:
-        """All stored (version → state) entries of one item (a copy)."""
-        return dict(self._cells.get(key, {}))
+        """The item's (version → state) *change* entries (a copy).
+
+        States materialized by snapshot consolidation are filtered out:
+        they duplicate an earlier change for walk-termination purposes
+        and must not surface as history events.
+        """
+        return {
+            version: state
+            for version, state in self._cells.get(key, {}).items()
+            if key not in self._materialized.get(version, ())
+        }
+
+    def entries_of(self, key: ItemKey) -> list[tuple[VersionId, ItemState, bool]]:
+        """All raw entries of one item as (version, state, materialized).
+
+        Sorted by version; the serializer uses this to round-trip
+        consolidated stores faithfully.
+        """
+        return sorted(
+            (
+                (version, state, key in self._materialized.get(version, ()))
+                for version, state in self._cells.get(key, {}).items()
+            ),
+            key=lambda entry: entry[0],
+        )
 
     def versions_touching(self, key: ItemKey) -> list[VersionId]:
-        """Versions at which the item's state was recorded (sorted)."""
-        return sorted(self._cells.get(key, {}))
+        """Versions at which the item's state was *changed* (sorted)."""
+        return sorted(self.states_of(key))
 
     def keys(self) -> Iterator[ItemKey]:
-        """All item keys ever recorded."""
+        """All item keys with at least one stored state."""
         return iter(self._cells)
 
     def keys_in_version(self, version: VersionId) -> Iterator[ItemKey]:
-        """Item keys with a state recorded exactly at *version*."""
+        """Item keys with a state stored exactly at *version*.
+
+        Raw storage view: materialized snapshot states count too.
+        """
         for key, cell in self._cells.items():
             if version in cell:
                 yield key
+
+    def mark_materialized(self, version: VersionId, key: ItemKey) -> None:
+        """Flag a stored state as snapshot-materialized (image load)."""
+        self._materialized.setdefault(version, set()).add(key)
 
     def stored_state_count(self) -> int:
         """Total number of stored states — the delta-storage cost metric.
 
         Benchmarks compare this against the full-copy baseline's
-        ``versions × live items``.
+        ``versions × live items``. Snapshot consolidation deliberately
+        trades this metric up for O(K) chain walks.
         """
         return sum(len(cell) for cell in self._cells.values())
 

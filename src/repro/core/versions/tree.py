@@ -52,6 +52,32 @@ class VersionTree:
         self._children.pop(version, None)
         self._creation_order.remove(version)
 
+    def splice(self, version: VersionId) -> VersionId:
+        """Remove an *interior* version with exactly one child.
+
+        The child is reattached to the version's parent in the same
+        sibling position, so ancestry chains through the child simply
+        lose one element. This is the tree half of chain squashing
+        (:mod:`repro.core.versions.compaction`); the store half folds
+        the squashed version's states into the child. Returns the child.
+        """
+        if version not in self._parent:
+            raise VersionError(f"version {version} does not exist")
+        children = self._children.get(version, [])
+        if len(children) != 1:
+            raise VersionError(
+                f"version {version} has {len(children)} successors; only "
+                "versions with exactly one successor can be spliced out"
+            )
+        child = children[0]
+        parent = self._parent.pop(version)
+        siblings = self._children[parent]
+        siblings[siblings.index(version)] = child
+        self._parent[child] = parent
+        del self._children[version]
+        self._creation_order.remove(version)
+        return child
+
     # -- queries -------------------------------------------------------------
 
     def __contains__(self, version: VersionId) -> bool:

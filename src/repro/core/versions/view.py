@@ -11,6 +11,12 @@ item, the latest state on the ancestry chain of the requested version
 and exposes the same retrieval operations the live database offers —
 "retrieval of data from an old version is performed in the same way as
 retrieval from the current version."
+
+Each per-item resolution is a
+:meth:`~repro.core.versions.store.VersionStore.state_on_chain` walk, so
+on snapshot-consolidated stores (see
+:mod:`repro.core.versions.compaction`) building a view costs
+O(items × K) instead of O(items × chain length).
 """
 
 from __future__ import annotations

@@ -71,6 +71,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Alarms @ 1.0" in out
 
+    def test_compact(self, db_file, capsys):
+        for version in ("2.0", "3.0", "4.0", "5.0"):
+            assert main(["snapshot", str(db_file), "-v", version]) == 0
+        capsys.readouterr()
+        assert main([
+            "compact", str(db_file),
+            "--snapshot-interval", "2", "--keep-last", "1", "--pin", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "before:" in out and "compacted:" in out and "after:" in out
+        from repro.core.storage import load_database
+
+        db = load_database(db_file)
+        from repro.core.versions.version_id import VersionId
+
+        versions = db.saved_versions()
+        assert VersionId.parse("1.0") in versions  # pinned
+        assert VersionId.parse("5.0") in versions  # keep-last + leaf
+        # history still resolves on the compacted image
+        assert main(["history", str(db_file), "Alarms"]) == 0
+
+    def test_compact_dry_run_changes_nothing(self, db_file, capsys):
+        assert main(["snapshot", str(db_file), "-v", "2.0"]) == 0
+        before = db_file.read_bytes()
+        assert main(["compact", str(db_file), "--dry-run"]) == 0
+        assert db_file.read_bytes() == before
+        assert "before:" in capsys.readouterr().out
+
     def test_missing_database_is_error(self, tmp_path, capsys):
         assert main(["report", str(tmp_path / "absent.seed")]) == 1
         assert "error:" in capsys.readouterr().err

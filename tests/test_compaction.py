@@ -1,0 +1,421 @@
+"""Compaction equivalence: squashed/consolidated stores answer identically.
+
+The contract of :mod:`repro.core.versions.compaction` is that compaction
+is *invisible* to every surviving version: views, chain walks, checkout
+(``select_version``) and image round-trips produce byte-identical
+results before and after a pass. These tests check that contract over
+randomized version trees, plus the unit behaviour of the new store and
+tree primitives.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import SeedDatabase, figure2_schema
+from repro.core.errors import VersionError
+from repro.core.storage.serialize import database_from_dict, database_to_dict
+from repro.core.versions.compaction import RetentionPolicy
+from repro.core.versions.store import VersionStore
+from repro.core.versions.tree import VersionTree
+from repro.core.versions.version_id import VersionId
+from repro.core.objects import ObjectState
+
+
+def make_state(value=None, deleted=False, name="x"):
+    return ObjectState(
+        class_name="Data",
+        name=name,
+        index=None,
+        parent_oid=None,
+        value=value,
+        deleted=deleted,
+        is_pattern=False,
+        inherited_pattern_oids=(),
+    )
+
+
+V = VersionId.parse
+
+
+# ---------------------------------------------------------------------------
+# store primitives
+# ---------------------------------------------------------------------------
+
+
+class TestStorePrimitives:
+    def test_drop_version_prunes_empty_cells(self):
+        store = VersionStore()
+        store.record(V("1.0"), ("o", 1), make_state("a"))
+        store.record(V("1.0"), ("o", 2), make_state("b"))
+        store.record(V("2.0"), ("o", 2), make_state("c"))
+        assert store.cell_count() == 2
+        assert store.drop_version(V("1.0")) == 2
+        # the cell of ("o", 1) lost its only state and must be gone
+        assert store.cell_count() == 1
+        assert list(store.keys()) == [("o", 2)]
+        assert store.stored_state_count() == 1
+
+    def test_fold_moves_unshadowed_states(self):
+        store = VersionStore()
+        store.record(V("1.0"), ("o", 1), make_state("old"))
+        store.record(V("1.0"), ("o", 2), make_state("only"))
+        store.record(V("2.0"), ("o", 1), make_state("new"))
+        moved, discarded = store.fold_version(V("1.0"), V("2.0"))
+        assert (moved, discarded) == (1, 1)
+        assert store.state_on_chain(("o", 1), [V("2.0")]).value == "new"
+        assert store.state_on_chain(("o", 2), [V("2.0")]).value == "only"
+        assert store.versions_touching(("o", 2)) == [V("2.0")]
+
+    def test_snapshot_terminates_chain_walk(self):
+        store = VersionStore()
+        chain = [V("1.0"), V("2.0"), V("3.0")]
+        store.record(V("1.0"), ("o", 1), make_state("root"))
+        store.record(V("2.0"), ("o", 2), make_state("mid"))
+        added = store.materialize_snapshot(V("2.0"), chain[:2])
+        assert added == 1  # ("o", 1) resolved and copied to 2.0
+        assert store.is_snapshot(V("2.0"))
+        # a walk over the full chain finds the copy at 2.0 and never
+        # visits 1.0; an item absent from the snapshot did not exist
+        assert store.state_on_chain(("o", 1), chain).value == "root"
+        assert store.state_on_chain(("o", 99), chain) is None
+        assert store.distance_to_snapshot(chain) == 2
+
+    def test_materialized_states_hidden_from_history(self):
+        store = VersionStore()
+        store.record(V("1.0"), ("o", 1), make_state("root"))
+        store.materialize_snapshot(V("2.0"), [V("1.0"), V("2.0")])
+        assert store.versions_touching(("o", 1)) == [V("1.0")]
+        assert list(store.states_of(("o", 1))) == [V("1.0")]
+        # ... but they are raw storage, visible to the cost metric
+        assert store.stored_state_count() == 2
+        entries = store.entries_of(("o", 1))
+        assert [(str(v), m) for v, __, m in entries] == [
+            ("1.0", False),
+            ("2.0", True),
+        ]
+
+    def test_fold_unmasks_materialized_copy_of_real_change(self):
+        # 1.0 changes the item, 2.0 holds only the snapshot copy; after
+        # squashing 1.0 into 2.0 the copy *is* the change record
+        store = VersionStore()
+        store.record(V("1.0"), ("o", 1), make_state("root"))
+        store.materialize_snapshot(V("2.0"), [V("1.0"), V("2.0")])
+        store.fold_version(V("1.0"), V("2.0"))
+        assert store.versions_touching(("o", 1)) == [V("2.0")]
+
+    def test_materialize_requires_matching_chain(self):
+        store = VersionStore()
+        with pytest.raises(VersionError):
+            store.materialize_snapshot(V("2.0"), [V("1.0")])
+
+    def test_record_still_refuses_duplicates(self):
+        store = VersionStore()
+        store.record(V("1.0"), ("o", 1), make_state())
+        with pytest.raises(VersionError):
+            store.record(V("1.0"), ("o", 1), make_state())
+
+
+class TestTreeSplice:
+    def build(self):
+        tree = VersionTree()
+        tree.add(V("1.0"), None)
+        tree.add(V("2.0"), V("1.0"))
+        tree.add(V("3.0"), V("2.0"))
+        tree.add(V("2.0.1"), V("2.0"))
+        return tree
+
+    def test_splice_interior(self):
+        tree = self.build()
+        tree.add(V("4.0"), V("3.0"))
+        assert tree.splice(V("3.0")) == V("4.0")
+        assert tree.parent(V("4.0")) == V("2.0")
+        assert tree.chain(V("4.0")) == [V("1.0"), V("2.0"), V("4.0")]
+        assert V("3.0") not in tree
+
+    def test_splice_root(self):
+        tree = self.build()
+        tree.remove(V("2.0.1"))
+        tree.remove(V("3.0"))
+        assert tree.splice(V("1.0")) == V("2.0")
+        assert tree.roots() == [V("2.0")]
+        assert tree.chain(V("2.0")) == [V("2.0")]
+
+    def test_splice_refuses_branch_points_and_leaves(self):
+        tree = self.build()
+        with pytest.raises(VersionError):
+            tree.splice(V("2.0"))  # two children
+        with pytest.raises(VersionError):
+            tree.splice(V("3.0"))  # leaf
+        with pytest.raises(VersionError):
+            tree.splice(V("9.0"))  # unknown
+
+
+# ---------------------------------------------------------------------------
+# randomized whole-database equivalence
+# ---------------------------------------------------------------------------
+
+
+def build_random_versioned_db(seed: int, versions: int = 14) -> SeedDatabase:
+    """A database with a randomized version tree (branches included)."""
+    rng = random.Random(seed)
+    db = SeedDatabase(figure2_schema(), f"rand-{seed}")
+    counter = 0
+
+    def mutate() -> None:
+        nonlocal counter
+        roll = rng.random()
+        data = [o for o in db.objects("Data") if o.parent is None]
+        actions = [o for o in db.objects("Action") if o.parent is None]
+        if roll < 0.35 or not data:
+            counter += 1
+            db.create_object(rng.choice(["Data", "Action"]), f"Item{counter}")
+        elif roll < 0.55:
+            target = rng.choice(data)
+            if len(target.sub_objects("Text")) < 16:
+                target.add_sub_object("Text")
+        elif roll < 0.7 and actions:
+            db.relate("Read", {"from": rng.choice(data), "by": rng.choice(actions)})
+        elif roll < 0.85:
+            victims = [o for o in data + actions if not o.relationships()]
+            if victims:
+                db.delete(rng.choice(victims))
+            else:
+                counter += 1
+                db.create_object("Data", f"Item{counter}")
+        else:
+            texts = [t for o in data for t in o.sub_objects("Text")]
+            if texts:
+                db.delete(rng.choice(texts))
+            else:
+                counter += 1
+                db.create_object("Data", f"Item{counter}")
+
+    for __ in range(versions):
+        for __ in range(rng.randint(1, 4)):
+            mutate()
+        db.create_version()
+        if rng.random() < 0.25 and len(db.saved_versions()) > 2:
+            db.select_version(
+                rng.choice(db.saved_versions()), discard_changes=True
+            )
+    return db
+
+
+def clone(db: SeedDatabase) -> SeedDatabase:
+    return database_from_dict(database_to_dict(db))
+
+
+def random_policy(rng: random.Random) -> RetentionPolicy:
+    return RetentionPolicy(
+        squash_chains=rng.random() < 0.8,
+        snapshot_interval=rng.choice([0, 1, 2, 3, 5]),
+        keep_last=rng.randint(0, 4),
+    )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_compaction_preserves_every_surviving_view(seed):
+    db = build_random_versioned_db(seed)
+    reference = clone(db)
+    rng = random.Random(seed * 31 + 7)
+    stats = db.compact(random_policy(rng))
+    assert stats.versions_after == len(db.saved_versions())
+    surviving = db.saved_versions()
+    assert set(surviving) <= set(reference.saved_versions())
+    for version in surviving:
+        compacted_view = dict(db.version_view(version).item_states())
+        reference_view = dict(reference.version_view(version).item_states())
+        assert compacted_view == reference_view, (
+            f"view of {version} diverged after compaction (seed {seed})"
+        )
+        # the raw chain-walk primitive agrees too, key by key
+        chain = db.versions.tree.chain(version)
+        ref_chain = reference.versions.tree.chain(version)
+        for key in set(db.versions.store.keys()) | set(reference.versions.store.keys()):
+            assert db.versions.store.state_on_chain(
+                key, chain
+            ) == reference.versions.store.state_on_chain(key, ref_chain)
+
+
+@pytest.mark.parametrize("seed", [3, 8, 21])
+def test_checkout_identical_after_compaction(seed):
+    db = build_random_versioned_db(seed)
+    reference = clone(db)
+    db.compact(RetentionPolicy(snapshot_interval=2, keep_last=1))
+    for version in db.saved_versions():
+        db.select_version(version, discard_changes=True)
+        reference.select_version(version, discard_changes=True)
+        assert {o.oid: o.freeze() for o in db.all_objects_raw()} == {
+            o.oid: o.freeze() for o in reference.all_objects_raw()
+        }
+        assert {r.rid: r.freeze() for r in db.all_relationships_raw()} == {
+            r.rid: r.freeze() for r in reference.all_relationships_raw()
+        }
+
+
+@pytest.mark.parametrize("seed", [1, 9])
+def test_image_roundtrip_preserves_compacted_store(seed):
+    db = build_random_versioned_db(seed)
+    db.compact(RetentionPolicy(snapshot_interval=2, keep_last=1))
+    loaded = clone(db)
+    assert loaded.saved_versions() == db.saved_versions()
+    assert (
+        loaded.versions.store.snapshot_versions()
+        == db.versions.store.snapshot_versions()
+    )
+    assert (
+        loaded.versions.store.stored_state_count()
+        == db.versions.store.stored_state_count()
+    )
+    for version in db.saved_versions():
+        assert dict(loaded.version_view(version).item_states()) == dict(
+            db.version_view(version).item_states()
+        )
+        # materialized markers round-trip: history answers stay equal
+        for key in db.versions.store.keys():
+            assert loaded.versions.store.versions_touching(
+                key
+            ) == db.versions.store.versions_touching(key)
+
+
+# ---------------------------------------------------------------------------
+# retention protections and cooperation with version operations
+# ---------------------------------------------------------------------------
+
+
+class TestRetention:
+    def linear_db(self, versions=10):
+        db = SeedDatabase(figure2_schema(), "lin")
+        obj = db.create_object("Data", "D")
+        db.create_version()
+        for i in range(versions - 1):
+            db.set_value(obj.add_sub_object("Text").add_sub_object(
+                "Body").add_sub_object("Contents", f"v{i}"), f"v{i}")
+            db.create_version()
+        return db
+
+    def test_current_base_and_keep_last_survive(self):
+        db = self.linear_db()
+        base = db.versions.current_base
+        newest = db.saved_versions()[-2:]
+        db.compact(RetentionPolicy(keep_last=2))
+        assert base in db.saved_versions()
+        for version in newest:
+            assert version in db.saved_versions()
+
+    def test_pins_survive(self):
+        db = self.linear_db()
+        pinned = db.saved_versions()[3]
+        db.compact(RetentionPolicy(keep_last=0, pins=frozenset(["4.0"])))
+        assert pinned in db.saved_versions()
+        assert V("4.0") in db.saved_versions()
+
+    def test_branch_points_survive(self):
+        db = self.linear_db(6)
+        fork = db.saved_versions()[2]
+        db.select_version(fork, discard_changes=True)
+        db.create_object("Data", "Branch")
+        db.create_version()
+        db.compact(RetentionPolicy(keep_last=0))
+        assert fork in db.saved_versions()
+        assert len(db.versions.tree.children(fork)) == 2
+
+    def test_schema_boundaries_survive(self):
+        from repro.core import figure3_schema
+
+        db = SeedDatabase(figure2_schema(), "mig")
+        obj = db.create_object("Data", "D")
+        db.create_version()
+        db.set_value(
+            obj.add_sub_object("Text").add_sub_object("Body").add_sub_object(
+                "Contents", "x"), "x")
+        boundary = db.create_version()  # last version under the old schema
+        db.migrate_schema(figure3_schema())
+        db.create_version()
+        db.create_object("Data", "After")
+        db.create_version()
+        db.create_object("Data", "After2")
+        db.create_version()
+        db.compact(RetentionPolicy(keep_last=0))
+        assert boundary in db.saved_versions()
+
+    def test_delete_version_after_squash(self):
+        db = self.linear_db()
+        db.compact(RetentionPolicy(keep_last=2))
+        leaf = db.saved_versions()[-1]
+        db.select_version(db.saved_versions()[0], discard_changes=True)
+        db.delete_version(leaf)
+        assert leaf not in db.saved_versions()
+        # remaining views still resolve
+        for version in db.saved_versions():
+            db.version_view(version)
+
+    def test_online_snapshot_consolidation_bounds_walks(self):
+        db = SeedDatabase(figure2_schema(), "auto")
+        db.versions.retention = RetentionPolicy(snapshot_interval=4)
+        db.create_object("Data", "D")
+        db.create_version()
+        for i in range(20):
+            db.create_object("Data", f"D{i}")
+            db.create_version()
+        store = db.versions.store
+        assert store.snapshot_versions()  # auto-created along the chain
+        tip_chain = db.versions.tree.chain(db.saved_versions()[-1])
+        assert store.distance_to_snapshot(tip_chain) <= 4
+        # and the tip view equals a brute walk without snapshots
+        reference = clone(db)
+        reference.versions.store._snapshots.clear()  # noqa: SLF001
+        tip = db.saved_versions()[-1]
+        assert dict(db.version_view(tip).item_states()) == dict(
+            reference.version_view(tip).item_states()
+        )
+
+    def test_online_and_offline_snapshots_agree(self):
+        # identical histories, interval 4: the create_version hook and
+        # a single offline pass must place snapshots at the same versions
+        online = SeedDatabase(figure2_schema(), "online")
+        online.versions.retention = RetentionPolicy(snapshot_interval=4)
+        offline = SeedDatabase(figure2_schema(), "offline")
+        for i in range(13):
+            online.create_object("Data", f"D{i}")
+            online.create_version()
+            offline.create_object("Data", f"D{i}")
+            offline.create_version()
+        offline.compact(
+            RetentionPolicy(squash_chains=False, snapshot_interval=4)
+        )
+        assert (
+            online.versions.store.snapshot_versions()
+            == offline.versions.store.snapshot_versions()
+        )
+        assert [str(v) for v in online.versions.store.snapshot_versions()] == [
+            "4.0", "8.0", "12.0",
+        ]
+
+    def test_compact_refused_inside_transaction(self):
+        from repro.core.errors import TransactionError
+
+        db = self.linear_db(3)
+        with pytest.raises(TransactionError):
+            with db.transaction():
+                db.compact()
+
+    def test_policy_validation(self):
+        with pytest.raises(VersionError):
+            RetentionPolicy(snapshot_interval=-1)
+        with pytest.raises(VersionError):
+            RetentionPolicy(keep_last=-2)
+
+    def test_default_compact_is_conservative(self):
+        # default policy: squash only, keep the newest two versions
+        db = self.linear_db(5)
+        reference = clone(db)
+        stats = db.compact()
+        assert stats.snapshots_created == []
+        for version in db.saved_versions():
+            assert dict(db.version_view(version).item_states()) == dict(
+                reference.version_view(version).item_states()
+            )

@@ -1,0 +1,125 @@
+"""The CI benchmark-trend gate: baseline discovery and regression math."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS))
+
+import compare_bench  # noqa: E402
+
+
+def write_report(path: Path, sections: dict[str, float]) -> None:
+    path.write_text(
+        json.dumps(
+            {
+                "results": {
+                    "1000": {
+                        name: {"speedup": value, "indexed_s": 0.001}
+                        for name, value in sections.items()
+                    }
+                }
+            }
+        )
+    )
+
+
+def test_newest_baseline_wins(tmp_path):
+    write_report(tmp_path / "BENCH_PR1.json", {"query_extent": 50.0})
+    write_report(tmp_path / "BENCH_PR2.json", {"query_extent": 100.0})
+    reference = compare_bench.collect_baseline(
+        compare_bench.discover_baselines(tmp_path)
+    )
+    assert reference[("1000", "query_extent")] == (100.0, "BENCH_PR2.json")
+
+
+def test_gate_passes_within_tolerance(tmp_path, capsys):
+    write_report(tmp_path / "BENCH_PR1.json", {"query_extent": 100.0})
+    write_report(tmp_path / "fresh.json", {"query_extent": 80.0})
+    code = compare_bench.main(
+        [str(tmp_path / "fresh.json"), "--baseline-dir", str(tmp_path)]
+    )
+    assert code == 0
+    assert "trend gate ok" in capsys.readouterr().out
+
+
+def test_gate_fails_on_regression(tmp_path, capsys):
+    write_report(tmp_path / "BENCH_PR1.json", {"query_extent": 100.0})
+    write_report(tmp_path / "fresh.json", {"query_extent": 60.0})
+    code = compare_bench.main(
+        [str(tmp_path / "fresh.json"), "--baseline-dir", str(tmp_path)]
+    )
+    assert code == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_new_sections_are_reported_not_gated(tmp_path, capsys):
+    write_report(tmp_path / "BENCH_PR1.json", {"query_extent": 100.0})
+    write_report(
+        tmp_path / "fresh.json",
+        {"query_extent": 100.0, "brand_new_section": 2.0},
+    )
+    code = compare_bench.main(
+        [str(tmp_path / "fresh.json"), "--baseline-dir", str(tmp_path)]
+    )
+    assert code == 0
+    assert "no baseline yet" in capsys.readouterr().out
+
+
+def test_no_overlap_is_an_error(tmp_path):
+    write_report(tmp_path / "BENCH_PR1.json", {"query_extent": 100.0})
+    write_report(tmp_path / "fresh.json", {"other": 1.0})
+    assert (
+        compare_bench.main(
+            [str(tmp_path / "fresh.json"), "--baseline-dir", str(tmp_path)]
+        )
+        == 2
+    )
+
+
+def test_missing_inputs_are_errors(tmp_path):
+    assert (
+        compare_bench.main(
+            [str(tmp_path / "absent.json"), "--baseline-dir", str(tmp_path)]
+        )
+        == 2
+    )
+    write_report(tmp_path / "fresh.json", {"query_extent": 1.0})
+    assert (
+        compare_bench.main(
+            [str(tmp_path / "fresh.json"), "--baseline-dir", str(tmp_path)]
+        )
+        == 2  # no baselines at all
+    )
+
+
+def test_committed_baselines_parse():
+    """The real BENCH_PR<n>.json files must stay loadable and gated."""
+    baselines = compare_bench.discover_baselines(compare_bench.REPO_ROOT)
+    assert len(baselines) >= 3
+    reference = compare_bench.collect_baseline(baselines)
+    assert ("1000", "query_extent") in reference
+    assert ("1000", "version_walk") in reference
+    assert ("1000", "completeness_incremental") in reference
+
+
+@pytest.mark.parametrize("tolerance,expected", [(0.25, 1), (0.5, 0)])
+def test_tolerance_knob(tmp_path, tolerance, expected):
+    write_report(tmp_path / "BENCH_PR1.json", {"query_extent": 100.0})
+    write_report(tmp_path / "fresh.json", {"query_extent": 70.0})
+    assert (
+        compare_bench.main(
+            [
+                str(tmp_path / "fresh.json"),
+                "--baseline-dir", str(tmp_path),
+                "--tolerance", str(tolerance),
+            ]
+        )
+        == expected
+    )
