@@ -5,15 +5,18 @@ sizes, against the seed's brute-force implementations (which are kept
 in the tree as reference code: :func:`repro.core.indexes.brute_objects`,
 ``count_participations_scan``, ``validate_acyclic(use_index=False)``),
 plus the PR-2 multi-join query scenario (cost-based planner versus the
-eager left-to-right ``Relation`` algebra) and the PR-3 scenarios:
+eager left-to-right ``Relation`` algebra), the PR-3 scenarios:
 ``state_on_chain`` walks over a long version chain before and after
 snapshot consolidation (``version_walk``), and incremental
 ``check_completeness`` versus the retained full scan
-(``completeness_incremental``). Results are written to
-``BENCH_PR3.json`` at the repository root so future PRs have a perf
-trajectory to compare against (``BENCH_PR1.json``/``BENCH_PR2.json``
-hold the earlier runs; ``benchmarks/compare_bench.py`` gates CI on the
-trajectory).
+(``completeness_incremental``) — and the PR-4 bulk-write scenarios:
+``bulk_ingest`` (populating a primed database through ``bulk()``
+versus the per-item mutation path) and ``checkout_cold`` (one-pass
+``resolve_chain`` view materialization versus the per-cell
+``state_on_chain`` walk). Results are written to ``BENCH_PR4.json`` at
+the repository root so future PRs have a perf trajectory to compare
+against (``BENCH_PR1.json``..``BENCH_PR3.json`` hold the earlier runs;
+``benchmarks/compare_bench.py`` gates CI on the trajectory).
 
 Run::
 
@@ -32,6 +35,7 @@ any gated section against the committed baselines.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import statistics
 import sys
@@ -302,6 +306,183 @@ def completeness_schema():
     return builder.build()
 
 
+def ingest_schema():
+    """A sub-object-rich schema plus a dependency chain (bulk ingest)."""
+    builder = SchemaBuilder("ingest")
+    builder.entity_class("Task")
+    builder.dependent("Task", "Title", "1..1", sort="STRING")
+    builder.dependent("Task", "Note", "0..*", sort="STRING")
+    builder.association(
+        "DependsOn",
+        ("prereq", "Task", "0..*"),
+        ("dependent", "Task", "0..*"),
+        acyclic=True,
+    )
+    return builder.build()
+
+
+def bench_bulk_ingest(size: int, repeats: int) -> dict:
+    """``bulk_load`` vs. the per-item mutation path, identical data.
+
+    ``size`` tasks, each with a title and four notes, linked into
+    ACYCLIC dependency chains of ~500 with two edges per task (deep
+    containment/dependency structures — exactly where the per-edge
+    incremental reachability probe degrades: every probe walks the
+    chain behind the new edge's target, while the batch pays one DFS
+    over the whole family regardless of depth). The database is primed
+    (one completeness check) before population, as after any real
+    session start — so the per-item path pays its per-commit costs in
+    full: an undo closure and index update per mutation, endpoint
+    re-validation per relate, one reachability probe per edge, and one
+    completeness fan-out per commit. The bulk path pays one index
+    rebuild, one validation pass, one cycle DFS, and one dirty merge.
+    Both paths are verified to land in the identical state. Specs are
+    prepared outside the timed regions.
+    """
+    notes_per_task = 4
+    # chain depth drives the per-edge probe cost the batch DFS avoids;
+    # capped downward at large sizes to bound total harness runtime
+    chain = min(1_000, max(250, 10_000_000 // size))
+    object_specs = [
+        {
+            "class": "Task",
+            "name": f"Task{i}",
+            "sub_objects": [{"role": "Title", "value": f"title {i}"}]
+            + [
+                {"role": "Note", "value": f"note {i}.{note_index}"}
+                for note_index in range(notes_per_task)
+            ],
+        }
+        for i in range(size)
+    ]
+    relationship_specs = []
+    for i in range(size):
+        if i % chain and i >= 1:
+            relationship_specs.append(
+                {
+                    "association": "DependsOn",
+                    "bindings": {
+                        "prereq": f"Task{i}",
+                        "dependent": f"Task{i - 1}",
+                    },
+                }
+            )
+        if i % chain > 1 and i >= 2:
+            relationship_specs.append(
+                {
+                    "association": "DependsOn",
+                    "bindings": {
+                        "prereq": f"Task{i}",
+                        "dependent": f"Task{i - 2}",
+                    },
+                }
+            )
+
+    def fresh_db(name: str) -> SeedDatabase:
+        db = SeedDatabase(ingest_schema(), name)
+        db.create_object("Task", "Seeded").add_sub_object("Title", "seed")
+        db.check_completeness()  # prime the incremental gap map
+        return db
+
+    def populate_per_item(db: SeedDatabase) -> None:
+        for spec in object_specs:
+            task = db.create_object(spec["class"], spec["name"])
+            for sub_spec in spec["sub_objects"]:
+                task.add_sub_object(sub_spec["role"], sub_spec["value"])
+        for spec in relationship_specs:
+            db.relate(
+                spec["association"],
+                {
+                    role: db.get_object(target)
+                    for role, target in spec["bindings"].items()
+                },
+            )
+
+    # each sample needs a fresh database, so the usual median_time
+    # helper does not fit; the minimum over `samples` fresh builds is
+    # the noise-robust estimate (timeit practice: the fastest run is
+    # the one least disturbed by the scheduler/GC), applied to both
+    # paths identically. One build only at 50k — runtime.
+    samples = 1 if size >= 50_000 else min(3, repeats)
+    per_item_times = []
+    for sample in range(samples):
+        per_item_db = fresh_db(f"ingest-item-{size}-{sample}")
+        gc.collect()  # earlier sections' garbage must not bill this one
+        started = time.perf_counter()
+        populate_per_item(per_item_db)
+        per_item_times.append(time.perf_counter() - started)
+    per_item = min(per_item_times)
+
+    bulk_times = []
+    for sample in range(samples):
+        bulk_db = fresh_db(f"ingest-bulk-{size}-{sample}")
+        gc.collect()
+        started = time.perf_counter()
+        bulk_db.bulk_load(object_specs, relationship_specs)
+        bulk_times.append(time.perf_counter() - started)
+    bulk = min(bulk_times)
+
+    item_stats = per_item_db.statistics()
+    bulk_stats = bulk_db.statistics()
+    assert item_stats["objects"] == bulk_stats["objects"]
+    assert item_stats["relationships"] == bulk_stats["relationships"]
+    bulk_db.indexes.verify()
+    item_gaps = sorted(
+        (g.kind, g.item, g.element) for g in per_item_db.check_completeness()
+    )
+    bulk_gaps = sorted(
+        (g.kind, g.item, g.element) for g in bulk_db.check_completeness()
+    )
+    assert item_gaps == bulk_gaps
+    return {
+        "objects": bulk_stats["objects"],
+        "sub_objects_per_task": notes_per_task + 1,
+        "relationships": bulk_stats["relationships"],
+        "chain_length": chain,
+        "bruteforce_s": per_item,
+        "indexed_s": bulk,
+        "speedup": round(per_item / bulk, 1) if bulk else None,
+    }
+
+
+def bench_checkout_cold(size: int, repeats: int) -> dict:
+    """Cold view materialization: one-pass resolve vs. per-cell walks.
+
+    ``size`` objects saved at the chain root, then a churn chain of up
+    to ``size/20`` versions with **no** snapshots: every one of the
+    ``size`` cells recorded only at the first version, so the per-cell
+    ``state_on_chain`` reference walks the whole chain per cell —
+    O(cells × chain) — while ``resolve_chain`` (what ``version_view``
+    and ``select_version`` build on since PR 4) buckets all stored
+    states in one pass — O(states). This is the cold-checkout cost of
+    a long-history database.
+    """
+    db = SeedDatabase(harness_schema(), f"checkout-{size}")
+    for i in range(size):
+        db.create_object("Note", f"Cold{i}")
+    db.create_version()
+    chain_length = min(max(size // 20, 40), 1_000)
+    for i in range(chain_length - 1):
+        db.create_object("Doc", f"Churn{i}")
+        db.create_version()
+    store = db.versions.store
+    tip = db.saved_versions()[-1]
+    chain = db.versions.tree.chain(tip)
+    assert store.resolve_chain(chain) == store.resolve_chain_scan(chain)
+    few = max(3, repeats // 2)
+    scan = median_time(lambda: store.resolve_chain_scan(chain), few)
+    resolve = median_time(lambda: store.resolve_chain(chain), few)
+    view_build = median_time(lambda: db.version_view(tip), few)
+    return {
+        "chain_length": chain_length,
+        "cells": store.cell_count(),
+        "view_build_s": view_build,
+        "bruteforce_s": scan,
+        "indexed_s": resolve,
+        "speedup": round(scan / resolve, 1) if resolve else None,
+    }
+
+
 def bench_version_walk(size: int, repeats: int) -> dict:
     """``state_on_chain`` over a long chain, raw vs snapshot-consolidated.
 
@@ -404,7 +585,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR3.json",
+        default=REPO_ROOT / "BENCH_PR4.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -421,7 +602,7 @@ def main(argv=None) -> int:
     repeats = 3 if args.quick else 7
 
     report = {
-        "benchmark": "PR3: version-store compaction + incremental completeness",
+        "benchmark": "PR4: deferred-maintenance bulk write path",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "repeats": repeats,
@@ -432,6 +613,8 @@ def main(argv=None) -> int:
         data = bench_size(size, repeats)
         data["version_walk"] = bench_version_walk(size, repeats)
         data["completeness_incremental"] = bench_completeness(size, repeats)
+        data["bulk_ingest"] = bench_bulk_ingest(size, repeats)
+        data["checkout_cold"] = bench_checkout_cold(size, repeats)
         report["results"][str(size)] = data
 
     acceptance = {}
@@ -463,6 +646,18 @@ def main(argv=None) -> int:
         acceptance["completeness_speedup_ok"] = (
             at_10k["completeness_incremental"]["speedup"] >= 5
         )
+        acceptance["bulk_ingest_speedup_at_10k"] = at_10k["bulk_ingest"][
+            "speedup"
+        ]
+        acceptance["bulk_ingest_speedup_ok"] = (
+            at_10k["bulk_ingest"]["speedup"] >= 10
+        )
+        acceptance["checkout_cold_speedup_at_10k"] = at_10k["checkout_cold"][
+            "speedup"
+        ]
+        acceptance["checkout_cold_speedup_ok"] = (
+            at_10k["checkout_cold"]["speedup"] >= 10
+        )
     report["acceptance"] = acceptance
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -475,7 +670,9 @@ def main(argv=None) -> int:
             f"acyclic commit x{data['commit_acyclic']['speedup']}, "
             f"multijoin x{data['query_multijoin']['speedup']}, "
             f"version walk x{data['version_walk']['speedup']}, "
-            f"completeness x{data['completeness_incremental']['speedup']}"
+            f"completeness x{data['completeness_incremental']['speedup']}, "
+            f"bulk ingest x{data['bulk_ingest']['speedup']}, "
+            f"checkout cold x{data['checkout_cold']['speedup']}"
         )
     if args.gate_planner:
         # compare raw medians, not the rounded display value: a 5%

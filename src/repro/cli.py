@@ -9,7 +9,7 @@ Usage (also via ``python -m repro``)::
     python -m repro history DB.seed [NAME]         # version tree / cluster
     python -m repro snapshot DB.seed [-v VERSION]  # create a version
     python -m repro compact DB.seed [--snapshot-interval K] [--keep-last N]
-                                                   # squash chains, consolidate
+                    [--gc-tombstones]              # squash, consolidate, collect
     python -m repro print DB.seed                  # database -> spec text
     python -m repro ddl DB.seed                    # schema as DDL text
     python -m repro query DB.seed --extent Data --prefix Alarm --via Access
@@ -88,6 +88,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(repeatable)")
     compact.add_argument("--no-squash", action="store_true",
                          help="skip chain squashing; snapshots only")
+    compact.add_argument("--gc-tombstones", action="store_true",
+                         help="drop items dead in every surviving version "
+                              "(store cells and live tombstone records)")
     compact.add_argument("--dry-run", action="store_true",
                          help="report store statistics without compacting")
 
@@ -192,6 +195,7 @@ def _run_compact(args: argparse.Namespace) -> int:
         snapshot_interval=args.snapshot_interval,
         keep_last=args.keep_last,
         pins=frozenset(args.pin),
+        gc_tombstones=args.gc_tombstones,
     )
     result = db.compact(policy)
     size = save_database(db, args.database)

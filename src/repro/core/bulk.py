@@ -1,0 +1,227 @@
+"""The deferred-maintenance bulk write path.
+
+PRs 1–3 made reads and single-mutation commits sublinear, but every
+*bulk* write path (image load, version checkout, schema migration,
+multi-user check-in, workload population) still paid per-item overhead:
+index undo closures, incremental ACYCLIC reachability probes, and
+completeness dirty fan-out once per item. This module trades that
+per-item work for one-shot batch work — the classic deferred-
+maintenance/bulk-load trade the paper's seed-database design leaves on
+the table:
+
+:class:`BulkContext`
+    the engine behind :meth:`repro.core.database.SeedDatabase.bulk`.
+    For the duration of a batch it
+
+    * suspends :class:`~repro.core.indexes.IndexLayer` maintenance
+      (one rebuild at the end instead of per-item updates);
+    * suppresses undo-closure allocation (the batch transaction's undo
+      log is ``None``; mutation paths skip their closures);
+    * defers consistency validation to batch finalize, where each
+      touched item is validated **once** and every touched ACYCLIC
+      family gets **one** full DFS instead of one reachability probe
+      per inserted edge;
+    * defers :meth:`~repro.core.completeness.CompletenessEngine.
+      note_commit` to a single set-union dirty merge over the whole
+      batch's touched map.
+
+    **Failure atomicity**: the context captures a frozen snapshot of
+    every pre-batch item on entry. Any exception escaping the batch
+    body, a validation failure at finalize, or an exception *swallowed*
+    inside the body (the batch is then poisoned — partial effects of
+    the failed mutation cannot be unwound without undo closures) rolls
+    the **whole batch** back, in place: surviving item handles remain
+    valid, exactly as after a rolled-back transaction.
+
+    **Mid-batch reads** see every batch mutation applied so far
+    (read-your-writes): name lookups and raw scans are served from the
+    live records; index-backed queries transparently rebuild the
+    suspended index layer (one rebuild per write-then-read boundary);
+    ``check_completeness`` falls back to the retained full scan.
+
+:func:`load_item_states`
+    the shared one-shot state materializer: replaces a database's item
+    records wholesale from frozen states and rewires parents, name
+    index, incidence, patterns, and indexes in one pass. Version
+    checkout (``restore_from_view``), image deserialization
+    (``database_from_dict``), and multi-user check-out all route
+    through it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+from repro.core.objects import ObjectState, SeedObject
+from repro.core.relationships import RelationshipState, SeedRelationship
+from repro.core.versions.store import ItemKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.database import SeedDatabase, _Transaction
+
+__all__ = ["BulkContext", "load_item_states"]
+
+
+def load_item_states(
+    db: "SeedDatabase",
+    object_states: Iterable[tuple[int, ObjectState]],
+    relationship_states: Iterable[tuple[int, RelationshipState]],
+    *,
+    next_id_floor: int = 0,
+) -> None:
+    """Replace *db*'s item records wholesale from frozen states.
+
+    One-shot wiring: records are constructed, parents attached and the
+    name index filled in input order (which must therefore list parents
+    before their children), incidence lists include tombstoned
+    relationships (mirroring the live invariant), and the pattern and
+    index layers are rebuilt exactly once at the end. Dirty tracking
+    and completeness invalidation stay with the caller — checkout
+    clears them, image load restores them from the image.
+    """
+    db._objects.clear()  # noqa: SLF001
+    db._relationships.clear()  # noqa: SLF001
+    db._name_index.clear()  # noqa: SLF001
+    db._incidence.clear()  # noqa: SLF001
+    max_id = 0
+    records: list[tuple[SeedObject, ObjectState]] = []
+    for oid, state in object_states:
+        entity_class = db.schema.entity_class(state.class_name)
+        obj = SeedObject(db, oid, entity_class, state.name, index=state.index)
+        obj.value = state.value
+        obj.deleted = state.deleted
+        obj.is_pattern = state.is_pattern
+        obj.inherited_patterns = list(state.inherited_pattern_oids)
+        db._objects[oid] = obj  # noqa: SLF001
+        records.append((obj, state))
+        max_id = max(max_id, oid)
+    for obj, state in records:
+        if state.parent_oid is not None:
+            parent = db._objects[state.parent_oid]  # noqa: SLF001
+            obj.parent = parent
+            parent._attach_child(obj)  # noqa: SLF001
+        elif not obj.deleted:
+            # pattern independents are indexed too: find_object filters
+            # them out unless include_patterns is passed
+            db._name_index[obj.simple_name] = obj.oid  # noqa: SLF001
+    for rid, state in relationship_states:
+        association = db.schema.association(state.association_name)
+        bindings = {
+            role: db._objects[oid] for role, oid in state.bindings  # noqa: SLF001
+        }
+        rel = SeedRelationship(db, rid, association, bindings)
+        rel.deleted = state.deleted
+        rel.is_pattern = state.is_pattern
+        rel._attributes = dict(state.attributes)  # noqa: SLF001
+        db._relationships[rid] = rel  # noqa: SLF001
+        for endpoint in rel.bound_objects():
+            db._incidence.setdefault(endpoint.oid, []).append(rid)  # noqa: SLF001
+        max_id = max(max_id, rid)
+    db._next_id = max(next_id_floor, max_id + 1)  # noqa: SLF001
+    db.patterns.rebuild_index()
+    db.indexes.rebuild()
+
+
+class BulkContext:
+    """One open bulk batch over a database (see module docstring).
+
+    Created by :meth:`repro.core.database.SeedDatabase.bulk`; user code
+    receives it as the context value but normally just mutates the
+    database through the ordinary operational interface.
+    """
+
+    __slots__ = (
+        "db",
+        "txn",
+        "failed",
+        "_objects_before",
+        "_relationships_before",
+        "_next_id_before",
+        "_dirty_before",
+    )
+
+    def __init__(self, db: "SeedDatabase", txn: "_Transaction") -> None:
+        self.db = db
+        self.txn = txn
+        #: set when an exception escaped a mutation but was swallowed
+        #: by the batch body — the batch can then only be rolled back
+        self.failed = False
+        # pre-batch snapshot: frozen states in record order (insertion
+        # order equals creation/attach order, so children re-attach in
+        # their original sibling order on restore)
+        self._objects_before = [
+            (obj, obj.freeze()) for obj in db._objects.values()  # noqa: SLF001
+        ]
+        self._relationships_before = [
+            (rel, rel.freeze())
+            for rel in db._relationships.values()  # noqa: SLF001
+        ]
+        self._next_id_before = db._next_id  # noqa: SLF001
+        self._dirty_before = set(db._dirty)  # noqa: SLF001
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def touched_count(self) -> int:
+        """Items the batch has touched so far."""
+        return len(self.txn.touched)
+
+    # -- rollback ----------------------------------------------------------
+
+    def restore(self) -> None:
+        """Roll the whole batch back, in place.
+
+        Items created by the batch are dropped; pre-existing items keep
+        their instance identity and get their frozen pre-batch states
+        re-applied, so handles held across the ``bulk()`` boundary stay
+        valid (the same guarantee a rolled-back transaction gives).
+        Derived structures (children lists, name index, incidence,
+        pattern index, index layer) are rebuilt from the restored
+        states in one pass.
+        """
+        db = self.db
+        db._objects = {  # noqa: SLF001
+            obj.oid: obj for obj, __ in self._objects_before
+        }
+        db._relationships = {  # noqa: SLF001
+            rel.rid: rel for rel, __ in self._relationships_before
+        }
+        db._name_index.clear()  # noqa: SLF001
+        db._incidence.clear()  # noqa: SLF001
+        for obj, state in self._objects_before:
+            obj.entity_class = db.schema.entity_class(state.class_name)
+            obj._rename(state.name)  # noqa: SLF001
+            obj.index = state.index
+            obj.value = state.value
+            obj.deleted = state.deleted
+            obj.is_pattern = state.is_pattern
+            obj.inherited_patterns = list(state.inherited_pattern_oids)
+            obj._children.clear()  # noqa: SLF001
+            obj.parent = (
+                db._objects[state.parent_oid]  # noqa: SLF001
+                if state.parent_oid is not None
+                else None
+            )
+        for obj, __ in self._objects_before:
+            if obj.parent is not None:
+                obj.parent._attach_child(obj)  # noqa: SLF001
+            elif not obj.deleted:
+                db._name_index[obj.simple_name] = obj.oid  # noqa: SLF001
+        for rel, state in self._relationships_before:
+            rel.association = db.schema.association(state.association_name)
+            rel._bindings = {  # noqa: SLF001
+                role: db._objects[oid]  # noqa: SLF001
+                for role, oid in state.bindings
+            }
+            rel._attributes = dict(state.attributes)  # noqa: SLF001
+            rel.deleted = state.deleted
+            rel.is_pattern = state.is_pattern
+            for endpoint in rel.bound_objects():
+                db._incidence.setdefault(  # noqa: SLF001
+                    endpoint.oid, []
+                ).append(rel.rid)
+        db._next_id = self._next_id_before  # noqa: SLF001
+        db._dirty = set(self._dirty_before)  # noqa: SLF001
+        db.patterns.rebuild_index()
+        db.indexes.cancel_suspension()
+        db.indexes.rebuild()

@@ -49,6 +49,25 @@ transaction-safety of the PR-1 index layer. ``check_database`` then
 re-derives gaps for dirty items only and assembles the report from the
 map — O(dirty × schema + gaps) instead of O(database × schema).
 
+The inheritor fan-out is *narrowed* for pattern-heavy databases
+(PR 4): an inheritor's gaps depend only on the pattern's **structure**
+— which sub-objects and relationships exist and how they are bound —
+never on values or relationship attributes inside the pattern
+(value/attribute gaps are per-item and pattern-context items report
+none; sub-object minima and participation minima count items, not
+values). A commit therefore dirties inheritor sub-trees only when the
+touched pattern-context item changed structurally: a create, delete,
+or re-classification, or one of the flag/link operations the database
+explicitly marks (pattern mark/unmark, inherit/uninherit). Value
+updates inside a pattern leave the inheritors' cached gaps untouched.
+The equivalence property tests in
+``tests/test_completeness_incremental.py`` pin this against the scan.
+
+Bulk batches (:meth:`repro.core.database.SeedDatabase.bulk`) defer
+``note_commit`` to one set-union merge over the whole batch's touched
+map at finalize; a ``check_database`` issued *inside* an open batch
+falls back to the full scan (the gap map is not yet merged).
+
 Bulk state replacement (version selection, schema migration, image
 load, checkout) calls :meth:`CompletenessEngine.invalidate`; the next
 check primes the map with one full scan.
@@ -74,6 +93,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.relationships import SeedRelationship
 
 __all__ = ["Gap", "CompletenessReport", "CompletenessEngine"]
+
+#: operation tags that change structure visible to pattern inheritors
+STRUCTURAL_OPERATIONS = frozenset({"create", "delete", "reclassify"})
 
 
 @dataclass(frozen=True)
@@ -165,8 +187,12 @@ class CompletenessEngine:
         are re-analysed; the report is assembled from the maintained
         per-item gap map (deterministic key order — objects before
         relationships, ids ascending). The first call primes the map
-        with a full scan.
+        with a full scan. Inside an open bulk batch the maintained map
+        has not yet absorbed the batch's touched set, so the retained
+        full scan answers instead (read-your-writes).
         """
+        if self._db._bulk is not None:  # noqa: SLF001
+            return self.check_database_scan()
         if not self._primed:
             self._prime()
         else:
@@ -201,7 +227,9 @@ class CompletenessEngine:
     # -- incremental maintenance -------------------------------------------
 
     def note_commit(
-        self, touched: dict[ItemKey, tuple[object, set[str]]]
+        self,
+        touched: dict[ItemKey, tuple[object, set[str]]],
+        structural: frozenset[ItemKey] | set[ItemKey] = frozenset(),
     ) -> None:
         """Mark every item whose gaps a committed transaction may change.
 
@@ -210,7 +238,16 @@ class CompletenessEngine:
         validation runs over); rolled-back transactions never reach
         this point, so the dirty set stays exact — the undo-closure
         discipline of the index layer, expressed at the commit boundary
-        instead of per mutation.
+        instead of per mutation. Bulk batches call this exactly once at
+        finalize with the union of all their touches (the set-union
+        dirty merge).
+
+        *structural* lists keys whose touch changed inheritor-visible
+        structure despite carrying only an "update" tag (pattern
+        mark/unmark, inherit-link changes); together with the
+        create/delete/reclassify tags it gates the inheritor fan-out —
+        value-only updates inside a pattern skip it (see the module
+        docstring).
         """
         if not self._primed:
             return  # nothing cached yet; priming scans everything anyway
@@ -222,14 +259,20 @@ class CompletenessEngine:
         # different things (incident relationships vs. nodes only).
         marked_objects: set[int] = set()
         marked_inheritor_nodes: set[int] = set()
-        for item, __ in touched.values():
+        for key, (item, operations) in touched.items():
+            is_structural = (
+                bool(operations & STRUCTURAL_OPERATIONS) or key in structural
+            )
             if hasattr(item, "walk"):
                 self._mark_object(  # type: ignore[arg-type]
-                    item, marked_objects, marked_inheritor_nodes
+                    item,
+                    marked_objects,
+                    marked_inheritor_nodes,
+                    structural=is_structural,
                 )
             else:
                 self._mark_relationship(  # type: ignore[arg-type]
-                    item, marked_inheritor_nodes
+                    item, marked_inheritor_nodes, structural=is_structural
                 )
 
     def invalidate(self) -> None:
@@ -276,7 +319,12 @@ class CompletenessEngine:
             self._gaps_by_item.pop(key, None)
 
     def _mark_object(
-        self, obj: "SeedObject", marked: set[int], marked_nodes: set[int]
+        self,
+        obj: "SeedObject",
+        marked: set[int],
+        marked_nodes: set[int],
+        *,
+        structural: bool = True,
     ) -> None:
         """Dirty an object, its sub-tree, parent, incident items.
 
@@ -287,6 +335,8 @@ class CompletenessEngine:
         flips of relationships the transaction never touched directly.
         Nodes in *marked* were fully covered earlier in the same commit
         (e.g. by a touched ancestor) and are pruned with their subtrees.
+        Only *structural* touches fan out to pattern inheritors —
+        value updates inside a pattern cannot change inheritor gaps.
         """
         incidence = self._db._incidence  # noqa: SLF001
         relationships = self._db._relationships  # noqa: SLF001
@@ -304,16 +354,27 @@ class CompletenessEngine:
             stack.extend(node.sub_objects())
         if obj.parent is not None:
             self._dirty.add(("o", obj.parent.oid))
-        self._mark_inheritors_of_context(obj, marked_nodes)
+        if structural:
+            self._mark_inheritors_of_context(obj, marked_nodes)
 
     def _mark_relationship(
-        self, rel: "SeedRelationship", marked_nodes: set[int]
+        self,
+        rel: "SeedRelationship",
+        marked_nodes: set[int],
+        *,
+        structural: bool = True,
     ) -> None:
-        """Dirty a relationship and both endpoints (participation minima)."""
+        """Dirty a relationship and both endpoints (participation minima).
+
+        The endpoint inheritor fan-out (pattern relationships only) is
+        gated like the object one: attribute-only updates of a pattern
+        relationship cannot change inheritor gaps.
+        """
         self._dirty.add(("r", rel.rid))
         for endpoint in rel.bound_objects():
             self._dirty.add(("o", endpoint.oid))
-            self._mark_inheritors_of_context(endpoint, marked_nodes)
+            if structural:
+                self._mark_inheritors_of_context(endpoint, marked_nodes)
 
     def _mark_inheritors_of_context(
         self, obj: "SeedObject", marked_nodes: set[int]

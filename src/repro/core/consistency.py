@@ -70,73 +70,90 @@ class ConsistencyEngine:
         pattern-inherited sub-objects), and value-sort conformance.
         Relationship-side checks live in :meth:`validate_relationship`.
         """
-        violations: list[Violation] = []
         if obj.deleted:
-            return violations
-        name = str(obj.name)
-        violations.extend(self._check_children_membership(obj, name))
-        violations.extend(self._check_children_maxima(obj, name))
-        violations.extend(self._check_value(obj, name))
+            return []
+        # the dotted name only appears in violation messages; each check
+        # renders it at report time — building it eagerly would dominate
+        # the (hot) all-consistent case. Leaf objects (no children, no
+        # inherited patterns) skip the child checks entirely.
+        violations: list[Violation] = []
+        if obj._children or obj.inherited_patterns:  # noqa: SLF001
+            self._check_children(obj, violations)
+        if obj.value is not None:
+            self._check_value(obj, violations)
         return violations
 
-    def _check_children_membership(
-        self, obj: "SeedObject", name: str
-    ) -> Iterable[Violation]:
-        for child in obj.sub_objects():
-            declared = self.resolve_dependent_class(obj.entity_class, child.simple_name)
-            if declared is None:
-                yield Violation(
-                    "membership",
-                    name,
-                    f"sub-object role {child.simple_name!r} is not declared "
-                    f"for class {obj.entity_class.name!r} or its generals",
-                )
-            elif child.entity_class is not declared:
-                yield Violation(
-                    "membership",
-                    name,
-                    f"sub-object {child.simple_name!r} is classified as "
-                    f"{child.entity_class.full_name!r} but the schema "
-                    f"declares {declared.full_name!r}",
-                )
+    def _check_children(
+        self, obj: "SeedObject", violations: list[Violation]
+    ) -> None:
+        """Membership and maximum-cardinality checks, one child pass.
 
-    def _check_children_maxima(
-        self, obj: "SeedObject", name: str
-    ) -> Iterable[Violation]:
-        # one pass over the effective children, grouped by role — the
-        # per-role re-enumeration this replaces made large fan-outs pay
-        # for their child list twice per update
+        Membership covers the object's *own* children; the cardinality
+        counts additionally include pattern-inherited sub-objects
+        (effective structure). A single enumeration serves both — the
+        per-check re-enumeration this replaces made large fan-outs pay
+        for their child list twice per validation.
+        """
+        entity_class = obj.entity_class
         counts: dict[str, int] = {}
-        for child in self._db.patterns.effective_sub_objects(obj):
+        for child in obj.sub_objects():
             role = child.simple_name
             counts[role] = counts.get(role, 0) + 1
+            declared = self.resolve_dependent_class(entity_class, role)
+            if declared is None:
+                violations.append(
+                    Violation(
+                        "membership",
+                        str(obj.name),
+                        f"sub-object role {role!r} is not declared "
+                        f"for class {entity_class.name!r} or its generals",
+                    )
+                )
+            elif child.entity_class is not declared:
+                violations.append(
+                    Violation(
+                        "membership",
+                        str(obj.name),
+                        f"sub-object {role!r} is classified as "
+                        f"{child.entity_class.full_name!r} but the schema "
+                        f"declares {declared.full_name!r}",
+                    )
+                )
+        for pattern in self._db.patterns.patterns_of(obj):
+            for child in pattern.sub_objects():
+                role = child.simple_name
+                counts[role] = counts.get(role, 0) + 1
         for role, count in counts.items():
-            declared = self.resolve_dependent_class(obj.entity_class, role)
+            declared = self.resolve_dependent_class(entity_class, role)
             if declared is None or declared.cardinality is None:
                 continue  # membership check reports unknown roles
             if not declared.cardinality.allows_more(count - 1):
-                yield Violation(
-                    "max-cardinality",
-                    name,
-                    f"{count} sub-objects in role {role!r} exceed the "
-                    f"maximum of cardinality {declared.cardinality}",
+                violations.append(
+                    Violation(
+                        "max-cardinality",
+                        str(obj.name),
+                        f"{count} sub-objects in role {role!r} exceed the "
+                        f"maximum of cardinality {declared.cardinality}",
+                    )
                 )
 
-    def _check_value(self, obj: "SeedObject", name: str) -> Iterable[Violation]:
-        if obj.value is None:
-            return
+    def _check_value(
+        self, obj: "SeedObject", violations: list[Violation]
+    ) -> None:
         if not obj.entity_class.has_value:
-            yield Violation(
-                "value-sort",
-                name,
-                f"class {obj.entity_class.full_name!r} is not value-typed "
-                "but the object carries a value",
+            violations.append(
+                Violation(
+                    "value-sort",
+                    str(obj.name),
+                    f"class {obj.entity_class.full_name!r} is not "
+                    "value-typed but the object carries a value",
+                )
             )
             return
         try:
             obj.entity_class.value_sort.coerce(obj.value)
         except ValueTypeError as exc:
-            yield Violation("value-sort", name, str(exc))
+            violations.append(Violation("value-sort", str(obj.name), str(exc)))
 
     def resolve_dependent_class(
         self, entity_class: EntityClass, role: str
@@ -327,10 +344,14 @@ class ConsistencyEngine:
         if element is None:  # pragma: no cover - defensive
             return []
         violations: list[Violation] = []
-        ref = _item_ref(item)
+        ref: Optional[str] = None  # dotted-name rendering is deferred —
+        # most elements have no attached procedures, and building the
+        # reference dominates the (hot) no-procedure case
         for procedure in element.procedures_including_inherited():
             if not procedure.applies_to(operation):
                 continue
+            if ref is None:
+                ref = _item_ref(item)
             context = UpdateContext(
                 database=self._db,
                 operation=operation,

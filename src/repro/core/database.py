@@ -28,13 +28,42 @@ version, pattern, and completeness operations:
 All mutation funnels through the private ``_operation`` context so that
 undo logging (atomicity), dirty tracking (delta versioning), and
 consistency validation happen uniformly.
+
+Bulk operations
+---------------
+
+:meth:`SeedDatabase.bulk` opens a **deferred-maintenance batch**: for
+its duration, per-mutation index maintenance, undo-closure allocation,
+incremental ACYCLIC checks, and completeness dirty fan-out are
+suspended; the batch finalizes with one-shot work instead — a single
+index rebuild from the final state, one validation pass over the
+touched items (one full cycle check per touched ACYCLIC family), and a
+single set-union completeness merge. Semantics:
+
+* **atomicity** — any exception escaping the batch body, any
+  validation failure at finalize, and any mutation error swallowed
+  *inside* the body roll the whole batch back in place (surviving item
+  handles stay valid);
+* **mid-batch reads** see all batch mutations so far; index-backed
+  queries transparently rebuild once per write-then-read boundary, and
+  ``check_completeness`` falls back to the retained full scan;
+* **restrictions** — versions, compaction, and schema migration cannot
+  run inside a batch; an explicit :meth:`transaction` inside a batch
+  adds no boundary (its validation is the batch's).
+
+Prefer ``bulk()`` (or the :meth:`SeedDatabase.bulk_load` convenience
+wrapper) whenever many items are written before the next read barrier:
+ingest, image load, restore, multi-user check-in, workload population.
+For a handful of mutations the per-item path is cheaper — the batch
+pays a pre-batch snapshot plus a full index rebuild.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Iterator, Optional, Union
+from typing import Any, Iterable, Iterator, Optional, Union
 
+from repro.core.bulk import BulkContext, load_item_states
 from repro.core.completeness import CompletenessEngine, CompletenessReport
 from repro.core.consistency import ConsistencyEngine, Violation
 from repro.core.errors import (
@@ -68,11 +97,13 @@ Item = Union[SeedObject, SeedRelationship]
 class _Transaction:
     """Bookkeeping for one (explicit or implicit) update transaction."""
 
-    __slots__ = ("undo", "touched", "dirty_added", "force_acyclic")
+    __slots__ = ("undo", "touched", "dirty_added", "force_acyclic", "structural")
 
-    def __init__(self) -> None:
-        #: undo closures in application order
-        self.undo: list = []
+    def __init__(self, *, record_undo: bool = True) -> None:
+        #: undo closures in application order; ``None`` for bulk batches
+        #: (mutation paths then skip closure allocation entirely — the
+        #: batch rolls back from its pre-batch snapshot instead)
+        self.undo: Optional[list] = [] if record_undo else None
         #: item key -> (item, set of operations applied to it)
         self.touched: dict[ItemKey, tuple[Item, set[str]]] = {}
         #: dirty keys newly added by this transaction (for rollback)
@@ -81,6 +112,11 @@ class _Transaction:
         #: a full re-check (edges appeared outside plain relationship
         #: creation: pattern inheritance or un-marking a pattern)
         self.force_acyclic: dict[str, Any] = {}
+        #: keys whose touch changed *structure* visible to pattern
+        #: inheritors even though the operation tag is only "update"
+        #: (mark/unmark pattern, inherit links) — the completeness
+        #: engine uses this to narrow its inheritor dirty fan-out
+        self.structural: set[ItemKey] = set()
 
     def touch(self, item: Item, operation: str) -> None:
         key = _key_of(item)
@@ -111,6 +147,7 @@ class SeedDatabase:
         self._next_id = 1
         self._dirty: set[ItemKey] = set()
         self._txn: Optional[_Transaction] = None
+        self._bulk: Optional["BulkContext"] = None
         self.indexes = IndexLayer(self)
         self.consistency = ConsistencyEngine(self)
         self.completeness = CompletenessEngine(self)
@@ -127,6 +164,11 @@ class SeedDatabase:
         """True while an explicit transaction is open."""
         return self._txn is not None
 
+    @property
+    def in_bulk(self) -> bool:
+        """True while a bulk batch is open."""
+        return self._bulk is not None
+
     @contextmanager
     def transaction(self) -> Iterator[_Transaction]:
         """Group updates; consistency is checked once, at commit.
@@ -136,7 +178,15 @@ class SeedDatabase:
         The paper's refinement example needs this: re-classifying
         ``Alarms`` to ``OutputData`` and its ``Access`` relationship to
         ``Write`` is only consistent as a unit.
+
+        Inside a :meth:`bulk` batch an explicit transaction adds no
+        boundary of its own: its updates join the batch, and validation
+        happens once at batch finalize.
         """
+        if self._bulk is not None:
+            with self._operation() as txn:
+                yield txn
+            return
         if self._txn is not None:
             raise TransactionError("transactions cannot be nested")
         txn = _Transaction()
@@ -156,11 +206,263 @@ class SeedDatabase:
                 + "\n  ".join(str(violation) for violation in violations),
                 violations,
             )
-        self.completeness.note_commit(txn.touched)
+        self.completeness.note_commit(txn.touched, txn.structural)
+
+    @contextmanager
+    def bulk(self) -> Iterator[BulkContext]:
+        """Open a deferred-maintenance batch (see "Bulk operations").
+
+        Per-mutation index maintenance, undo logging, incremental
+        ACYCLIC checks, and completeness fan-out are suspended until
+        the batch ends; finalize then rebuilds the indexes once,
+        validates every touched item once (one full cycle check per
+        touched ACYCLIC family), and merges the completeness dirty set
+        in one union. Any failure — an exception leaving the body, a
+        swallowed mutation error, or a validation violation — rolls
+        the whole batch back in place.
+        """
+        if self._txn is not None:
+            raise TransactionError(
+                "cannot open a bulk batch inside a transaction"
+            )
+        if self._bulk is not None:
+            raise TransactionError("bulk batches cannot be nested")
+        context = BulkContext(self, _Transaction(record_undo=False))
+        self._bulk = context
+        self.indexes.suspend()
+        try:
+            yield context
+        except BaseException:
+            self._bulk = None
+            context.restore()
+            raise
+        self._bulk = None
+        self._finalize_bulk(context)
+
+    def _finalize_bulk(self, context: BulkContext) -> None:
+        """One-shot index rebuild, validation, and completeness merge."""
+        if context.failed:
+            # restore() rebuilds from the restored records itself —
+            # resuming first would rebuild doomed state for nothing
+            context.restore()
+            raise TransactionError(
+                "a mutation inside the bulk batch failed and its partial "
+                "effects cannot be unwound individually; the whole batch "
+                "was rolled back"
+            )
+        self.indexes.resume()
+        txn = context.txn
+        violations = self._validate(txn, batched_acyclic=True)
+        if violations:
+            context.restore()
+            raise ConsistencyError(
+                "bulk batch violates consistency:\n  "
+                + "\n  ".join(str(violation) for violation in violations),
+                violations,
+            )
+        total_items = len(self._objects) + len(self._relationships)
+        if len(txn.touched) * 2 >= total_items:
+            # the batch touched most of the database: re-priming at the
+            # next check costs the same as re-deriving a near-total
+            # dirty set, so skip the per-key merge entirely
+            self.completeness.invalidate()
+        else:
+            self.completeness.note_commit(txn.touched, txn.structural)
+
+    def bulk_load(
+        self,
+        objects: Iterable[dict] = (),
+        relationships: Iterable[dict] = (),
+    ) -> dict[str, SeedObject]:
+        """Create many items in one :meth:`bulk` batch.
+
+        *objects* are mappings with ``class`` and ``name`` keys and
+        optional ``value``, ``pattern``, and ``sub_objects`` (a list of
+        mappings with ``role`` and optional ``value``/``sub_objects``,
+        nested recursively). *relationships* are mappings with
+        ``association`` and ``bindings`` (role → object name or
+        :class:`SeedObject`) and optional ``attributes``/``pattern``.
+        Returns the created independent objects by name. The whole load
+        is atomic: any error rolls everything back.
+        """
+        created: dict[str, SeedObject] = {}
+        with self.bulk() as batch:
+            txn = batch.txn
+            dirty = self._dirty
+            # per-load memoization: schema lookups and sibling-index
+            # assignment are O(1) per item here instead of a schema walk
+            # / child enumeration per call on the per-item path
+            dependent_cache: dict[tuple[str, str], Any] = {}
+            index_counters: dict[tuple[int, str], int] = {}
+
+            self.indexes.mark_stale()  # the raw lane bypasses the mutators
+
+            def register(item: Item, key: ItemKey) -> None:
+                txn.touched[key] = (item, {"create"})
+                if key not in dirty:
+                    dirty.add(key)
+                    txn.dirty_added.add(key)
+
+            sub_spec_keys = frozenset(
+                ("role", "value", "index", "sub_objects")
+            )
+
+            def load_sub(parent: SeedObject, spec: dict) -> None:
+                if not spec.keys() <= sub_spec_keys:
+                    raise SeedError(
+                        "unknown sub-object spec keys: "
+                        f"{sorted(spec.keys() - sub_spec_keys)}"
+                    )
+                role = spec["role"]
+                # keyed by the class object (identity): full_name is a
+                # computed property and this lookup runs once per item
+                cache_key = (parent.entity_class, role)
+                dependent_class = dependent_cache.get(cache_key)
+                if dependent_class is None:
+                    dependent_class = self.consistency.resolve_dependent_class(
+                        parent.entity_class, role
+                    )
+                    if dependent_class is None:
+                        raise SchemaError(
+                            f"class {parent.entity_class.name!r} declares "
+                            f"no dependent class {role!r}"
+                        )
+                    dependent_cache[cache_key] = dependent_class
+                multi = (
+                    dependent_class.cardinality is None
+                    or dependent_class.cardinality.maximum != 1
+                )
+                index = spec.get("index")
+                if multi:
+                    counter_key = (parent.oid, role)
+                    if index is None:
+                        index = index_counters.get(counter_key)
+                        if index is None:
+                            index = self._assign_index(parent, role, None)
+                        index_counters[counter_key] = index + 1
+                    else:
+                        # duplicate check against the siblings loaded so
+                        # far, and the auto counter must skip past the
+                        # explicit index (per-item parity: consecutive
+                        # assignment continues after the maximum)
+                        index = self._assign_index(parent, role, index)
+                        index_counters[counter_key] = max(
+                            index_counters.get(counter_key, 0), index + 1
+                        )
+                elif index is not None:
+                    raise SchemaError(
+                        f"dependent class {dependent_class.full_name!r} "
+                        "admits a single instance; indices are not used"
+                    )
+                child = SeedObject(
+                    self,
+                    self._allocate_id(),
+                    dependent_class,
+                    role,
+                    parent=parent,
+                    index=index,
+                )
+                value = spec.get("value")
+                if value is not None:
+                    child.value = dependent_class.accepts_value(value)
+                self._objects[child.oid] = child
+                parent._attach_child(child)
+                register(child, ("o", child.oid))
+                sub_specs = spec.get("sub_objects")
+                if sub_specs:
+                    txn.touch(child, "update")  # per-item parity: a
+                    # parent gaining children is touched as updated
+                    for sub_spec in sub_specs:
+                        load_sub(child, sub_spec)
+
+            for spec in objects:
+                spec = dict(spec)
+                entity_class = self.schema.entity_class(spec.pop("class"))
+                if entity_class.is_dependent:
+                    raise SchemaError(
+                        f"class {entity_class.name!r} is dependent; give "
+                        "it as a sub_objects entry of its parent"
+                    )
+                name = spec.pop("name")
+                check_simple_name(name, "object name")
+                if name in self._name_index:
+                    raise ConsistencyError(
+                        f"an object named {name!r} already exists",
+                        [
+                            Violation(
+                                "structure", name, "duplicate independent name"
+                            )
+                        ],
+                    )
+                obj = SeedObject(self, self._allocate_id(), entity_class, name)
+                obj.is_pattern = spec.pop("pattern", False)
+                value = spec.pop("value", None)
+                if value is not None:
+                    obj.value = entity_class.accepts_value(value)
+                self._objects[obj.oid] = obj
+                self._name_index[name] = obj.oid
+                register(obj, ("o", obj.oid))
+                created[name] = obj
+                sub_specs = spec.pop("sub_objects", ())
+                if spec:
+                    raise SeedError(
+                        f"unknown object spec keys: {sorted(spec)}"
+                    )
+                if sub_specs:
+                    txn.touch(obj, "update")
+                    for sub_spec in sub_specs:
+                        load_sub(obj, sub_spec)
+            for spec in relationships:
+                spec = dict(spec)
+                association = self.schema.association(spec.pop("association"))
+                bindings = {}
+                for role, target in dict(spec.pop("bindings")).items():
+                    if not isinstance(target, SeedObject):
+                        target = created.get(target) or self.get_object(
+                            target, include_patterns=True
+                        )
+                    self._require_live(target)
+                    bindings[role] = target
+                if set(bindings) != set(association.role_names()):
+                    raise SchemaError(
+                        f"association {association.name!r} requires "
+                        f"bindings for roles "
+                        f"{sorted(association.role_names())}, got "
+                        f"{sorted(bindings)}"
+                    )
+                rel = SeedRelationship(
+                    self, self._allocate_id(), association, bindings
+                )
+                rel.is_pattern = spec.pop("pattern", False)
+                attributes = spec.pop("attributes", None)
+                if attributes:
+                    for attr_name, attr_value in attributes.items():
+                        attribute = association.attribute(attr_name)
+                        if attr_value is not None:
+                            rel._attributes[attr_name] = attribute.sort.coerce(
+                                attr_value
+                            )
+                self._relationships[rel.rid] = rel
+                for endpoint in rel.bound_objects():
+                    self._incidence.setdefault(endpoint.oid, []).append(
+                        rel.rid
+                    )
+                register(rel, ("r", rel.rid))
+                if spec:
+                    raise SeedError(
+                        f"unknown relationship spec keys: {sorted(spec)}"
+                    )
+        return created
 
     @contextmanager
     def _operation(self) -> Iterator[_Transaction]:
-        """One primitive update: immediate check unless inside a transaction."""
+        """One primitive update: immediate check unless inside a transaction.
+
+        Inside a bulk batch the shared batch transaction is handed out
+        and nothing is validated here; a mutation that raises poisons
+        the batch (its partial effects have no undo closures), forcing
+        a whole-batch rollback even if the caller swallows the error.
+        """
         if self._txn is not None:
             txn = self._txn
             undo_mark = len(txn.undo)
@@ -168,6 +470,20 @@ class SeedDatabase:
                 yield txn
             except BaseException:
                 self._undo_to(txn, undo_mark)
+                raise
+            return
+        if self._bulk is not None:
+            context = self._bulk
+            txn = context.txn
+            touched_before = len(txn.touched)
+            try:
+                yield txn
+            except BaseException:
+                # errors raised before the first touch left no effects
+                # (argument/lookup checks); later ones partially mutated
+                # and poison the batch — no undo closures exist to unwind
+                if len(txn.touched) > touched_before:
+                    context.failed = True
                 raise
             return
         txn = _Transaction()
@@ -187,7 +503,7 @@ class SeedDatabase:
                 + "\n  ".join(str(violation) for violation in violations),
                 violations,
             )
-        self.completeness.note_commit(txn.touched)
+        self.completeness.note_commit(txn.touched, txn.structural)
 
     def _rollback(self, txn: _Transaction) -> None:
         self._undo_to(txn, 0)
@@ -207,7 +523,9 @@ class SeedDatabase:
     # validation at commit
     # ------------------------------------------------------------------
 
-    def _validate(self, txn: _Transaction) -> list[Violation]:
+    def _validate(
+        self, txn: _Transaction, *, batched_acyclic: bool = False
+    ) -> list[Violation]:
         violations: list[Violation] = []
         checked_objects: set[int] = set()
         # ACYCLIC families needing a full graph check (virtual edges may
@@ -215,17 +533,26 @@ class SeedDatabase:
         # pattern relationship was touched)
         acyclic_roots: dict[str, Any] = dict(txn.force_acyclic)
         # newly created plain edges: checked incrementally by
-        # reachability from the edge's target instead of a full DFS
+        # reachability from the edge's target instead of a full DFS.
+        # Bulk batches (``batched_acyclic``) skip the per-edge probes:
+        # with many edges per family one DFS over the whole family
+        # graph is cheaper than one reachability walk per edge
         new_edges: dict[str, tuple[Any, list[tuple[int, int]]]] = {}
+        # attached procedures fire per (item, operation); a bulk batch
+        # amortizes one schema walk to skip the dispatch entirely when
+        # no element declares any (per-item commits touch too few items
+        # for the walk to pay for itself, so they always dispatch)
+        run_procedures = not batched_acyclic or self._schema_has_procedures()
         for key, (item, operations) in txn.touched.items():
             if isinstance(item, SeedObject):
                 violations.extend(self._validate_object_context(item, checked_objects))
             else:
                 violations.extend(self.consistency.validate_relationship(item))
                 for endpoint in item.bound_objects():
-                    violations.extend(
-                        self._validate_object_context(endpoint, checked_objects)
-                    )
+                    if endpoint.oid not in checked_objects:
+                        violations.extend(
+                            self._validate_object_context(endpoint, checked_objects)
+                        )
                 association = item.association
                 if (
                     not item.deleted
@@ -238,8 +565,10 @@ class SeedDatabase:
                     # under re-classification), so only creations can
                     # introduce a cycle through plain relationships
                     root = association.family_root()
-                    if item.in_pattern_context or not getattr(
-                        root, "acyclic", False
+                    if (
+                        batched_acyclic
+                        or item.in_pattern_context
+                        or not getattr(root, "acyclic", False)
                     ):
                         # pattern expansion, or ACYCLIC declared below
                         # the family root: edges of unconstrained family
@@ -253,10 +582,11 @@ class SeedDatabase:
                         entry[1].append(
                             (item.bound_at(0).oid, item.bound_at(1).oid)
                         )
-            for operation in operations:
-                violations.extend(
-                    self.consistency.run_attached_procedures(item, operation)
-                )
+            if run_procedures:
+                for operation in operations:
+                    violations.extend(
+                        self.consistency.run_attached_procedures(item, operation)
+                    )
         for association in acyclic_roots.values():
             violations.extend(self.consistency.validate_acyclic(association))
         for root_name, (association, edges) in new_edges.items():
@@ -266,6 +596,23 @@ class SeedDatabase:
                 self.consistency.validate_new_edges(association, edges)
             )
         return violations
+
+    def _schema_has_procedures(self) -> bool:
+        """True when any schema element carries an attached procedure.
+
+        Computed fresh per bulk finalize (never cached across time, so
+        procedures attached after schema construction are honoured).
+        """
+        stack: list[Any] = list(self.schema.classes)
+        while stack:
+            element = stack.pop()
+            if element.attached_procedures:
+                return True
+            stack.extend(getattr(element, "dependents", ()))
+        return any(
+            association.attached_procedures
+            for association in self.schema.associations
+        )
 
     def _validate_object_context(
         self, obj: SeedObject, checked: set[int]
@@ -319,7 +666,8 @@ class SeedDatabase:
             self._name_index[name] = obj.oid
             self.indexes.add_object(obj)
             self.indexes.add_name(name)
-            txn.undo.append(lambda: self._unregister_object(obj))
+            if txn.undo is not None:
+                txn.undo.append(lambda: self._unregister_object(obj))
             txn.touch(obj, "create")
             self._mark_dirty(txn, obj)
             return obj
@@ -384,7 +732,8 @@ class SeedDatabase:
             self._objects[obj.oid] = obj
             parent._attach_child(obj)
             self.indexes.add_object(obj)
-            txn.undo.append(lambda: self._unregister_object(obj))
+            if txn.undo is not None:
+                txn.undo.append(lambda: self._unregister_object(obj))
             txn.touch(obj, "create")
             txn.touch(parent, "update")
             self._mark_dirty(txn, obj)
@@ -443,7 +792,8 @@ class SeedDatabase:
             for obj in rel.bound_objects():
                 self._incidence.setdefault(obj.oid, []).append(rel.rid)
             self.indexes.index_relationship(rel)
-            txn.undo.append(lambda: self._unregister_relationship(rel))
+            if txn.undo is not None:
+                txn.undo.append(lambda: self._unregister_relationship(rel))
             txn.touch(rel, "create")
             self._mark_dirty(txn, rel)
             if attributes:
@@ -471,7 +821,8 @@ class SeedDatabase:
                 value = obj.entity_class.accepts_value(value)
             old_value = obj.value
             obj.value = value
-            txn.undo.append(lambda: setattr(obj, "value", old_value))
+            if txn.undo is not None:
+                txn.undo.append(lambda: setattr(obj, "value", old_value))
             txn.touch(obj, "update")
             self._mark_dirty(txn, obj)
 
@@ -498,7 +849,8 @@ class SeedDatabase:
             else:
                 rel._attributes.pop(name, None)
 
-        txn.undo.append(undo)
+        if txn.undo is not None:
+            txn.undo.append(undo)
         txn.touch(rel, "update")
         self._mark_dirty(txn, rel)
 
@@ -533,7 +885,8 @@ class SeedDatabase:
                 self.indexes.add_name(old_name)
                 obj._rename(old_name)
 
-            txn.undo.append(undo)
+            if txn.undo is not None:
+                txn.undo.append(undo)
             txn.touch(obj, "update")
             self._mark_dirty(txn, obj)
 
@@ -606,7 +959,8 @@ class SeedDatabase:
                 if removed_name:
                     self.indexes.add_name(obj.simple_name)
 
-        txn.undo.append(undo)
+        if txn.undo is not None:
+            txn.undo.append(undo)
         txn.touch(obj, "delete")
         self._mark_dirty(txn, obj)
 
@@ -618,7 +972,8 @@ class SeedDatabase:
             rel.deleted = False
             self.indexes.index_relationship(rel)
 
-        txn.undo.append(undo)
+        if txn.undo is not None:
+            txn.undo.append(undo)
         txn.touch(rel, "delete")
         self._mark_dirty(txn, rel)
         for endpoint in rel.bound_objects():
@@ -650,7 +1005,8 @@ class SeedDatabase:
                     item.entity_class = old_class
                     self.indexes.move_object(item, new_class, old_class)
 
-                txn.undo.append(undo_object)
+                if txn.undo is not None:
+                    txn.undo.append(undo_object)
                 txn.touch(item, "reclassify")
                 self._mark_dirty(txn, item)
                 for rid in self._incidence.get(item.oid, ()):
@@ -691,7 +1047,8 @@ class SeedDatabase:
                     item._attributes = old_attributes
                     self.indexes.index_relationship(item)
 
-                txn.undo.append(undo)
+                if txn.undo is not None:
+                    txn.undo.append(undo)
                 txn.touch(item, "reclassify")
                 self._mark_dirty(txn, item)
 
@@ -714,9 +1071,13 @@ class SeedDatabase:
             if isinstance(item, SeedObject) and item.parent is None:
                 # patterns are invisible to retrieval by name
                 pass
-            txn.undo.append(lambda: setattr(item, "is_pattern", False))
+            if txn.undo is not None:
+                txn.undo.append(lambda: setattr(item, "is_pattern", False))
             self._refresh_pattern_status(txn, item)
             txn.touch(item, "update")
+            # flipping the flag changes a whole context's visibility —
+            # structural for completeness despite the "update" tag
+            txn.structural.add(_key_of(item))
             self._mark_dirty(txn, item)
 
     def unmark_pattern(self, item: Item) -> None:
@@ -730,9 +1091,11 @@ class SeedDatabase:
                     "the pattern is inherited; remove the inherits links first"
                 )
             item.is_pattern = False
-            txn.undo.append(lambda: setattr(item, "is_pattern", True))
+            if txn.undo is not None:
+                txn.undo.append(lambda: setattr(item, "is_pattern", True))
             self._refresh_pattern_status(txn, item, recheck_acyclic=True)
             txn.touch(item, "update")
+            txn.structural.add(_key_of(item))
             self._mark_dirty(txn, item)
 
     def _refresh_pattern_status(
@@ -775,7 +1138,8 @@ class SeedDatabase:
             def undo(rel: SeedRelationship = rel, status: str = old_status) -> None:
                 self.indexes.set_relationship_status(rel, status)
 
-            txn.undo.append(undo)
+            if txn.undo is not None:
+                txn.undo.append(undo)
 
     def inherit(self, pattern: SeedObject, inheritor: SeedObject) -> None:
         """Establish the inherits-relationship pattern → inheritor.
@@ -802,12 +1166,16 @@ class SeedDatabase:
                 inheritor.inherited_patterns.remove(pattern.oid)
                 self.patterns.unregister_inheritance(pattern.oid, inheritor.oid)
 
-            txn.undo.append(undo)
+            if txn.undo is not None:
+                txn.undo.append(undo)
             txn.touch(inheritor, "update")
             # the pattern's effective neighbourhood changed too: objects
             # bound to it by pattern relationships gain one virtual
-            # participation per inheritor (completeness fan-out)
+            # participation per inheritor (completeness fan-out); the
+            # link change is structural despite the "update" tags
             txn.touch(pattern, "update")
+            txn.structural.add(_key_of(pattern))
+            txn.structural.add(_key_of(inheritor))
             self._mark_dirty(txn, inheritor)
 
     def uninherit(self, pattern: SeedObject, inheritor: SeedObject) -> None:
@@ -826,9 +1194,12 @@ class SeedDatabase:
                 inheritor.inherited_patterns.append(pattern.oid)
                 self.patterns.register_inheritance(pattern.oid, inheritor.oid)
 
-            txn.undo.append(undo)
+            if txn.undo is not None:
+                txn.undo.append(undo)
             txn.touch(inheritor, "update")
             txn.touch(pattern, "update")  # virtual participations shrink
+            txn.structural.add(_key_of(pattern))
+            txn.structural.add(_key_of(inheritor))
             self._mark_dirty(txn, inheritor)
 
     # ------------------------------------------------------------------
@@ -1107,6 +1478,8 @@ class SeedDatabase:
         """Snapshot the current state (see :class:`VersionManager`)."""
         if self._txn is not None:
             raise TransactionError("cannot create a version inside a transaction")
+        if self._bulk is not None:
+            raise TransactionError("cannot create a version inside a bulk batch")
         return self.versions.create_version(version)
 
     def select_version(
@@ -1115,6 +1488,8 @@ class SeedDatabase:
         """Rebase the current state on a saved version (alternatives)."""
         if self._txn is not None:
             raise TransactionError("cannot select a version inside a transaction")
+        if self._bulk is not None:
+            raise TransactionError("cannot select a version inside a bulk batch")
         return self.versions.select_version(version, discard_changes=discard_changes)
 
     def version_view(self, version: str | VersionId) -> VersionView:
@@ -1135,6 +1510,8 @@ class SeedDatabase:
         """
         if self._txn is not None:
             raise TransactionError("cannot compact inside a transaction")
+        if self._bulk is not None:
+            raise TransactionError("cannot compact inside a bulk batch")
         return self.versions.compact(policy)
 
     def saved_versions(self) -> list[VersionId]:
@@ -1167,59 +1544,23 @@ class SeedDatabase:
 
         Live object/relationship handles held by callers become stale;
         re-fetch by name. (Version-manager hook; use
-        :meth:`select_version`.)
+        :meth:`select_version`.) One-shot: the state materializer of
+        :mod:`repro.core.bulk` wires everything and rebuilds the
+        pattern/index layers exactly once.
         """
-        self._objects.clear()
-        self._relationships.clear()
-        self._name_index.clear()
-        self._incidence.clear()
         self._dirty.clear()
-        max_id = 0
-        for view_obj in view.objects(include_patterns=True):
-            state = view_obj.state
-            entity_class = self.schema.entity_class(state.class_name)
-            obj = SeedObject(
-                self,
-                view_obj.oid,
-                entity_class,
-                state.name,
-                parent=None,  # parents wired below
-                index=state.index,
-            )
-            obj.value = state.value
-            obj.is_pattern = state.is_pattern
-            obj.inherited_patterns = list(state.inherited_pattern_oids)
-            self._objects[obj.oid] = obj
-            max_id = max(max_id, obj.oid)
-        # wire parents and children
-        for view_obj in view.objects(include_patterns=True):
-            state = view_obj.state
-            obj = self._objects[view_obj.oid]
-            if state.parent_oid is not None:
-                parent = self._objects[state.parent_oid]
-                obj.parent = parent
-                parent._attach_child(obj)
-            else:
-                # pattern independents are indexed too: find_object
-                # filters them out unless include_patterns is passed
-                self._name_index[obj.simple_name] = obj.oid
-        for view_rel in view.relationships():
-            state = view_rel.state
-            association = self.schema.association(state.association_name)
-            bindings = {
-                role_name: self._objects[oid]
-                for role_name, oid in state.bindings
-            }
-            rel = SeedRelationship(self, view_rel.rid, association, bindings)
-            rel.is_pattern = state.is_pattern
-            rel._attributes = dict(state.attributes)
-            self._relationships[rel.rid] = rel
-            for obj in rel.bound_objects():
-                self._incidence.setdefault(obj.oid, []).append(rel.rid)
-            max_id = max(max_id, rel.rid)
-        self._next_id = max(self._next_id, max_id + 1)
-        self.patterns.rebuild_index()
-        self.indexes.rebuild()
+        load_item_states(
+            self,
+            (
+                (view_obj.oid, view_obj.state)
+                for view_obj in view.objects(include_patterns=True)
+            ),
+            (
+                (view_rel.rid, view_rel.state)
+                for view_rel in view.relationships()
+            ),
+            next_id_floor=self._next_id,
+        )
         self.completeness.invalidate()
 
     # ------------------------------------------------------------------
@@ -1236,6 +1577,8 @@ class SeedDatabase:
         """
         if self._txn is not None:
             raise TransactionError("cannot migrate the schema inside a transaction")
+        if self._bulk is not None:
+            raise TransactionError("cannot migrate the schema inside a bulk batch")
         new_schema.check()
         old_schema = self.schema
         old_classes = {
@@ -1282,6 +1625,12 @@ class SeedDatabase:
         for rel in self._relationships.values():
             self._dirty.add(("r", rel.rid))
         self.completeness.invalidate()
+        # cached query plans were optimized against the old schema's
+        # element identities and statistics; drop them (the planner's
+        # cache also keys on the schema epoch this call advances)
+        plan_cache = getattr(self, "_plan_cache", None)
+        if plan_cache is not None:
+            plan_cache.clear()
         return self.versions.register_schema_version(new_schema)
 
     # ------------------------------------------------------------------

@@ -61,6 +61,17 @@ tests in ``tests/test_indexes.py``):
 Bulk loaders that bypass the operational interface (version restore,
 schema migration, image deserialization, multi-user checkout) call
 :meth:`rebuild`.
+
+Deferred maintenance (PR 4): the bulk write path
+(:meth:`repro.core.database.SeedDatabase.bulk`) calls :meth:`suspend`
+before a batch and :meth:`resume` after it. While suspended, every
+incremental mutator is a no-op that only marks the layer *stale*; the
+batch then pays **one** :meth:`rebuild` instead of per-item updates.
+Query entry points stay correct throughout: they call
+:meth:`_ensure_fresh`, which rebuilds on demand when a stale layer is
+read mid-batch — so a read inside a bulk batch sees every batch
+mutation applied so far, at the cost of one rebuild per
+write-then-read boundary.
 """
 
 from __future__ import annotations
@@ -104,6 +115,46 @@ class IndexLayer:
         self.pattern_incidence: dict[int, int] = {}
         #: rid -> status the relationship is currently indexed under
         self._rel_status: dict[int, str] = {}
+        #: True while a bulk batch defers maintenance (see suspend())
+        self._suspended = False
+        #: True when mutations happened while suspended (rebuild needed)
+        self._stale = False
+
+    # ------------------------------------------------------------------
+    # deferred maintenance (the bulk write path)
+    # ------------------------------------------------------------------
+
+    def suspend(self) -> None:
+        """Defer all incremental maintenance until :meth:`resume`.
+
+        Mutators become no-ops that only mark the layer stale; queries
+        transparently :meth:`rebuild` on first read of a stale layer.
+        """
+        self._suspended = True
+
+    def resume(self) -> None:
+        """End deferred maintenance; one rebuild settles all batched work."""
+        self._suspended = False
+        if self._stale:
+            self.rebuild()
+
+    def mark_stale(self) -> None:
+        """Record that raw-lane mutations bypassed the mutators.
+
+        ``bulk_load`` constructs records directly (no per-item mutator
+        calls, so nothing else would flag the divergence); the next
+        read or :meth:`resume` then rebuilds.
+        """
+        self._stale = True
+
+    def cancel_suspension(self) -> None:
+        """Clear suspension without refreshing (bulk rollback rebuilds)."""
+        self._suspended = False
+        self._stale = False
+
+    def _ensure_fresh(self) -> None:
+        if self._stale:
+            self.rebuild()
 
     # ------------------------------------------------------------------
     # object extent
@@ -111,10 +162,16 @@ class IndexLayer:
 
     def add_object(self, obj: "SeedObject") -> None:
         """Enter a live object into its class extent."""
+        if self._suspended:
+            self._stale = True
+            return
         self.extent.setdefault(obj.entity_class.full_name, set()).add(obj.oid)
 
     def remove_object(self, obj: "SeedObject") -> None:
         """Remove an object (tombstoned or rolled back) from its extent."""
+        if self._suspended:
+            self._stale = True
+            return
         bucket = self.extent.get(obj.entity_class.full_name)
         if bucket is not None:
             bucket.discard(obj.oid)
@@ -125,6 +182,9 @@ class IndexLayer:
         self, obj: "SeedObject", old_class: "EntityClass", new_class: "EntityClass"
     ) -> None:
         """Re-file an object after re-classification."""
+        if self._suspended:
+            self._stale = True
+            return
         bucket = self.extent.get(old_class.full_name)
         if bucket is not None:
             bucket.discard(obj.oid)
@@ -140,6 +200,7 @@ class IndexLayer:
         Sorting by oid reproduces creation order, matching the order the
         seed's full scan produced.
         """
+        self._ensure_fresh()
         if not include_specials:
             return sorted(self.extent.get(wanted.full_name, ()))
         result: set[int] = set()
@@ -154,16 +215,23 @@ class IndexLayer:
 
     def add_name(self, name: str) -> None:
         """Mirror an insertion into the database's name index."""
+        if self._suspended:
+            self._stale = True
+            return
         insort(self.names, name)
 
     def remove_name(self, name: str) -> None:
         """Mirror a removal from the database's name index."""
+        if self._suspended:
+            self._stale = True
+            return
         position = bisect_left(self.names, name)
         if position < len(self.names) and self.names[position] == name:
             del self.names[position]
 
     def names_with_prefix(self, prefix: str) -> list[str]:
         """All indexed names starting with *prefix*, in sorted order."""
+        self._ensure_fresh()
         position = bisect_left(self.names, prefix)
         result: list[str] = []
         while position < len(self.names) and self.names[position].startswith(prefix):
@@ -181,6 +249,9 @@ class IndexLayer:
 
     def index_relationship(self, rel: "SeedRelationship") -> None:
         """Enter a live relationship under its current pattern status."""
+        if self._suspended:
+            self._stale = True
+            return
         self._index_as(rel, self._status_of(rel))
 
     def unindex_relationship(self, rel: "SeedRelationship") -> None:
@@ -189,6 +260,9 @@ class IndexLayer:
         The cached status, not the current flags, drives removal so the
         call stays correct while flags are mid-rollback.
         """
+        if self._suspended:
+            self._stale = True
+            return
         status = self._rel_status.pop(rel.rid, None)
         if status is None:  # pragma: no cover - defensive
             return
@@ -198,6 +272,9 @@ class IndexLayer:
         self, rel: "SeedRelationship"
     ) -> Optional[tuple[str, str]]:
         """Re-index after a pattern-flag change; returns (old, new) or None."""
+        if self._suspended:
+            self._stale = True
+            return None
         old_status = self._rel_status.get(rel.rid)
         new_status = self._status_of(rel)
         if old_status == new_status or old_status is None:
@@ -207,6 +284,9 @@ class IndexLayer:
 
     def set_relationship_status(self, rel: "SeedRelationship", status: str) -> None:
         """Force a relationship's indexed status (used by undo closures)."""
+        if self._suspended:  # pragma: no cover - undo never runs in bulk
+            self._stale = True
+            return
         current = self._rel_status.pop(rel.rid, None)
         if current is not None:
             self._unindex_as(rel, current)
@@ -288,6 +368,7 @@ class IndexLayer:
 
     def participations(self, association_name: str, oid: int, position: int) -> int:
         """O(1) participation count over live normal relationships."""
+        self._ensure_fresh()
         return self.participation.get((association_name, oid, position), 0)
 
     # ------------------------------------------------------------------
@@ -300,6 +381,7 @@ class IndexLayer:
         With ``include_specials`` the generalization rollup is summed;
         exact-class buckets are disjoint so the sum is exact.
         """
+        self._ensure_fresh()
         total = len(self.extent.get(wanted.full_name, ()))
         if include_specials:
             for special in wanted.all_specials():
@@ -312,6 +394,7 @@ class IndexLayer:
         Maintained as a counter (one increment per kind-chain element on
         index), so the planner reads cardinalities in O(1).
         """
+        self._ensure_fresh()
         return self.assoc_counts.get(element_name, 0)
 
     def name_prefix_count(self, prefix: str) -> int:
@@ -321,6 +404,7 @@ class IndexLayer:
         planner re-estimates on every optimize/execute/explain. The
         exclusive upper bound is the successor string of the prefix.
         """
+        self._ensure_fresh()
         if not prefix:
             return len(self.names)
         last = prefix[-1]
@@ -332,12 +416,17 @@ class IndexLayer:
 
     def pattern_influenced(self, obj: "SeedObject") -> bool:
         """True when *obj*'s effective structure may diverge from counters."""
+        self._ensure_fresh()
         return bool(obj.inherited_patterns) or (
             self.pattern_incidence.get(obj.oid, 0) > 0
         )
 
     def normal_edges(self, root_name: str) -> Iterator[tuple[int, int]]:
         """Edges of a family's normal relationships, with multiplicity."""
+        self._ensure_fresh()
+        return self._normal_edges_fresh(root_name)
+
+    def _normal_edges_fresh(self, root_name: str) -> Iterator[tuple[int, int]]:
         for source_oid, targets in self.adjacency.get(root_name, {}).items():
             for target_oid, count in targets.items():
                 for __ in range(count):
@@ -345,10 +434,12 @@ class IndexLayer:
 
     def successors(self, root_name: str, node: int) -> Iterator[int]:
         """Distinct normal-edge successors of *node* in a family graph."""
+        self._ensure_fresh()
         return iter(self.adjacency.get(root_name, {}).get(node, ()))
 
     def pattern_relationships(self, root_name: str) -> list["SeedRelationship"]:
         """Live pattern-context relationships of a family, by rid order."""
+        self._ensure_fresh()
         return [
             self._db._relationships[rid]
             for rid in sorted(self.pattern_rids.get(root_name, ()))
@@ -356,6 +447,7 @@ class IndexLayer:
 
     def family_relationship_ids(self, root_name: str) -> list[int]:
         """All live relationship ids of a family (normal and pattern)."""
+        self._ensure_fresh()
         rids = self.family_rids.get(root_name, set()) | self.pattern_rids.get(
             root_name, set()
         )
@@ -370,26 +462,35 @@ class IndexLayer:
 
         Called after bulk state replacement (version selection, schema
         migration, image load, checkout) where incremental maintenance
-        is impossible or family roots may have changed.
+        is impossible or family roots may have changed, and by
+        :meth:`_ensure_fresh` when a suspended layer is read mid-batch
+        (the suspension guard is lifted for the rebuild itself).
         """
-        self.extent.clear()
-        self.participation.clear()
-        self.assoc_counts.clear()
-        self.adjacency.clear()
-        self.family_rids.clear()
-        self.pattern_rids.clear()
-        self.pattern_incidence.clear()
-        self._rel_status.clear()
-        self.names = sorted(self._db._name_index)
-        for obj in self._db.all_objects_raw():
-            if not obj.deleted:
-                self.add_object(obj)
-        for rel in self._db.all_relationships_raw():
-            if not rel.deleted:
-                self.index_relationship(rel)
+        suspended = self._suspended
+        self._suspended = False
+        try:
+            self.extent.clear()
+            self.participation.clear()
+            self.assoc_counts.clear()
+            self.adjacency.clear()
+            self.family_rids.clear()
+            self.pattern_rids.clear()
+            self.pattern_incidence.clear()
+            self._rel_status.clear()
+            self.names = sorted(self._db._name_index)
+            for obj in self._db.all_objects_raw():
+                if not obj.deleted:
+                    self.add_object(obj)
+            for rel in self._db.all_relationships_raw():
+                if not rel.deleted:
+                    self.index_relationship(rel)
+        finally:
+            self._suspended = suspended
+            self._stale = False
 
     def snapshot(self) -> dict:
         """Deep copy of every structure (for rollback-identity tests)."""
+        self._ensure_fresh()
         return {
             "extent": {name: set(oids) for name, oids in self.extent.items()},
             "names": list(self.names),

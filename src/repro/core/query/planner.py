@@ -45,10 +45,24 @@ eager evaluation (verified for randomized schemas/populations/queries in
 ``tests/test_planner_equivalence.py``). :meth:`Plan.explain` renders a
 deterministic plan tree with cardinality estimates for golden-snapshot
 testing.
+
+4. **A plan cache** (:class:`PlanCache`, one per database) so
+   persistent/repeated queries skip re-optimization: optimizer output
+   is memoized under a structural key of the logical tree plus the
+   schema epoch (:attr:`~repro.core.versions.manager.VersionManager.
+   current_schema_index`), so schema migration invalidates every cached
+   plan (``migrate_schema`` additionally clears the cache outright).
+   Structured predicates (:mod:`repro.core.query.predicates`) key by
+   value; opaque callables key by identity — re-running the *same*
+   plan object hits, a structurally identical rebuild with fresh
+   lambdas misses. Cached plans embed the join order chosen from the
+   statistics at caching time; re-optimize (clear the cache) after
+   bulk loads that change cardinalities by orders of magnitude.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterator, Optional, Sequence
 
@@ -69,6 +83,8 @@ __all__ = [
     "on",
     "Plan",
     "PlanBuilder",
+    "PlanCache",
+    "plan_cache",
     "ColumnPredicate",
     "ExtentScan",
     "RelScan",
@@ -500,6 +516,132 @@ def _flatten_join(node: PlanNode) -> list[PlanNode]:
     if isinstance(node, Join):
         return _flatten_join(node.left) + _flatten_join(node.right)
     return [node]
+
+
+# ----------------------------------------------------------------------
+# plan cache
+# ----------------------------------------------------------------------
+
+
+def _plan_key(node: PlanNode) -> tuple:
+    """Structural, hashable key of a logical tree (cache identity).
+
+    Plan nodes are identity-hashed (``eq=False``), so the key recurses
+    over their fields instead. Raises ``TypeError`` for unhashable
+    predicate payloads — the cache then bypasses itself for that plan.
+    """
+    if isinstance(node, ExtentScan):
+        return (
+            "extent",
+            node.class_name,
+            node.column,
+            node.include_specials,
+            node.prefix,
+        )
+    if isinstance(node, RelScan):
+        return (
+            "rel",
+            node.association,
+            node.include_specials,
+            node.with_attributes,
+        )
+    if isinstance(node, Select):
+        return ("select", _plan_key(node.child), _predicate_key(node.predicate))
+    if isinstance(node, Project):
+        return ("project", _plan_key(node.child), node.columns)
+    if isinstance(node, Rename):
+        return ("rename", _plan_key(node.child), node.renames)
+    if isinstance(node, Reorder):
+        return ("reorder", _plan_key(node.child), node.columns)
+    if isinstance(node, Values):
+        return (
+            "values",
+            _plan_key(node.child),
+            node.column,
+            node.role_path,
+            node.into,
+        )
+    if isinstance(node, Join):
+        return ("join", _plan_key(node.left), _plan_key(node.right))
+    if isinstance(node, Union):
+        return ("union", _plan_key(node.left), _plan_key(node.right))
+    if isinstance(node, Difference):
+        return ("difference", _plan_key(node.left), _plan_key(node.right))
+    raise AssertionError(f"unhandled node {type(node).__name__}")  # pragma: no cover
+
+
+def _predicate_key(predicate: Any) -> Any:
+    """Hashable cache key of a predicate.
+
+    Structured predicates are frozen dataclasses and key by value;
+    opaque callables key by their (default, identity-based) hash. The
+    cache keeps a reference to every keyed predicate via the stored
+    plan, so an identity key can never be reused by a new object while
+    its entry lives.
+    """
+    if isinstance(predicate, ColumnPredicate):
+        return ("column", predicate.column, _predicate_key(predicate.predicate))
+    hash(predicate)  # unhashable → TypeError → caller bypasses the cache
+    return predicate
+
+
+class PlanCache:
+    """LRU memo of optimizer output for one database.
+
+    Keys are ``(structural plan key, schema epoch)``; the epoch is the
+    database's current schema version index, so entries cached under a
+    pre-migration schema can never be served afterwards (and
+    ``migrate_schema`` clears the cache anyway). Correctness does not
+    depend on statistics: a cached plan stays *sound* as data changes,
+    merely possibly non-optimal.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, PlanNode]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached plan (schema migration, bulk re-statistics)."""
+        self._entries.clear()
+
+    def optimized(self, db: SeedDatabase, node: PlanNode) -> PlanNode:
+        """The optimized tree for *node*, cached when keyable."""
+        try:
+            key = (_plan_key(node), db.versions.current_schema_index)
+        except TypeError:
+            self.bypasses += 1
+            return optimize(db, node)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        result = optimize(db, node)
+        self._entries[key] = result
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return result
+
+
+def plan_cache(db: SeedDatabase) -> PlanCache:
+    """The database's plan cache, created on first use.
+
+    Lives as an attribute on the database (the database module cannot
+    import the planner — it would cycle) and is cleared by
+    ``migrate_schema``.
+    """
+    cache = getattr(db, "_plan_cache", None)
+    if cache is None:
+        cache = PlanCache()
+        db._plan_cache = cache  # noqa: SLF001
+    return cache
 
 
 # ----------------------------------------------------------------------
@@ -938,8 +1080,13 @@ class Plan:
     # -- evaluation ----------------------------------------------------
 
     def optimized(self) -> PlanNode:
-        """The optimizer's output for this plan (a new node tree)."""
-        return optimize(self._db, self.node)
+        """The optimizer's output for this plan (a new node tree).
+
+        Served from the database's :class:`PlanCache` when the logical
+        tree is keyable, so persistent/repeated queries skip
+        re-optimization.
+        """
+        return plan_cache(self._db).optimized(self._db, self.node)
 
     def explain(self, *, optimized: bool = True) -> str:
         """Deterministic plan-tree rendering with cardinality estimates.

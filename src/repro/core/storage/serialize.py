@@ -23,10 +23,11 @@ from __future__ import annotations
 import datetime
 from typing import Any, Optional
 
+from repro.core.bulk import load_item_states
 from repro.core.database import SeedDatabase
 from repro.core.errors import StorageError
-from repro.core.objects import ObjectState, SeedObject
-from repro.core.relationships import RelationshipState, SeedRelationship
+from repro.core.objects import ObjectState
+from repro.core.relationships import RelationshipState
 from repro.core.schema.association import Association, Attribute, Role
 from repro.core.schema.attached import ProcedureRegistry, default_registry
 from repro.core.schema.entity_class import EntityClass
@@ -340,44 +341,21 @@ def database_from_dict(
     ]
     db = SeedDatabase(schemas[-1], data["name"])
     db.versions.schema_versions = schemas
-    # rebuild live items directly (bypassing the operational interface:
-    # the image is trusted to be consistent — it was checked when built)
-    max_id = 0
-    for record in data["objects"]:
-        state = _object_state_from_dict(record)
-        entity_class = db.schema.entity_class(state.class_name)
-        obj = SeedObject(
-            db, record["oid"], entity_class, state.name, index=state.index
-        )
-        obj.value = state.value
-        obj.deleted = state.deleted
-        obj.is_pattern = state.is_pattern
-        obj.inherited_patterns = list(state.inherited_pattern_oids)
-        db._objects[obj.oid] = obj  # noqa: SLF001
-        max_id = max(max_id, obj.oid)
-    for record in data["objects"]:
-        obj = db._objects[record["oid"]]  # noqa: SLF001
-        if record["parent"] is not None:
-            parent = db._objects[record["parent"]]  # noqa: SLF001
-            obj.parent = parent
-            parent._attach_child(obj)  # noqa: SLF001
-        elif not obj.deleted:
-            db._name_index[obj.simple_name] = obj.oid  # noqa: SLF001
-    for record in data["relationships"]:
-        state = _relationship_state_from_dict(record)
-        association = db.schema.association(state.association_name)
-        bindings = {
-            role: db._objects[oid] for role, oid in state.bindings  # noqa: SLF001
-        }
-        rel = SeedRelationship(db, record["rid"], association, bindings)
-        rel.deleted = state.deleted
-        rel.is_pattern = state.is_pattern
-        rel._attributes = dict(state.attributes)  # noqa: SLF001
-        db._relationships[rel.rid] = rel  # noqa: SLF001
-        for obj in rel.bound_objects():
-            db._incidence.setdefault(obj.oid, []).append(rel.rid)  # noqa: SLF001
-        max_id = max(max_id, rel.rid)
-    db._next_id = max_id + 1  # noqa: SLF001
+    # rebuild live items through the shared one-shot state materializer
+    # (bypassing the operational interface: the image is trusted to be
+    # consistent — it was checked when built); parents, name index,
+    # incidence, patterns, and indexes are wired in a single pass
+    load_item_states(
+        db,
+        (
+            (record["oid"], _object_state_from_dict(record))
+            for record in data["objects"]
+        ),
+        (
+            (record["rid"], _relationship_state_from_dict(record))
+            for record in data["relationships"]
+        ),
+    )
     # version store, tree, stamps
     for node in data["version_tree"]:
         db.versions.tree.add(
@@ -406,6 +384,4 @@ def database_from_dict(
         VersionId.parse(data["current_base"]) if data["current_base"] else None
     )
     db._dirty = {tuple(key) for key in data["dirty"]}  # noqa: SLF001
-    db.patterns.rebuild_index()
-    db.indexes.rebuild()
     return db

@@ -41,7 +41,17 @@ Policy knobs (also exposed via the ``repro compact`` CLI subcommand):
 ``keep_last``
     never squash the newest N versions (they are what users select);
 ``pins``
-    explicitly protected version ids.
+    explicitly protected version ids;
+``gc_tombstones``
+    after squashing, physically drop items that are dead in **every**
+    surviving version (all their stored states are tombstones) and
+    tombstoned (and already versioned) in the live state too: their
+    store cells are erased and, where no history entry still references
+    them, their live tombstone records are removed. Views of every
+    surviving version are unchanged — a dead-everywhere item is
+    invisible in all of them either way; only per-item history
+    operations stop listing it (that is the point of the collection).
+    Exposed via ``repro compact --gc-tombstones``.
 
 Entry points: :meth:`repro.core.database.SeedDatabase.compact` /
 :meth:`repro.core.versions.manager.VersionManager.compact`.
@@ -73,6 +83,8 @@ class RetentionPolicy:
     keep_last: int = 2
     #: version ids that must survive squashing verbatim
     pins: frozenset[VersionId] = field(default_factory=frozenset)
+    #: drop items dead in every surviving version (and live tombstones)
+    gc_tombstones: bool = False
 
     def __post_init__(self) -> None:
         if self.snapshot_interval < 0:
@@ -101,10 +113,13 @@ class CompactionStats:
     snapshot_states_added: int = 0
     stored_states_before: int = 0
     stored_states_after: int = 0
+    collected_objects: int = 0
+    collected_relationships: int = 0
+    tombstone_states_dropped: int = 0
 
     def summary(self) -> str:
         """One line for CLI output and logs."""
-        return (
+        line = (
             f"versions {self.versions_before} -> {self.versions_after} "
             f"(squashed {len(self.squashed_versions)}), states "
             f"{self.stored_states_before} -> {self.stored_states_after} "
@@ -112,6 +127,13 @@ class CompactionStats:
             f"{self.discarded_states}, snapshot +{self.snapshot_states_added} "
             f"across {len(self.snapshots_created)} new snapshots)"
         )
+        if self.collected_objects or self.collected_relationships:
+            line += (
+                f", collected {self.collected_objects} dead objects and "
+                f"{self.collected_relationships} dead relationships "
+                f"({self.tombstone_states_dropped} tombstone states)"
+            )
+        return line
 
     def as_dict(self) -> dict:
         """JSON-compatible form (benchmark reports)."""
@@ -125,6 +147,9 @@ class CompactionStats:
             "snapshot_states_added": self.snapshot_states_added,
             "stored_states_before": self.stored_states_before,
             "stored_states_after": self.stored_states_after,
+            "collected_objects": self.collected_objects,
+            "collected_relationships": self.collected_relationships,
+            "tombstone_states_dropped": self.tombstone_states_dropped,
         }
 
 
@@ -220,10 +245,86 @@ class Compactor:
             for child in reversed(tree.children(version)):
                 stack.append((child, since + 1))
 
+    def collect_tombstones(self, stats: CompactionStats) -> None:
+        """Drop items dead in every surviving version.
+
+        An item qualifies when every stored state in its cell is a
+        tombstone (then no surviving version shows it), its live record
+        is tombstoned too, and its deletion is already versioned (not
+        in the dirty set — an unsaved deletion still has to reach the
+        next snapshot). Relationships go first so object incidence
+        lists empty out; objects are visited children-before-parents
+        (descending oid — sub-objects always allocate after their
+        parent) so a collected leaf unblocks its parent in the same
+        pass. An object with a remaining incident relationship, an
+        un-collected child, or live inheritors (impossible for dead
+        patterns, but checked) is left in place — the history that
+        still references it needs the record.
+        """
+        db = self._manager._db  # noqa: SLF001
+        store = self._manager.store
+        dirty = db._dirty  # noqa: SLF001
+        for rid in sorted(db._relationships, reverse=True):  # noqa: SLF001
+            rel = db._relationships[rid]  # noqa: SLF001
+            key = ("r", rid)
+            if not rel.deleted or key in dirty:
+                continue
+            if not store.cell_states_all_deleted(key):
+                continue
+            stats.tombstone_states_dropped += store.drop_cell(key)
+            del db._relationships[rid]  # noqa: SLF001
+            for endpoint in rel.bound_objects():
+                incident = db._incidence.get(endpoint.oid)  # noqa: SLF001
+                if incident and rid in incident:
+                    incident.remove(rid)
+                    if not incident:
+                        del db._incidence[endpoint.oid]  # noqa: SLF001
+            stats.collected_relationships += 1
+        for oid in sorted(db._objects, reverse=True):  # noqa: SLF001
+            obj = db._objects[oid]  # noqa: SLF001
+            key = ("o", oid)
+            if not obj.deleted or key in dirty:
+                continue
+            if not store.cell_states_all_deleted(key):
+                continue
+            if db._incidence.get(oid):  # noqa: SLF001
+                continue  # a versioned relationship still binds it
+            if any(True for __ in obj._all_children()):  # noqa: SLF001
+                continue  # an un-collected child still hangs below
+            if db.patterns._inheritors.get(oid):  # noqa: SLF001
+                continue  # pragma: no cover - dead patterns have none
+            stats.tombstone_states_dropped += store.drop_cell(key)
+            del db._objects[oid]  # noqa: SLF001
+            if obj.parent is not None:
+                siblings = obj.parent._children_of_role(  # noqa: SLF001
+                    obj.simple_name
+                )
+                if obj in siblings:
+                    siblings.remove(obj)
+            stats.collected_objects += 1
+        # cells of items with no live record at all (the record was
+        # replaced by a checkout/restore): same rule, store side only
+        for key in list(store.keys()):
+            kind, item_id = key
+            live = (
+                db._objects.get(item_id)  # noqa: SLF001
+                if kind == "o"
+                else db._relationships.get(item_id)  # noqa: SLF001
+            )
+            if live is not None or key in dirty:
+                continue
+            if not store.cell_states_all_deleted(key):
+                continue
+            stats.tombstone_states_dropped += store.drop_cell(key)
+            if kind == "o":
+                stats.collected_objects += 1
+            else:
+                stats.collected_relationships += 1
+
     # -- entry point ---------------------------------------------------------
 
     def run(self) -> CompactionStats:
-        """Squash, then consolidate; returns what happened."""
+        """Squash, collect tombstones, then consolidate."""
         manager = self._manager
         stats = CompactionStats(
             versions_before=len(manager.tree),
@@ -231,6 +332,11 @@ class Compactor:
         )
         if self._policy.squash_chains:
             self.squash_chains(stats)
+        if self._policy.gc_tombstones:
+            # after squashing (folds may leave cells all-deleted) and
+            # before consolidation (snapshots must not re-materialize
+            # states of items being collected)
+            self.collect_tombstones(stats)
         self.consolidate_snapshots(stats)
         stats.versions_after = len(manager.tree)
         stats.stored_states_after = manager.store.stored_state_count()

@@ -130,14 +130,16 @@ class VersionStore:
             )
         added = 0
         materialized = self._materialized.setdefault(version, set())
-        for key, cell in self._cells.items():
+        # one-pass chain resolution: O(states) instead of one chain
+        # walk per cell (items recorded at *version* keep their delta
+        # state — resolve_chain returns exactly that state for them)
+        for key, state in self.resolve_chain(chain).items():
+            cell = self._cells[key]
             if version in cell:
                 continue
-            state = self.state_on_chain(key, chain)
-            if state is not None:
-                cell[version] = state
-                materialized.add(key)
-                added += 1
+            cell[version] = state
+            materialized.add(key)
+            added += 1
         if not materialized:
             del self._materialized[version]
         self._snapshots.add(version)
@@ -238,6 +240,52 @@ class VersionStore:
                 return None
         return None
 
+    def resolve_chain(self, chain: list[VersionId]) -> dict[ItemKey, ItemState]:
+        """Resolved state of **every** item at the end of *chain*.
+
+        One pass over the stored cells instead of one
+        :meth:`state_on_chain` walk per cell: entries recorded at chain
+        versions are bucketed by chain position and overlaid oldest to
+        newest, starting at the nearest snapshot (snapshots are
+        complete, so nothing below one can be visible). Cost is
+        O(stored states + cells), independent of chain length — this is
+        what makes cold version checkout and snapshot materialization
+        run at index-rebuild speed. Tombstoned states are included,
+        matching ``state_on_chain``; returns exactly the keys whose
+        per-key walk would return a state.
+        """
+        positions = {version: position for position, version in enumerate(chain)}
+        start = 0
+        for position in range(len(chain) - 1, -1, -1):
+            if chain[position] in self._snapshots:
+                start = position
+                break
+        per_position: dict[int, list[tuple[ItemKey, ItemState]]] = {}
+        for key, cell in self._cells.items():
+            for version, state in cell.items():
+                position = positions.get(version)
+                if position is not None and position >= start:
+                    per_position.setdefault(position, []).append((key, state))
+        resolved: dict[ItemKey, ItemState] = {}
+        for position in sorted(per_position):
+            for key, state in per_position[position]:
+                resolved[key] = state
+        return resolved
+
+    def resolve_chain_scan(self, chain: list[VersionId]) -> dict[ItemKey, ItemState]:
+        """Per-key reference for :meth:`resolve_chain` (the seed path).
+
+        One chain walk per cell — O(cells × chain length) without
+        snapshots. Retained as the equivalence oracle and the
+        ``checkout_cold`` benchmark baseline.
+        """
+        resolved: dict[ItemKey, ItemState] = {}
+        for key in self._cells:
+            state = self.state_on_chain(key, chain)
+            if state is not None:
+                resolved[key] = state
+        return resolved
+
     def states_of(self, key: ItemKey) -> dict[VersionId, ItemState]:
         """The item's (version → state) *change* entries (a copy).
 
@@ -285,6 +333,38 @@ class VersionStore:
     def mark_materialized(self, version: VersionId, key: ItemKey) -> None:
         """Flag a stored state as snapshot-materialized (image load)."""
         self._materialized.setdefault(version, set()).add(key)
+
+    # -- tombstone garbage collection (compaction support) --------------------
+
+    def cell_states_all_deleted(self, key: ItemKey) -> bool:
+        """True when every stored state of *key* is a tombstone.
+
+        Then — and only then — the item is invisible in every saved
+        version (a state recorded at version V is the item's resolved
+        state *at* V, so a live stored state implies a version where
+        the item is visible). An absent cell counts as all-deleted.
+        """
+        cell = self._cells.get(key)
+        if not cell:
+            return True
+        return all(state.deleted for state in cell.values())
+
+    def drop_cell(self, key: ItemKey) -> int:
+        """Erase every stored state of one item (tombstone GC).
+
+        Scrubs the materialized-state bookkeeping too. Returns the
+        number of states erased.
+        """
+        cell = self._cells.pop(key, None)
+        if cell is None:
+            return 0
+        for version in cell:
+            materialized = self._materialized.get(version)
+            if materialized is not None:
+                materialized.discard(key)
+                if not materialized:
+                    del self._materialized[version]
+        return len(cell)
 
     def stored_state_count(self) -> int:
         """Total number of stored states — the delta-storage cost metric.

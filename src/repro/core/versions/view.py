@@ -12,11 +12,14 @@ and exposes the same retrieval operations the live database offers —
 "retrieval of data from an old version is performed in the same way as
 retrieval from the current version."
 
-Each per-item resolution is a
-:meth:`~repro.core.versions.store.VersionStore.state_on_chain` walk, so
-on snapshot-consolidated stores (see
-:mod:`repro.core.versions.compaction`) building a view costs
-O(items × K) instead of O(items × chain length).
+Materialisation uses the store's one-pass
+:meth:`~repro.core.versions.store.VersionStore.resolve_chain`, so
+building a view costs O(stored states on the chain) regardless of
+chain length; the per-item
+:meth:`~repro.core.versions.store.VersionStore.state_on_chain` walk is
+retained as the equivalence reference
+(:meth:`~repro.core.versions.store.VersionStore.resolve_chain_scan`)
+and answers single-item probes.
 """
 
 from __future__ import annotations
@@ -189,9 +192,11 @@ class VersionView:
         self._materialise(chain, store)
 
     def _materialise(self, chain: list[VersionId], store: VersionStore) -> None:
-        for key in store.keys():
-            state = store.state_on_chain(key, chain)
-            if state is None or state.deleted:
+        # one-pass chain resolution (PR 4): O(stored states) for the
+        # whole view instead of one chain walk per cell — cold checkout
+        # of a long-history version runs at index-rebuild speed
+        for key, state in store.resolve_chain(chain).items():
+            if state.deleted:
                 continue
             kind, item_id = key
             if kind == "o":

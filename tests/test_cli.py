@@ -99,6 +99,23 @@ class TestCommands:
         assert db_file.read_bytes() == before
         assert "before:" in capsys.readouterr().out
 
+    def test_compact_gc_tombstones(self, db_file, capsys):
+        from repro.core.storage import load_database, save_database
+
+        db = load_database(db_file)
+        victim = db.create_object("Thing", "DeadOnArrival")
+        db.delete(victim)
+        db.create_version("2.0")
+        save_database(db, db_file)
+        capsys.readouterr()
+        assert main([
+            "compact", str(db_file), "--gc-tombstones", "--keep-last", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "collected 1 dead objects" in out
+        reloaded = load_database(db_file)
+        assert victim.oid not in reloaded._objects  # noqa: SLF001
+
     def test_missing_database_is_error(self, tmp_path, capsys):
         assert main(["report", str(tmp_path / "absent.seed")]) == 1
         assert "error:" in capsys.readouterr().err

@@ -419,3 +419,121 @@ class TestRetention:
             assert dict(db.version_view(version).item_states()) == dict(
                 reference.version_view(version).item_states()
             )
+
+
+# ---------------------------------------------------------------------------
+# tombstone garbage collection (PR 4)
+# ---------------------------------------------------------------------------
+
+
+class TestTombstoneGC:
+    def _db_with_dead_item(self):
+        db = SeedDatabase(figure2_schema(), "gc")
+        keeper = db.create_object("Data", "Keeper")
+        victim = db.create_object("Data", "Victim")
+        db.create_version()  # victim alive at 1.0!
+        db.delete(victim)
+        db.create_version()
+        return db, keeper, victim
+
+    def test_item_live_in_history_is_kept(self):
+        db, keeper, victim = self._db_with_dead_item()
+        stats = db.compact(
+            RetentionPolicy(squash_chains=False, gc_tombstones=True)
+        )
+        assert stats.collected_objects == 0
+        assert db.version_view("1.0").find("Victim") is not None
+
+    def test_dead_everywhere_item_is_collected(self):
+        db = SeedDatabase(figure2_schema(), "gc2")
+        db.create_object("Data", "Keeper")
+        db.create_version()
+        victim = db.create_object("Data", "Victim")
+        text = victim.add_sub_object("Text")
+        action = db.create_object("Action", "A")
+        action.add_sub_object("Description", "d")
+        rel = db.relate("Read", {"from": victim, "by": action})
+        db.delete(victim)  # cascades to the sub-object and relationship
+        db.create_version()  # only tombstones ever recorded for them
+        states_before = db.versions.store.stored_state_count()
+        stats = db.compact(
+            RetentionPolicy(squash_chains=False, gc_tombstones=True)
+        )
+        assert stats.collected_objects == 2  # victim + its Text
+        assert stats.collected_relationships == 1
+        assert stats.tombstone_states_dropped == 3
+        assert db.versions.store.stored_state_count() == states_before - 3
+        # physically gone from the records and history
+        assert victim.oid not in db._objects  # noqa: SLF001
+        assert rel.rid not in db._relationships  # noqa: SLF001
+        assert not db.history.versions_of_item(victim)
+        db.indexes.verify()
+        # every surviving view is unchanged (victim was visible nowhere)
+        for version in db.saved_versions():
+            assert db.version_view(version).find("Victim") is None
+            assert db.version_view(version).find("Keeper") is not None
+        # and the image still round-trips
+        clone(db)
+
+    def test_unsaved_deletion_is_protected(self):
+        db = SeedDatabase(figure2_schema(), "gc3")
+        db.create_object("Data", "Keeper")
+        victim = db.create_object("Data", "Victim")
+        db.create_version()
+        db.select_version("1.0", discard_changes=True)
+        victim = db.get_object("Victim")
+        db.delete(victim)  # dirty: deletion not versioned yet
+        stats = db.compact(
+            RetentionPolicy(squash_chains=False, gc_tombstones=True)
+        )
+        assert stats.collected_objects == 0
+        version = db.create_version()  # must still record the tombstone
+        assert ("o", victim.oid) in set(
+            db.versions.store.keys_in_version(version)
+        )
+
+    def test_gc_off_by_default(self):
+        db, keeper, victim = self._db_with_dead_item()
+        db.delete(keeper)
+        db.create_version()
+        stats = db.compact(RetentionPolicy(squash_chains=False))
+        assert stats.collected_objects == 0
+        assert stats.collected_relationships == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_gc_preserves_every_view(self, seed):
+        db = build_random_versioned_db(seed)
+        # tombstone churn: delete a few more items, then version
+        rng = random.Random(seed * 13 + 5)
+        victims = [
+            o
+            for o in db.objects("Data")
+            if o.parent is None and not o.relationships()
+        ]
+        for victim in victims[:3]:
+            db.delete(victim)
+        db.create_version()
+        reference = clone(db)
+        policy = RetentionPolicy(
+            squash_chains=rng.random() < 0.7,
+            snapshot_interval=rng.choice([0, 2, 4]),
+            keep_last=rng.randint(0, 3),
+            gc_tombstones=True,
+        )
+        db.compact(policy)
+        for version in db.saved_versions():
+            compacted = {
+                key: state
+                for key, state in db.version_view(version).item_states()
+            }
+            original = {
+                key: state
+                for key, state in reference.version_view(version).item_states()
+            }
+            assert compacted == original, (
+                f"view of {version} changed after tombstone GC (seed {seed})"
+            )
+        db.indexes.verify()
+        # collected items must not resurface through an image round-trip
+        rebuilt = clone(db)
+        assert database_to_dict(rebuilt) == database_to_dict(db)

@@ -326,3 +326,86 @@ def test_relate_with_wrong_role_fails_cleanly(fig2_db):
     with pytest.raises(SeedError):
         fig2_db.relate("Read", {"to": data, "by": action})
     assert_equivalent(fig2_db)
+
+
+# ---------------------------------------------------------------------------
+# narrowed inheritor fan-out (PR 4)
+# ---------------------------------------------------------------------------
+
+
+class TestNarrowedPatternFanOut:
+    """Value updates inside a pattern must not dirty inheritor trees."""
+
+    def _inherited_setup(self, db):
+        pattern = db.create_object("Data", "Template", pattern=True)
+        contents = (
+            pattern.add_sub_object("Text")
+            .add_sub_object("Body")
+            .add_sub_object("Contents", "boilerplate")
+        )
+        inheritors = []
+        for i in range(3):
+            inheritor = db.create_object("Data", f"Spec{i}")
+            db.inherit(pattern, inheritor)
+            inheritors.append(inheritor)
+        db.check_completeness()  # prime and settle the dirty set
+        return pattern, contents, inheritors
+
+    def test_value_update_in_pattern_skips_inheritors(self, fig2_db):
+        pattern, contents, inheritors = self._inherited_setup(fig2_db)
+        fig2_db.set_value(contents, "changed boilerplate")
+        dirty = set(fig2_db.completeness._dirty)  # noqa: SLF001
+        for inheritor in inheritors:
+            assert ("o", inheritor.oid) not in dirty, (
+                "a value-only pattern update must not re-derive "
+                "inheritor sub-trees"
+            )
+        assert_equivalent(fig2_db, "(after pattern value update)")
+
+    def test_structural_pattern_change_still_fans_out(self, fig2_db):
+        pattern, contents, inheritors = self._inherited_setup(fig2_db)
+        pattern.add_sub_object("Text")  # structure: inheritor counts change
+        dirty = set(fig2_db.completeness._dirty)  # noqa: SLF001
+        for inheritor in inheritors:
+            assert ("o", inheritor.oid) in dirty
+        assert_equivalent(fig2_db, "(after pattern structure change)")
+
+    def test_pattern_sub_object_delete_fans_out(self, fig2_db):
+        pattern, contents, inheritors = self._inherited_setup(fig2_db)
+        fig2_db.delete(pattern.sub_object("Text"))
+        dirty = set(fig2_db.completeness._dirty)  # noqa: SLF001
+        for inheritor in inheritors:
+            assert ("o", inheritor.oid) in dirty
+        assert_equivalent(fig2_db, "(after pattern sub-tree delete)")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_pattern_value_churn(self, seed):
+        """Heavy value flips on shared pattern content stay equivalent."""
+        rng = random.Random(seed)
+        db = SeedDatabase(figure2_schema(), f"narrow-{seed}")
+        patterns = []
+        for p in range(3):
+            pattern = db.create_object("Data", f"Template{p}", pattern=True)
+            body = pattern.add_sub_object("Text").add_sub_object("Body")
+            body.add_sub_object("Contents", f"content {p}")
+            patterns.append(pattern)
+        for i in range(8):
+            inheritor = db.create_object("Data", f"Spec{i}")
+            db.inherit(rng.choice(patterns), inheritor)
+        db.check_completeness()
+        flips = 0
+        for step in range(40):
+            pattern = rng.choice(patterns)
+            contents = pattern.descendant("Text", "Body", "Contents")
+            flips += 1
+            db.set_value(
+                contents, None if flips % 3 == 0 else f"flip {flips}"
+            )
+            if rng.random() < 0.2:
+                # occasional structural change keeps the gating honest
+                target = rng.choice(patterns)
+                if len(target.sub_objects("Text")) < 4:
+                    target.add_sub_object("Text")
+            if step % 5 == 0:
+                assert_equivalent(db, f"(seed {seed}, step {step})")
+        assert_equivalent(db, f"(seed {seed}, final)")

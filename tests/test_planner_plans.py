@@ -315,3 +315,127 @@ class TestRetrievalWiring:
         shallow_and_deep = retrieval.by_name_prefix_deep("Al")
         assert str(shallow_and_deep[0].name) == "Alarms"
         assert len(shallow_and_deep) == 5  # Alarms + its 4 sub-objects
+
+
+class TestPlanCache:
+    """The per-database plan cache: hits, invalidation, soundness."""
+
+    def test_repeated_plan_object_hits(self):
+        from repro.core.query.planner import plan_cache
+
+        db = make_db()
+        cache = plan_cache(db)
+        query = (
+            plan(db)
+            .extent("Data", column="d")
+            .select(on("d", name_prefix("Al")))
+            .project("d")
+        )
+        first = query.optimized()
+        assert cache.misses == 1 and cache.hits == 0
+        second = query.optimized()
+        assert cache.hits == 1
+        assert second is first, "cache hits return the memoized tree"
+
+    def test_structurally_equal_rebuild_hits(self):
+        from repro.core.query.planner import plan_cache
+
+        db = make_db()
+        cache = plan_cache(db)
+
+        def build():
+            return (
+                plan(db)
+                .extent("Data", column="d")
+                .select(on("d", name_prefix("Al")))
+                .join(plan(db).relationship("Write").rename(to="d"))
+            )
+
+        rows_first = sorted(
+            tuple(str(c) for c in row) for row in build().execute().rows
+        )
+        assert cache.misses == 1
+        rows_second = sorted(
+            tuple(str(c) for c in row) for row in build().execute().rows
+        )
+        # structured predicates compare by value: fresh Plan, same key
+        assert cache.hits >= 1
+        assert rows_first == rows_second
+
+    def test_opaque_predicates_key_by_identity(self):
+        from repro.core.query.planner import plan_cache
+
+        db = make_db()
+        cache = plan_cache(db)
+        base = plan(db).extent("Data", column="d")
+        first = base.select(lambda row: True)
+        second = base.select(lambda row: True)  # fresh lambda: new key
+        first.optimized()
+        second.optimized()
+        assert cache.misses == 2 and cache.hits == 0
+        first.optimized()
+        assert cache.hits == 1
+
+    def test_unhashable_predicate_bypasses(self):
+        from repro.core.query.planner import plan_cache
+
+        class Unhashable:
+            __hash__ = None
+
+            def __call__(self, row):
+                return True
+
+        db = make_db()
+        cache = plan_cache(db)
+        query = plan(db).extent("Data", column="d").select(
+            on("d", Unhashable())
+        )
+        query.optimized()
+        assert cache.bypasses == 1 and len(cache) == 0
+
+    def test_migration_invalidates(self):
+        from repro.core.query.planner import plan_cache
+        from repro.spades.model import spades_schema
+
+        db = make_db()
+        cache = plan_cache(db)
+        query = plan(db).extent("Data", column="d")
+        query.optimized()
+        assert len(cache) == 1
+        epoch_before = db.versions.current_schema_index
+        db.migrate_schema(spades_schema())
+        assert len(cache) == 0, "migration clears the cache"
+        assert db.versions.current_schema_index == epoch_before + 1
+        query = plan(db).extent("Data", column="d")
+        query.optimized()
+        assert cache.hits == 1 or cache.misses >= 2  # fresh entry, new epoch
+
+    def test_cached_plan_stays_sound_as_data_changes(self):
+        db = make_db()
+        query = (
+            plan(db)
+            .extent("Data", column="d")
+            .select(on("d", name_prefix("New")))
+        )
+        assert query.execute().rows == ()
+        db.create_object("InputData", "NewInput")
+        rows = query.execute().rows  # served via the cached plan
+        assert [str(row[0].name) for row in rows] == ["NewInput"]
+
+    def test_lru_eviction(self):
+        from repro.core.query.planner import plan_cache
+
+        db = make_db()
+        cache = plan_cache(db)
+        cache.capacity = 2
+        for prefix in ("A", "B", "C"):
+            plan(db).extent("Data", column="d").select(
+                on("d", name_prefix(prefix))
+            ).optimized()
+        assert len(cache) == 2
+        # "A" was evicted: optimizing it again misses
+        misses_before = cache.misses
+        plan(db).extent("Data", column="d").select(
+            on("d", name_prefix("A"))
+        ).optimized()
+        assert cache.misses == misses_before + 1
