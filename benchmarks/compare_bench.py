@@ -9,17 +9,26 @@ where raw seconds do not; a fresh speedup more than ``--tolerance``
 
 Only *gated* sections participate: result sub-dicts carrying a numeric
 ``"speedup"`` field (extent/prefix/participation scans, acyclic
-commits, the planner multi-join, and the PR-3 version-walk and
-incremental-completeness sections). Sections or sizes the fresh run
-did not measure are skipped with a note — a smoke run at size 1000 is
-gated against the baselines' size-1000 entries only.
+commits, the planner multi-join, the PR-3 version-walk and
+incremental-completeness sections, the PR-4 bulk-ingest and
+cold-checkout sections, and the PR-5 multijoin-drift section). *Sizes*
+the fresh run did not measure are skipped with a note — a smoke run at
+size 1000 is gated against the baselines' size-1000 entries only. A
+gated *section* that a baseline measured at a fresh-run size but the
+fresh run dropped **fails the gate**: a silently-vanished benchmark
+would otherwise pass forever. Intentional removals go through
+``--allow-missing SECTION`` (repeatable), which records the waiver in
+the output.
 
 Usage (CI wires this after the harness smoke run)::
 
     python benchmarks/compare_bench.py bench_smoke.json
     python benchmarks/compare_bench.py bench_smoke.json --tolerance 0.4
+    python benchmarks/compare_bench.py bench_smoke.json \
+        --allow-missing retired_section
 
-Exit codes: 0 trend ok, 1 regression(s), 2 usage/baseline problems.
+Exit codes: 0 trend ok, 1 regression(s) or dropped section(s),
+2 usage/baseline problems.
 """
 
 from __future__ import annotations
@@ -85,6 +94,15 @@ def main(argv=None) -> int:
         default=REPO_ROOT,
         help="directory holding the committed BENCH_PR<n>.json files",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="append",
+        default=[],
+        metavar="SECTION",
+        help="gated baseline section intentionally dropped from the "
+        "harness; missing it in the fresh run is then not a failure "
+        "(repeatable)",
+    )
     args = parser.parse_args(argv)
 
     if not args.fresh.exists():
@@ -126,12 +144,40 @@ def main(argv=None) -> int:
                 f"{args.tolerance:.0%} below baseline x{baseline_speedup} "
                 f"({source})"
             )
+    # baseline sections the fresh run dropped: only sizes the fresh run
+    # actually measured count (a size-1000 smoke run is not penalized
+    # for the baselines' 10k/50k entries), and --allow-missing waives
+    # intentional removals explicitly
+    fresh_sizes = {size for size, __ in fresh}
+    allowed = set(args.allow_missing)
+    dropped: list[str] = []
+    for (size, section), (baseline_speedup, source) in sorted(reference.items()):
+        if size not in fresh_sizes or (size, section) in fresh:
+            continue
+        if section in allowed:
+            print(
+                f"  allowed  {section}@{size}: baseline x{baseline_speedup} "
+                f"({source}) dropped via --allow-missing"
+            )
+            continue
+        print(
+            f"  MISSING  {section}@{size}: baseline x{baseline_speedup} "
+            f"({source}) has no fresh measurement"
+        )
+        dropped.append(
+            f"{section}@{size}: gated baseline x{baseline_speedup} ({source}) "
+            "vanished from the fresh run (pass --allow-missing "
+            f"{section} if the removal is intentional)"
+        )
     if not compared:
         print("error: fresh run shares no gated (size, section) with baselines")
         return 2
-    if regressions:
-        print(f"\ntrend gate FAILED ({len(regressions)} regression(s)):")
-        for line in regressions:
+    if regressions or dropped:
+        print(
+            f"\ntrend gate FAILED ({len(regressions)} regression(s), "
+            f"{len(dropped)} dropped section(s)):"
+        )
+        for line in regressions + dropped:
             print(f"  {line}")
         return 1
     print(

@@ -13,10 +13,16 @@ snapshot consolidation (``version_walk``), and incremental
 ``bulk_ingest`` (populating a primed database through ``bulk()``
 versus the per-item mutation path) and ``checkout_cold`` (one-pass
 ``resolve_chain`` view materialization versus the per-cell
-``state_on_chain`` walk). Results are written to ``BENCH_PR4.json`` at
-the repository root so future PRs have a perf trajectory to compare
-against (``BENCH_PR1.json``..``BENCH_PR3.json`` hold the earlier runs;
-``benchmarks/compare_bench.py`` gates CI on the trajectory).
+``state_on_chain`` walk) — and the PR-5 scenario ``multijoin_drift``:
+a multi-join plan cached against a small population, then the database
+bulk-loaded two orders of magnitude larger; the drift-aware plan cache
+(re-optimizing on cardinality drift) is timed against executing the
+pinned stale plan. Results are written to ``BENCH_PR5.json`` at the
+repository root so future PRs have a perf trajectory to compare
+against (``BENCH_PR1.json``..``BENCH_PR4.json`` hold the earlier runs;
+``benchmarks/compare_bench.py`` gates CI on the trajectory, and since
+PR 5 also fails when a gated baseline section vanishes from the fresh
+run).
 
 Run::
 
@@ -50,7 +56,7 @@ from repro.core.database import SeedDatabase  # noqa: E402
 from repro.core.indexes import brute_objects  # noqa: E402
 from repro.core.versions.compaction import RetentionPolicy  # noqa: E402
 from repro.core.query.algebra import Relation, extent, relationship_relation  # noqa: E402
-from repro.core.query.planner import on, plan  # noqa: E402
+from repro.core.query.planner import execute_node, on, plan, plan_cache  # noqa: E402
 from repro.core.query.predicates import name_prefix  # noqa: E402
 from repro.core.query.retrieval import Retrieval  # noqa: E402
 from repro.core.schema.builder import SchemaBuilder  # noqa: E402
@@ -445,6 +451,93 @@ def bench_bulk_ingest(size: int, repeats: int) -> dict:
     }
 
 
+def bench_multijoin_drift(size: int, repeats: int) -> dict:
+    """Drift-aware plan cache vs. the pinned stale plan after a bulk load.
+
+    The stale-plan hole PR 5 closes, measured: a three-way join (query
+    written worst-first: ``Mentions ⋈ Covers ⋈ σ[name^Hot](Note)``) is
+    optimized and cached against a small population where the
+    relationship scans are tiny — the greedy reorderer therefore keeps
+    the written order. ``bulk_load`` then inflates the database to
+    ``size`` (every doc mentioned 6×, every note covering one doc)
+    while the ``Hot`` notes stay few. The pinned plan still materializes
+    the full ``Mentions ⋈ Covers`` intermediate before the selective
+    extent touches it — O(database) — whereas the drift-aware cache
+    notices the leaf-cardinality drift at lookup, re-optimizes, and
+    starts from the selective prefix scan with index nested-loop joins
+    — O(matches). Both paths are verified row-identical.
+    """
+    db = SeedDatabase(harness_schema(), f"drift-{size}")
+    hot = max(size // 100, 5)
+    small_docs = [db.create_object("Doc", f"SeedDoc{i}") for i in range(5)]
+    small_codes = [db.create_object("Code", f"SeedCode{i}") for i in range(5)]
+    for i in range(hot):
+        note = db.create_object("Note", f"Hot{i}")
+        db.relate("Covers", note=note, doc=small_docs[i % 5])
+    for i in range(5):
+        db.relate("Mentions", doc=small_docs[i], code=small_codes[i])
+
+    query = (
+        plan(db)
+        .relationship("Mentions")
+        .join(plan(db).relationship("Covers"))
+        .join(plan(db).extent("Note", column="note"))
+        .select(on("note", name_prefix("Hot")))
+        .project("code")
+    )
+    cache = plan_cache(db)
+    stale_plan = query.optimized()  # cached against the small statistics
+
+    doc_count = max(size // 10, 10)
+    code_count = max(size // 10, 10)
+    note_count = size
+    db.bulk_load(
+        objects=[{"class": "Doc", "name": f"Doc{i}"} for i in range(doc_count)]
+        + [{"class": "Code", "name": f"Code{i}"} for i in range(code_count)]
+        + [{"class": "Note", "name": f"Cold{i}"} for i in range(note_count)],
+        relationships=[
+            {
+                "association": "Mentions",
+                "bindings": {
+                    "doc": f"Doc{i}",
+                    "code": f"Code{(i * 6 + offset) % code_count}",
+                },
+            }
+            for i in range(doc_count)
+            for offset in range(6)
+        ]
+        + [
+            {
+                "association": "Covers",
+                "bindings": {"note": f"Cold{i}", "doc": f"Doc{i % doc_count}"},
+            }
+            for i in range(note_count)
+        ],
+    )
+
+    reoptimizations_before = cache.reoptimizations
+    fresh_result = query.execute()  # drift detected: re-optimized plan
+    assert cache.reoptimizations == reoptimizations_before + 1, (
+        "the bulk load must trip the drift threshold"
+    )
+    stale_result = execute_node(db, stale_plan)
+    assert sorted(o.oid for o in stale_result.column("code")) == sorted(
+        o.oid for o in fresh_result.column("code")
+    )
+    stale_time = median_time(lambda: execute_node(db, stale_plan), repeats)
+    drift_aware = median_time(query.execute, repeats)
+    return {
+        "small_phase_notes": hot,
+        "bulk_loaded_objects": doc_count + code_count + note_count,
+        "joined_relationships": doc_count * 6 + note_count,
+        "result_rows": len(fresh_result),
+        "reoptimizations": cache.reoptimizations,
+        "bruteforce_s": stale_time,
+        "indexed_s": drift_aware,
+        "speedup": round(stale_time / drift_aware, 1) if drift_aware else None,
+    }
+
+
 def bench_checkout_cold(size: int, repeats: int) -> dict:
     """Cold view materialization: one-pass resolve vs. per-cell walks.
 
@@ -585,7 +678,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR4.json",
+        default=REPO_ROOT / "BENCH_PR5.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -602,7 +695,7 @@ def main(argv=None) -> int:
     repeats = 3 if args.quick else 7
 
     report = {
-        "benchmark": "PR4: deferred-maintenance bulk write path",
+        "benchmark": "PR5: selectivity statistics + drift-aware plan cache",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "repeats": repeats,
@@ -615,6 +708,7 @@ def main(argv=None) -> int:
         data["completeness_incremental"] = bench_completeness(size, repeats)
         data["bulk_ingest"] = bench_bulk_ingest(size, repeats)
         data["checkout_cold"] = bench_checkout_cold(size, repeats)
+        data["multijoin_drift"] = bench_multijoin_drift(size, repeats)
         report["results"][str(size)] = data
 
     acceptance = {}
@@ -658,6 +752,12 @@ def main(argv=None) -> int:
         acceptance["checkout_cold_speedup_ok"] = (
             at_10k["checkout_cold"]["speedup"] >= 10
         )
+        acceptance["multijoin_drift_speedup_at_10k"] = at_10k[
+            "multijoin_drift"
+        ]["speedup"]
+        acceptance["multijoin_drift_speedup_ok"] = (
+            at_10k["multijoin_drift"]["speedup"] >= 2
+        )
     report["acceptance"] = acceptance
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -672,7 +772,8 @@ def main(argv=None) -> int:
             f"version walk x{data['version_walk']['speedup']}, "
             f"completeness x{data['completeness_incremental']['speedup']}, "
             f"bulk ingest x{data['bulk_ingest']['speedup']}, "
-            f"checkout cold x{data['checkout_cold']['speedup']}"
+            f"checkout cold x{data['checkout_cold']['speedup']}, "
+            f"multijoin drift x{data['multijoin_drift']['speedup']}"
         )
     if args.gate_planner:
         # compare raw medians, not the rounded display value: a 5%

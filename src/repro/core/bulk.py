@@ -14,7 +14,11 @@ the table:
     For the duration of a batch it
 
     * suspends :class:`~repro.core.indexes.IndexLayer` maintenance
-      (one rebuild at the end instead of per-item updates);
+      (one rebuild at the end instead of per-item updates) — including
+      the PR-5 planner statistics (value histograms and
+      distinct-participant counters), whose settling at finalize is
+      what lets the drift-aware plan cache notice the batch's
+      cardinality shift on the next lookup;
     * suppresses undo-closure allocation (the batch transaction's undo
       log is ``None``; mutation paths skip their closures);
     * defers consistency validation to batch finalize, where each

@@ -821,8 +821,14 @@ class SeedDatabase:
                 value = obj.entity_class.accepts_value(value)
             old_value = obj.value
             obj.value = value
+            self.indexes.update_value(obj, old_value, value)
+
+            def undo() -> None:
+                obj.value = old_value
+                self.indexes.update_value(obj, value, old_value)
+
             if txn.undo is not None:
-                txn.undo.append(lambda: setattr(obj, "value", old_value))
+                txn.undo.append(undo)
             txn.touch(obj, "update")
             self._mark_dirty(txn, obj)
 

@@ -36,6 +36,20 @@ cost O(answer) or O(1):
     check on insert only explores reachability from the new edge's
     target.
 
+``value_counts`` / ``participation_distinct`` (PR 5: statistics)
+    per-class distinct-value counters (class full-name → type-aware
+    value key → live count over the same objects the extent holds) and
+    per ``(association element, position)`` distinct-participant
+    counters, maintained on the same mutation paths as the structures
+    above. The query planner reads them through the histogram
+    accessors (:meth:`value_frequency` serves a **top-K + remainder**
+    summary; :meth:`defined_count`, :meth:`distinct_participants`)
+    to estimate selection selectivities and join fan-outs instead of a
+    fixed heuristic. The maintained counters are exact, so the mirror
+    invariant covers them too; :func:`brute_value_counts` and
+    :func:`brute_participation_distinct` are the brute-force recounts
+    the equivalence tests compare against.
+
 Invariants (checked by :meth:`IndexLayer.verify` and the equivalence
 tests in ``tests/test_indexes.py``):
 
@@ -77,6 +91,7 @@ write-then-read boundary.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
+from heapq import nlargest
 from typing import Iterator, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -85,11 +100,50 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.relationships import SeedRelationship
     from repro.core.schema.entity_class import EntityClass
 
-__all__ = ["IndexLayer", "brute_objects", "brute_relationships"]
+__all__ = [
+    "IndexLayer",
+    "brute_objects",
+    "brute_relationships",
+    "brute_value_counts",
+    "brute_participation_distinct",
+    "prefix_upper_bound",
+    "value_key",
+]
 
 #: relationship index status values
 NORMAL = "normal"
 PATTERN = "pattern"
+
+#: the largest code point — prefixes ending here have no same-length successor
+_MAX_CHAR = chr(0x10FFFF)
+
+#: distinct values kept exactly by the top-K + remainder histogram view
+TOP_K = 16
+
+
+def prefix_upper_bound(prefix: str) -> Optional[str]:
+    """The exclusive upper bound of the names starting with *prefix*.
+
+    The smallest string greater than every string with that prefix:
+    strip trailing ``U+10FFFF`` code points (they have no successor —
+    the naive ``prefix[:-1] + chr(ord(last) + 1)`` raises
+    ``ValueError`` for them), then bump the last surviving character.
+    ``None`` means "no upper bound" (every character is the maximum
+    code point, or the prefix is empty): scan to the end of the list.
+    """
+    trimmed = prefix.rstrip(_MAX_CHAR)
+    if not trimmed:
+        return None
+    return trimmed[:-1] + chr(ord(trimmed[-1]) + 1)
+
+
+def value_key(value: object) -> tuple:
+    """Type-aware histogram key of a defined value.
+
+    Mirrors the algebra's cell keying: SEED values are typed, so
+    BOOLEAN ``False`` must not collapse with INTEGER ``0``.
+    """
+    return (type(value).__name__, value)
 
 
 class IndexLayer:
@@ -113,6 +167,13 @@ class IndexLayer:
         self.pattern_rids: dict[str, set[int]] = {}
         #: oid -> number of live pattern-context relationships touching it
         self.pattern_incidence: dict[int, int] = {}
+        #: class full-name -> value key -> live objects holding the value
+        #: (covers exactly the objects the extent holds; undefined
+        #: values are not counted — "undefined matches nothing")
+        self.value_counts: dict[str, dict[tuple, int]] = {}
+        #: (association element name, position) -> distinct live oids
+        #: participating there through normal relationships
+        self.participation_distinct: dict[tuple[str, int], int] = {}
         #: rid -> status the relationship is currently indexed under
         self._rel_status: dict[int, str] = {}
         #: True while a bulk batch defers maintenance (see suspend())
@@ -161,11 +222,13 @@ class IndexLayer:
     # ------------------------------------------------------------------
 
     def add_object(self, obj: "SeedObject") -> None:
-        """Enter a live object into its class extent."""
+        """Enter a live object into its class extent (and value stats)."""
         if self._suspended:
             self._stale = True
             return
         self.extent.setdefault(obj.entity_class.full_name, set()).add(obj.oid)
+        if obj.value is not None:
+            self._count_value(obj.entity_class.full_name, obj.value, +1)
 
     def remove_object(self, obj: "SeedObject") -> None:
         """Remove an object (tombstoned or rolled back) from its extent."""
@@ -177,6 +240,8 @@ class IndexLayer:
             bucket.discard(obj.oid)
             if not bucket:
                 del self.extent[obj.entity_class.full_name]
+        if obj.value is not None:
+            self._count_value(obj.entity_class.full_name, obj.value, -1)
 
     def move_object(
         self, obj: "SeedObject", old_class: "EntityClass", new_class: "EntityClass"
@@ -191,6 +256,37 @@ class IndexLayer:
             if not bucket:
                 del self.extent[old_class.full_name]
         self.extent.setdefault(new_class.full_name, set()).add(obj.oid)
+        if obj.value is not None:
+            self._count_value(old_class.full_name, obj.value, -1)
+            self._count_value(new_class.full_name, obj.value, +1)
+
+    def update_value(
+        self, obj: "SeedObject", old_value: object, new_value: object
+    ) -> None:
+        """Re-count a live object's value after ``set_value``.
+
+        Called (and undone) by the database in the same code path that
+        flips ``obj.value``, mirroring the other maintained structures.
+        """
+        if self._suspended:
+            self._stale = True
+            return
+        class_name = obj.entity_class.full_name
+        if old_value is not None:
+            self._count_value(class_name, old_value, -1)
+        if new_value is not None:
+            self._count_value(class_name, new_value, +1)
+
+    def _count_value(self, class_name: str, value: object, delta: int) -> None:
+        bucket = self.value_counts.setdefault(class_name, {})
+        key = value_key(value)
+        remaining = bucket.get(key, 0) + delta
+        if remaining > 0:
+            bucket[key] = remaining
+        else:
+            bucket.pop(key, None)
+            if not bucket:
+                del self.value_counts[class_name]
 
     def extent_oids(
         self, wanted: "EntityClass", include_specials: bool = True
@@ -230,14 +326,27 @@ class IndexLayer:
             del self.names[position]
 
     def names_with_prefix(self, prefix: str) -> list[str]:
-        """All indexed names starting with *prefix*, in sorted order."""
+        """All indexed names starting with *prefix*, in sorted order.
+
+        Two bisections against the successor bound (see
+        :func:`prefix_upper_bound` — correct even for prefixes ending
+        in ``U+10FFFF``, which have no same-length successor), then one
+        slice: O(log n + |matches|).
+        """
         self._ensure_fresh()
-        position = bisect_left(self.names, prefix)
-        result: list[str] = []
-        while position < len(self.names) and self.names[position].startswith(prefix):
-            result.append(self.names[position])
-            position += 1
-        return result
+        low, high = self._prefix_range(prefix)
+        return self.names[low:high]
+
+    def _prefix_range(self, prefix: str) -> tuple[int, int]:
+        """Half-open index range of the sorted names with *prefix*."""
+        low = bisect_left(self.names, prefix)
+        bound = prefix_upper_bound(prefix)
+        high = (
+            len(self.names)
+            if bound is None
+            else bisect_left(self.names, bound, lo=low)
+        )
+        return low, high
 
     # ------------------------------------------------------------------
     # relationship indexes
@@ -307,7 +416,13 @@ class IndexLayer:
             self.assoc_counts[element.name] = self.assoc_counts.get(element.name, 0) + 1
             for position in (0, 1):
                 key = (element.name, rel.bound_at(position).oid, position)
-                self.participation[key] = self.participation.get(key, 0) + 1
+                previous = self.participation.get(key, 0)
+                self.participation[key] = previous + 1
+                if previous == 0:
+                    distinct_key = (element.name, position)
+                    self.participation_distinct[distinct_key] = (
+                        self.participation_distinct.get(distinct_key, 0) + 1
+                    )
         source_oid = rel.bound_at(0).oid
         target_oid = rel.bound_at(1).oid
         targets = self.adjacency.setdefault(root_name, {}).setdefault(source_oid, {})
@@ -346,6 +461,12 @@ class IndexLayer:
                     self.participation[key] = remaining
                 else:
                     self.participation.pop(key, None)
+                    distinct_key = (element.name, position)
+                    left_distinct = self.participation_distinct.get(distinct_key, 0) - 1
+                    if left_distinct > 0:
+                        self.participation_distinct[distinct_key] = left_distinct
+                    else:
+                        self.participation_distinct.pop(distinct_key, None)
         source_oid = rel.bound_at(0).oid
         target_oid = rel.bound_at(1).oid
         sources = self.adjacency.get(root_name)
@@ -402,17 +523,132 @@ class IndexLayer:
 
         Two bisections — O(log n), no list materialization — since the
         planner re-estimates on every optimize/execute/explain. The
-        exclusive upper bound is the successor string of the prefix.
+        exclusive upper bound is the successor string of the prefix
+        (:func:`prefix_upper_bound`), which handles trailing
+        ``U+10FFFF`` code points by stripping them; a prefix of only
+        maximum code points has no successor and counts to the end of
+        the list.
         """
         self._ensure_fresh()
-        if not prefix:
-            return len(self.names)
-        last = prefix[-1]
-        if ord(last) >= 0x10FFFF:  # pragma: no cover - no successor char
-            return len(self.names_with_prefix(prefix))
-        low = bisect_left(self.names, prefix)
-        high = bisect_left(self.names, prefix[:-1] + chr(ord(last) + 1), lo=low)
+        low, high = self._prefix_range(prefix)
         return high - low
+
+    def total_objects(self) -> int:
+        """All live objects across every extent bucket (O(#classes))."""
+        self._ensure_fresh()
+        return sum(len(bucket) for bucket in self.extent.values())
+
+    def _merged_value_counts(
+        self, wanted: "EntityClass", include_specials: bool
+    ) -> dict[tuple, int]:
+        merged: dict[tuple, int] = dict(
+            self.value_counts.get(wanted.full_name, ())
+        )
+        if include_specials:
+            for special in wanted.all_specials():
+                for key, count in self.value_counts.get(
+                    special.full_name, {}
+                ).items():
+                    merged[key] = merged.get(key, 0) + count
+        return merged
+
+    def value_histogram(
+        self,
+        wanted: "EntityClass",
+        include_specials: bool = True,
+        k: int = TOP_K,
+    ) -> tuple[list[tuple[tuple, int]], int, int]:
+        """Top-K + remainder view of a class's defined-value distribution.
+
+        Returns ``(top, remainder_count, remainder_distinct)`` where
+        *top* holds the K most frequent ``(value key, count)`` pairs
+        (count-descending, key-ascending for determinism) and the
+        remainder buckets summarize everything else. Full ranked view
+        (O(distinct · log distinct)) for introspection and tests; the
+        planner's hot path is :meth:`value_frequency`, which answers
+        single-value questions without sorting. The maintained
+        counters underneath are exact.
+        """
+        self._ensure_fresh()
+        merged = self._merged_value_counts(wanted, include_specials)
+        ranked = sorted(merged.items(), key=lambda item: (-item[1], repr(item[0])))
+        top = ranked[:k]
+        rest = ranked[k:]
+        return top, sum(count for __, count in rest), len(rest)
+
+    def value_frequency(
+        self,
+        wanted: "EntityClass",
+        value: object,
+        include_specials: bool = True,
+        k: int = TOP_K,
+    ) -> float:
+        """Estimated live objects of *wanted* holding *value*.
+
+        Top-K + remainder semantics: exact for values whose count
+        reaches the K-th largest, the remainder average below it, and
+        exactly 0.0 for values never seen (the maintained counters can
+        tell absence apart from the tail). One hash lookup plus an
+        O(distinct · log K) heap pass (no full sort, no merged-dict
+        copy in the common case — value-typed classes cannot have
+        specializations, so the rollup almost never merges), since the
+        planner calls this per Select estimate.
+        """
+        self._ensure_fresh()
+        own = self.value_counts.get(wanted.full_name, {})
+        merged = own
+        if include_specials:
+            for special in wanted.all_specials():
+                bucket = self.value_counts.get(special.full_name)
+                if bucket:
+                    if merged is own:
+                        merged = dict(own)
+                    for key, count in bucket.items():
+                        merged[key] = merged.get(key, 0) + count
+        count = merged.get(value_key(value))
+        if count is None:
+            return 0.0
+        if len(merged) <= k:
+            return float(count)
+        top_counts = nlargest(k, merged.values())
+        if count >= top_counts[-1]:
+            return float(count)
+        remainder_count = sum(merged.values()) - sum(top_counts)
+        return remainder_count / (len(merged) - k)
+
+    def defined_count(
+        self, wanted: "EntityClass", include_specials: bool = True
+    ) -> int:
+        """Live objects of *wanted* holding any defined value.
+
+        Sums the class buckets directly — no merged-dict allocation,
+        since the planner calls this per Select estimate.
+        """
+        self._ensure_fresh()
+        total = sum(self.value_counts.get(wanted.full_name, {}).values())
+        if include_specials:
+            for special in wanted.all_specials():
+                total += sum(
+                    self.value_counts.get(special.full_name, {}).values()
+                )
+        return total
+
+    def distinct_participants(
+        self, element_name: str, position: Optional[int] = None
+    ) -> int:
+        """Distinct live oids participating in an association element.
+
+        With a *position* the count is exact (maintained alongside the
+        participation counters); without one the sum over both
+        positions is an upper bound (an object bound at both ends is
+        counted twice).
+        """
+        self._ensure_fresh()
+        if position is not None:
+            return self.participation_distinct.get((element_name, position), 0)
+        return self.participation_distinct.get(
+            (element_name, 0), 0
+        ) + self.participation_distinct.get((element_name, 1), 0)
 
     def pattern_influenced(self, obj: "SeedObject") -> bool:
         """True when *obj*'s effective structure may diverge from counters."""
@@ -470,7 +706,9 @@ class IndexLayer:
         self._suspended = False
         try:
             self.extent.clear()
+            self.value_counts.clear()
             self.participation.clear()
+            self.participation_distinct.clear()
             self.assoc_counts.clear()
             self.adjacency.clear()
             self.family_rids.clear()
@@ -495,6 +733,10 @@ class IndexLayer:
             "extent": {name: set(oids) for name, oids in self.extent.items()},
             "names": list(self.names),
             "participation": dict(self.participation),
+            "participation_distinct": dict(self.participation_distinct),
+            "value_counts": {
+                name: dict(counts) for name, counts in self.value_counts.items()
+            },
             "assoc_counts": dict(self.assoc_counts),
             "adjacency": {
                 root: {src: dict(tgts) for src, tgts in sources.items()}
@@ -551,6 +793,37 @@ def brute_objects(
                 continue
         results.append(obj)
     return results
+
+
+def brute_value_counts(db: "SeedDatabase") -> dict[str, dict[tuple, int]]:
+    """Full-scan recount of the per-class value histograms.
+
+    The reference :attr:`IndexLayer.value_counts` must equal after any
+    sequence of mutations — covers exactly the objects the extents
+    hold (live, pattern-context included), defined values only.
+    """
+    counts: dict[str, dict[tuple, int]] = {}
+    for obj in db.all_objects_raw():
+        if obj.deleted or obj.value is None:
+            continue
+        bucket = counts.setdefault(obj.entity_class.full_name, {})
+        key = value_key(obj.value)
+        bucket[key] = bucket.get(key, 0) + 1
+    return counts
+
+
+def brute_participation_distinct(db: "SeedDatabase") -> dict[tuple[str, int], int]:
+    """Full-scan recount of the distinct-participant counters."""
+    participants: dict[tuple[str, int], set[int]] = {}
+    for rel in db.all_relationships_raw():
+        if rel.deleted or rel.in_pattern_context:
+            continue
+        for element in rel.association.kind_chain():
+            for position in (0, 1):
+                participants.setdefault((element.name, position), set()).add(
+                    rel.bound_at(position).oid
+                )
+    return {key: len(oids) for key, oids in participants.items()}
 
 
 def brute_relationships(

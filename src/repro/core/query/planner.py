@@ -13,7 +13,8 @@ a planned evaluation path with three layers:
 
 2. **A cost-based optimizer** that reads cardinality statistics from the
    PR-1 :class:`~repro.core.indexes.IndexLayer` (extent sizes,
-   association counters, name-prefix counts) to
+   association counters, name-prefix counts, and — since PR 5 — the
+   maintained value and participation histograms) to
 
    * push selections below joins, unions, differences, renames,
      projections, and value dereferences;
@@ -23,10 +24,30 @@ a planned evaluation path with three layers:
      ``objects_by_name_prefix`` range scan, and an
      :class:`~repro.core.query.predicates.InClass` selection narrows the
      scanned extent (``extent_oids``);
+   * apply **semi-join reduction to value dereferences** —
+     ``Join(Values(A), B)`` hoists the Values above the join when the
+     dereferenced column is not a join column and the join's estimated
+     output does not exceed the dereference input (fan-out joins stay
+     put), so the probe side is reduced by the join keys *before* role
+     paths materialize values (only surviving rows pay the
+     dereference);
    * reorder join trees greedily — smallest estimated input first,
      always preferring join partners that share a column (no accidental
      cartesian products) — restoring the original column order with an
      internal :class:`Reorder` node.
+
+   **Statistics model (PR 5).** Selection selectivities are no longer a
+   fixed 1/3: structured predicates are costed from maintained
+   statistics — ``NamePrefix`` from the bisected name-index count,
+   ``InClass`` from extent sizes, ``HasValue`` / ``ValueEquals`` from
+   the per-class **top-K + remainder value histogram** (exact counts
+   for the K most frequent values, remainder average for the tail),
+   ``ParticipatesIn`` from the distinct-participant counters, and
+   ``And``/``Or``/``Not`` compose by the independence rules. Join
+   output sizes use the containment-of-value-sets estimate
+   ``|L|·|R| / ∏ max(V(L,c), V(R,c))`` over per-column distinct counts
+   (extent rows are distinct; role columns read the participation
+   histogram). Opaque callables keep the 1/3 heuristic.
 
 3. **A streaming executor** that yields rows through generators.
    Selections, projections, renames, value dereferences, and the probe
@@ -55,9 +76,28 @@ testing.
    Structured predicates (:mod:`repro.core.query.predicates`) key by
    value; opaque callables key by identity — re-running the *same*
    plan object hits, a structurally identical rebuild with fresh
-   lambdas misses. Cached plans embed the join order chosen from the
-   statistics at caching time; re-optimize (clear the cache) after
-   bulk loads that change cardinalities by orders of magnitude.
+   lambdas misses.
+
+   **Drift-invalidation contract (PR 5).** Cached plans embed the join
+   order chosen from the statistics at caching time; each entry also
+   records the statistics snapshot it was optimized under — one count
+   per scanned extent / association, plus the selectivity inputs of
+   every structured selection predicate (prefix counts, defined-value
+   counts, value frequencies, distinct participants), so pure name
+   churn or mass re-valuation drifts too, not only row-count growth.
+   A lookup
+   re-reads those counts and serves the cached plan only while none
+   has drifted past the threshold — drift meaning an absolute change
+   above ``drift_min_delta`` rows **and** a ratio above
+   ``drift_ratio`` (with +1 smoothing so a near-empty snapshot still
+   compares). On drift the entry is re-optimized in place (counted in
+   :attr:`PlanCache.reoptimizations`). Consequently ``bulk()`` /
+   ``bulk_load()`` finalize, compaction GC, and large multi-user
+   check-ins invalidate exactly the stale plans — no explicit
+   invalidation calls, no wholesale clears — while a plan cached
+   against a near-empty database can no longer stay pinned after the
+   database inflates. Soundness never depends on this: a stale plan
+   returns correct rows, just slower.
 """
 
 from __future__ import annotations
@@ -68,12 +108,18 @@ from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.core.database import SeedDatabase
 from repro.core.errors import QueryError
+from repro.core.indexes import value_key
 from repro.core.objects import SeedObject
 from repro.core.query.algebra import Relation, dereference, relationship_row
 from repro.core.query.predicates import (
     And,
+    HasValue,
     InClass,
     NamePrefix,
+    Not,
+    Or,
+    ParticipatesIn,
+    ValueEquals,
     describe_predicate,
     narrowed_class,
 )
@@ -85,6 +131,7 @@ __all__ = [
     "PlanBuilder",
     "PlanCache",
     "plan_cache",
+    "execute_node",
     "ColumnPredicate",
     "ExtentScan",
     "RelScan",
@@ -280,6 +327,138 @@ def _family_is_independent(db: SeedDatabase, scan: ExtentScan) -> bool:
 # cost model
 # ----------------------------------------------------------------------
 
+#: fallback selectivity for predicates the statistics cannot explain
+#: (opaque callables) — the planner's pre-statistics heuristic
+DEFAULT_SELECTIVITY = 1 / 3
+
+
+def _column_class(db: SeedDatabase, node: PlanNode, column: str) -> Optional[str]:
+    """Class name of the objects a column carries, traced to its scan.
+
+    ``None`` when the column cannot be traced (value columns, attribute
+    columns, the ``into`` output of a Values node).
+    """
+    if isinstance(node, ExtentScan):
+        return node.class_name if column == node.column else None
+    if isinstance(node, RelScan):
+        assoc = db.schema.association(node.association)
+        roles = assoc.role_names()
+        if column in roles:
+            return assoc.role_at(roles.index(column)).target.full_name
+        return None
+    if isinstance(node, (Select, Project, Reorder)):
+        return _column_class(db, node.child, column)
+    if isinstance(node, Rename):
+        inverse = {new: old for old, new in node.renames}
+        return _column_class(db, node.child, inverse.get(column, column))
+    if isinstance(node, Join):
+        if column in _columns_of(db, node.left):
+            return _column_class(db, node.left, column)
+        return _column_class(db, node.right, column)
+    if isinstance(node, (Union, Difference)):
+        return _column_class(db, node.left, column)
+    if isinstance(node, Values):
+        if column == node.into:
+            return None
+        return _column_class(db, node.child, column)
+    return None  # pragma: no cover - exhaustive
+
+
+def _predicate_selectivity(
+    db: SeedDatabase, predicate: Any, class_name: Optional[str]
+) -> float:
+    """Fraction of rows a cell predicate keeps, from the statistics.
+
+    *class_name* is the traced class of the tested column (None when
+    untraceable); histogram lookups then fall back to database-wide
+    aggregates. Opaque predicates keep the old 1/3 heuristic.
+    """
+    indexes = db.indexes
+    if isinstance(predicate, And):
+        selectivity = 1.0
+        for part in predicate.parts:
+            selectivity *= _predicate_selectivity(db, part, class_name)
+        return selectivity
+    if isinstance(predicate, Or):
+        miss = 1.0
+        for part in predicate.parts:
+            miss *= 1.0 - _predicate_selectivity(db, part, class_name)
+        return 1.0 - miss
+    if isinstance(predicate, Not):
+        return max(
+            0.0, 1.0 - _predicate_selectivity(db, predicate.part, class_name)
+        )
+    if isinstance(predicate, NamePrefix):
+        total = len(indexes.names)
+        if not total:
+            return DEFAULT_SELECTIVITY
+        return indexes.name_prefix_count(predicate.prefix) / total
+    if isinstance(predicate, InClass):
+        total = indexes.total_objects()
+        if not total:
+            return DEFAULT_SELECTIVITY
+        wanted = db.schema.entity_class(predicate.class_name)
+        return indexes.extent_size(wanted, predicate.include_specials) / total
+    if isinstance(predicate, (HasValue, ValueEquals)):
+        wanted = (
+            db.schema.entity_class(class_name) if class_name is not None else None
+        )
+        if wanted is not None:
+            total = indexes.extent_size(wanted)
+            defined = indexes.defined_count(wanted)
+        else:  # aggregate over every class
+            total = indexes.total_objects()
+            defined = sum(
+                sum(bucket.values()) for bucket in indexes.value_counts.values()
+            )
+        if not total:
+            return DEFAULT_SELECTIVITY
+        if isinstance(predicate, HasValue):
+            return defined / total
+        try:
+            if wanted is not None:
+                matching = indexes.value_frequency(wanted, predicate.expected)
+            else:
+                key = value_key(predicate.expected)
+                matching = float(
+                    sum(
+                        bucket.get(key, 0)
+                        for bucket in indexes.value_counts.values()
+                    )
+                )
+        except TypeError:
+            # unhashable expected value (e.g. a list): the predicate is
+            # still a valid filter — it just cannot be histogram-costed
+            return DEFAULT_SELECTIVITY
+        return min(1.0, matching / total)
+    if isinstance(predicate, ParticipatesIn):
+        try:
+            assoc = db.schema.association(predicate.association)
+        except Exception:  # pragma: no cover - defensive
+            return DEFAULT_SELECTIVITY
+        position: Optional[int] = None
+        if predicate.role is not None and predicate.role in assoc.role_names():
+            position = assoc.role_names().index(predicate.role)
+        participants = indexes.distinct_participants(assoc.name, position)
+        if class_name is not None:
+            total = indexes.extent_size(db.schema.entity_class(class_name))
+        else:
+            total = indexes.total_objects()
+        if not total:
+            return DEFAULT_SELECTIVITY
+        return min(1.0, participants / total)
+    return DEFAULT_SELECTIVITY
+
+
+def _selectivity_of(
+    db: SeedDatabase, child: PlanNode, predicate: Callable[..., Any]
+) -> float:
+    """Selectivity of a Select's predicate over *child*'s rows."""
+    if isinstance(predicate, ColumnPredicate):
+        class_name = _column_class(db, child, predicate.column)
+        return _predicate_selectivity(db, predicate.predicate, class_name)
+    return DEFAULT_SELECTIVITY
+
 
 def _estimate(db: SeedDatabase, node: PlanNode, memo: dict[int, int]) -> int:
     """Estimated output rows of *node*, from index-layer statistics."""
@@ -302,9 +481,9 @@ def _estimate_uncached(db: SeedDatabase, node: PlanNode, memo: dict[int, int]) -
     if isinstance(node, RelScan):
         return indexes.association_size(node.association)
     if isinstance(node, Select):
-        # fixed 1/3 selectivity: deterministic, and coarse is fine — the
-        # ordering decisions only need relative magnitudes
-        return max(1, _estimate(db, node.child, memo) // 3)
+        child = _estimate(db, node.child, memo)
+        selectivity = _selectivity_of(db, node.child, node.predicate)
+        return max(1, round(child * selectivity))
     if isinstance(node, (Project, Rename, Reorder, Values)):
         return _estimate(db, node.child, memo)
     if isinstance(node, Join):
@@ -312,8 +491,19 @@ def _estimate_uncached(db: SeedDatabase, node: PlanNode, memo: dict[int, int]) -
         right = _estimate(db, node.right, memo)
         left_columns = _columns_of(db, node.left)
         right_columns = _columns_of(db, node.right)
-        if any(column in left_columns for column in right_columns):
-            return max(left, right)
+        shared = [column for column in right_columns if column in left_columns]
+        if shared:
+            # |L ⋈ R| ≈ |L|·|R| / ∏ max(V(L,c), V(R,c)) — the classical
+            # containment-of-value-sets estimate over the maintained
+            # distinct counts; never below the old max(L, R) // denom
+            denominator = 1
+            for column in shared:
+                denominator *= max(
+                    _distinct_of(db, node.left, column, memo),
+                    _distinct_of(db, node.right, column, memo),
+                    1,
+                )
+            return max(1, (left * right) // denominator) if left and right else 0
         return left * right
     if isinstance(node, Union):
         return _estimate(db, node.left, memo) + _estimate(db, node.right, memo)
@@ -322,15 +512,68 @@ def _estimate_uncached(db: SeedDatabase, node: PlanNode, memo: dict[int, int]) -
     raise AssertionError(f"unhandled node {type(node).__name__}")  # pragma: no cover
 
 
+def _distinct_of(
+    db: SeedDatabase, node: PlanNode, column: str, memo: dict[int, int]
+) -> int:
+    """Estimated distinct values a column holds in *node*'s output.
+
+    Scans answer exactly (extent rows are distinct objects; role
+    columns read the maintained distinct-participant counters);
+    everything else delegates toward its scans, capped by the node's
+    own row estimate.
+    """
+    if isinstance(node, ExtentScan):
+        return _estimate(db, node, memo)
+    if isinstance(node, RelScan):
+        assoc = db.schema.association(node.association)
+        roles = assoc.role_names()
+        if column in roles:
+            return db.indexes.distinct_participants(
+                assoc.name, roles.index(column)
+            )
+        return _estimate(db, node, memo)
+    if isinstance(node, Select):
+        return min(
+            _distinct_of(db, node.child, column, memo),
+            _estimate(db, node, memo),
+        )
+    if isinstance(node, (Project, Reorder)):
+        return _distinct_of(db, node.child, column, memo)
+    if isinstance(node, Rename):
+        inverse = {new: old for old, new in node.renames}
+        return _distinct_of(db, node.child, inverse.get(column, column), memo)
+    if isinstance(node, Join):
+        if column in _columns_of(db, node.left):
+            owner: PlanNode = node.left
+        else:
+            owner = node.right
+        return min(
+            _distinct_of(db, owner, column, memo), _estimate(db, node, memo)
+        )
+    if isinstance(node, Union):
+        return _distinct_of(db, node.left, column, memo) + _distinct_of(
+            db, node.right, column, memo
+        )
+    if isinstance(node, Difference):
+        return _distinct_of(db, node.left, column, memo)
+    if isinstance(node, Values):
+        if column == node.into:
+            return _estimate(db, node, memo)
+        return _distinct_of(db, node.child, column, memo)
+    return _estimate(db, node, memo)  # pragma: no cover - exhaustive
+
+
 # ----------------------------------------------------------------------
 # optimizer
 # ----------------------------------------------------------------------
 
 
 def optimize(db: SeedDatabase, node: PlanNode) -> PlanNode:
-    """Full rewrite pipeline: pushdown, indexed scans, join order."""
+    """Full rewrite pipeline: pushdown, indexed scans, semi-join
+    reduction for value dereferences, join order."""
     node = _push_selections(db, node)
     node = _rewrite_scans(db, node)
+    node = _reduce_values_joins(db, node)
     node = _reorder_joins(db, node)
     return node
 
@@ -460,6 +703,91 @@ def _absorb_into_scan(
     return Select(scan, ColumnPredicate(predicate.column, remaining))
 
 
+def _reduce_values_joins(db: SeedDatabase, node: PlanNode) -> PlanNode:
+    """Semi-join reduction for ``values()`` role paths.
+
+    ``Join(Values(A), B)`` dereferences the role path for *every* row
+    of A, including rows the join then discards. Hoisting the Values
+    above the join — sound whenever the dereferenced ``into`` column is
+    not a join column, since the added column is computed row-locally
+    from a column the join preserves — means the probe side is reduced
+    by the join keys first and only surviving rows materialize values:
+
+        Join(Values(A), B)  →  Reorder(Values(Join(A, B)))
+
+    The Reorder restores the original column layout (Values appends its
+    column last). Applied bottom-up so stacked Values and Values on
+    both sides all hoist; the join reorderer then sees the bare join
+    chain and can reorder through it.
+    """
+    if isinstance(node, (Select, Project, Rename, Values, Reorder)):
+        return replace(node, child=_reduce_values_joins(db, node.child))
+    if isinstance(node, (Union, Difference)):
+        return replace(
+            node,
+            left=_reduce_values_joins(db, node.left),
+            right=_reduce_values_joins(db, node.right),
+        )
+    if not isinstance(node, Join):
+        return node
+    rebuilt = Join(
+        _reduce_values_joins(db, node.left),
+        _reduce_values_joins(db, node.right),
+    )
+    hoisted = _hoist_values(db, rebuilt)
+    if hoisted is rebuilt:
+        return rebuilt
+    original = _columns_of(db, rebuilt)
+    if _columns_of(db, hoisted) != original:
+        hoisted = Reorder(hoisted, original)
+    return hoisted
+
+
+def _strip_reorders(node: PlanNode) -> PlanNode:
+    while isinstance(node, Reorder):
+        node = node.child
+    return node
+
+
+def _hoist_values(db: SeedDatabase, node: PlanNode) -> PlanNode:
+    """Pull Values nodes out of a join tree (see _reduce_values_joins).
+
+    Reorder wrappers (from inner hoists) are looked through — they only
+    permute columns, and the caller restores the final layout anyway.
+    A hoist only pays when the join *reduces* (or keeps) the Values
+    input: on a fan-out join, dereferencing after the join would run
+    the role path once per joined row instead of once per input row,
+    so those stay put (estimate-gated).
+    """
+    if not isinstance(node, Join):
+        return node
+    left = _strip_reorders(node.left)
+    right = _strip_reorders(node.right)
+
+    def reduces(values_node: Values, other: PlanNode) -> bool:
+        memo: dict[int, int] = {}
+        joined = Join(values_node.child, other)
+        return _estimate(db, joined, memo) <= _estimate(
+            db, values_node.child, memo
+        )
+
+    if (
+        isinstance(left, Values)
+        and left.into not in _columns_of(db, right)
+        and reduces(left, right)
+    ):
+        inner = _hoist_values(db, Join(left.child, right))
+        return Values(inner, left.column, left.role_path, left.into)
+    if (
+        isinstance(right, Values)
+        and right.into not in _columns_of(db, left)
+        and reduces(right, left)
+    ):
+        inner = _hoist_values(db, Join(left, right.child))
+        return Values(inner, right.column, right.role_path, right.into)
+    return node
+
+
 def _reorder_joins(db: SeedDatabase, node: PlanNode) -> PlanNode:
     """Greedily reorder maximal join chains, smallest estimate first."""
     if isinstance(node, (Select, Project, Rename, Values, Reorder)):
@@ -488,8 +816,11 @@ def _reorder_joins(db: SeedDatabase, node: PlanNode) -> PlanNode:
     remaining.remove(start)
     tree: PlanNode = factors[start]
     tree_columns = set(_columns_of(db, factors[start]))
-    tree_estimate = estimates[start]
 
+    # every candidate Join built for costing must outlive the loop: the
+    # estimate memo keys by id(), so a freed transient's address could
+    # be reused by a later node, which would then hit the stale entry
+    keepalive: list[PlanNode] = []
     while remaining:
         connected = [
             i
@@ -497,15 +828,20 @@ def _reorder_joins(db: SeedDatabase, node: PlanNode) -> PlanNode:
             if tree_columns & set(_columns_of(db, factors[i]))
         ]
         candidates = connected or remaining  # cartesian only when forced
-        def joined_size(i: int) -> int:
-            if tree_columns & set(_columns_of(db, factors[i])):
-                return max(tree_estimate, estimates[i])
-            return tree_estimate * estimates[i]
-        chosen = min(candidates, key=lambda i: (joined_size(i), estimates[i], i))
+        # cost each candidate with the same containment-of-value-sets
+        # estimate the rest of the optimizer uses — a private
+        # max(L, R) shortcut here would under-cost fan-out joins and
+        # disagree with the Values-hoist gate about the same join's size
+        candidate_joins = {i: Join(tree, factors[i]) for i in candidates}
+        keepalive.extend(candidate_joins.values())
+        sizes = {
+            i: _estimate(db, candidate, memo)
+            for i, candidate in candidate_joins.items()
+        }
+        chosen = min(candidates, key=lambda i: (sizes[i], estimates[i], i))
         remaining.remove(chosen)
-        tree = Join(tree, factors[chosen])
+        tree = candidate_joins[chosen]
         tree_columns |= set(_columns_of(db, factors[chosen]))
-        tree_estimate = joined_size(chosen)
 
     if _columns_of(db, tree) != original_columns:
         tree = Reorder(tree, original_columns)
@@ -585,8 +921,122 @@ def _predicate_key(predicate: Any) -> Any:
     return predicate
 
 
+def _collect_predicate_stats(
+    db: SeedDatabase,
+    child: PlanNode,
+    predicate: Any,
+    class_name: Optional[str],
+    pairs: list[tuple[tuple, float]],
+) -> None:
+    """Selectivity inputs reachable inside a structured predicate.
+
+    One pair per NamePrefix (matching-name count), HasValue
+    (defined-value count of the traced class), ValueEquals (histogram
+    frequency of the expected value), and ParticipatesIn
+    (distinct-participant count) — the statistics whose drift can turn
+    a cached ordering stale without any extent or association size
+    moving (mass renames, mass re-valuations, participation churn).
+    """
+    indexes = db.indexes
+    if isinstance(predicate, ColumnPredicate):
+        _collect_predicate_stats(
+            db,
+            child,
+            predicate.predicate,
+            _column_class(db, child, predicate.column),
+            pairs,
+        )
+    elif isinstance(predicate, NamePrefix):
+        pairs.append(
+            (
+                ("prefix", predicate.prefix),
+                indexes.name_prefix_count(predicate.prefix),
+            )
+        )
+    elif isinstance(predicate, (HasValue, ValueEquals)) and class_name:
+        wanted = db.schema.entity_class(class_name)
+        if isinstance(predicate, HasValue):
+            pairs.append(
+                (("defined", class_name), indexes.defined_count(wanted))
+            )
+        else:
+            try:
+                frequency = indexes.value_frequency(wanted, predicate.expected)
+            except TypeError:  # unhashable expected value: not costed
+                return
+            pairs.append((("valfreq", class_name), frequency))
+    elif isinstance(predicate, ParticipatesIn):
+        pairs.append(
+            (
+                ("participants", predicate.association),
+                indexes.distinct_participants(predicate.association),
+            )
+        )
+    elif isinstance(predicate, (And, Or)):
+        for part in predicate.parts:
+            _collect_predicate_stats(db, child, part, class_name, pairs)
+    elif isinstance(predicate, Not):
+        _collect_predicate_stats(db, child, predicate.part, class_name, pairs)
+
+
+def _stats_snapshot(db: SeedDatabase, node: PlanNode) -> tuple:
+    """The statistics a plan's optimization depended on.
+
+    One ``(key, count)`` pair per scanned extent / association, plus
+    the selectivity inputs of every structured selection predicate
+    (prefix counts, defined-value counts, value frequencies, distinct
+    participants) — the snapshot is taken on the *logical* tree (what
+    the cache keys on), where that selectivity still lives in the
+    Select predicates. Stored next to each cached plan so a lookup can
+    detect drift: the same walk over current statistics yields pairs
+    in the same order, making the comparison positional.
+    """
+    pairs: list[tuple[tuple, float]] = []
+    indexes = db.indexes
+
+    def walk(current: PlanNode) -> None:
+        if isinstance(current, ExtentScan):
+            wanted = db.schema.entity_class(current.class_name)
+            pairs.append(
+                (
+                    ("extent", current.class_name, current.include_specials),
+                    indexes.extent_size(wanted, current.include_specials),
+                )
+            )
+            if current.prefix is not None:
+                pairs.append(
+                    (
+                        ("prefix", current.prefix),
+                        indexes.name_prefix_count(current.prefix),
+                    )
+                )
+            return
+        if isinstance(current, RelScan):
+            pairs.append(
+                (
+                    ("assoc", current.association),
+                    indexes.association_size(current.association),
+                )
+            )
+            return
+        if isinstance(current, Select):
+            _collect_predicate_stats(
+                db, current.child, current.predicate, None, pairs
+            )
+            walk(current.child)
+            return
+        if isinstance(current, (Project, Rename, Values, Reorder)):
+            walk(current.child)
+            return
+        walk(current.left)  # Join / Union / Difference
+        walk(current.right)
+
+    walk(node)
+    return tuple(pairs)
+
+
 class PlanCache:
-    """LRU memo of optimizer output for one database.
+    """LRU memo of optimizer output for one database, drift-aware.
 
     Keys are ``(structural plan key, schema epoch)``; the epoch is the
     database's current schema version index, so entries cached under a
@@ -594,37 +1044,73 @@ class PlanCache:
     ``migrate_schema`` clears the cache anyway). Correctness does not
     depend on statistics: a cached plan stays *sound* as data changes,
     merely possibly non-optimal.
+
+    **Drift invalidation** closes the staleness hole: each entry
+    records the :func:`_stats_snapshot` it was optimized under, and a
+    lookup whose *current* leaf cardinalities drifted past the
+    threshold (any pair changing by more than ``drift_min_delta`` rows
+    *and* more than ``drift_ratio``×, with +1 smoothing so near-empty
+    snapshots still compare) re-optimizes in place instead of serving
+    the pinned plan. Bulk-load finalize, compaction GC, and large
+    check-ins thereby invalidate exactly the plans whose inputs they
+    changed — no wholesale clears, small oscillations never thrash.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        drift_ratio: float = 2.0,
+        drift_min_delta: int = 16,
+    ) -> None:
         self.capacity = capacity
-        self._entries: "OrderedDict[tuple, PlanNode]" = OrderedDict()
+        self.drift_ratio = drift_ratio
+        self.drift_min_delta = drift_min_delta
+        self._entries: "OrderedDict[tuple, tuple[PlanNode, tuple]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.bypasses = 0
+        self.reoptimizations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
-        """Drop every cached plan (schema migration, bulk re-statistics)."""
+        """Drop every cached plan (schema migration)."""
         self._entries.clear()
 
+    def _drifted(self, before: tuple, current: tuple) -> bool:
+        for (__, old), (__, new) in zip(before, current):
+            if abs(new - old) <= self.drift_min_delta:
+                continue
+            low, high = sorted((old, new))
+            if (high + 1) / (low + 1) > self.drift_ratio:
+                return True
+        return False
+
     def optimized(self, db: SeedDatabase, node: PlanNode) -> PlanNode:
-        """The optimized tree for *node*, cached when keyable."""
+        """The optimized tree for *node*, cached while statistics hold."""
         try:
             key = (_plan_key(node), db.versions.current_schema_index)
         except TypeError:
             self.bypasses += 1
             return optimize(db, node)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return cached
-        self.misses += 1
+        entry = self._entries.get(key)
+        current: Optional[tuple] = None
+        if entry is not None:
+            cached, snapshot = entry
+            current = _stats_snapshot(db, node)
+            if not self._drifted(snapshot, current):
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self.reoptimizations += 1
+        else:
+            self.misses += 1
         result = optimize(db, node)
-        self._entries[key] = result
+        if current is None:
+            current = _stats_snapshot(db, node)
+        self._entries[key] = (result, current)
+        self._entries.move_to_end(key)
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
         return result
@@ -754,12 +1240,17 @@ class _Executor:
         # other is an association scan (possibly under selections, which
         # then apply to the few fetched rows) joined through a role
         # column, fetch only the incident relationships (incidence
-        # index) per driving row instead of scanning the whole family
+        # index) per driving row instead of scanning the whole family.
+        # The threshold compares the driving side against the *scan*
+        # size of the association (what a hash join would actually
+        # read), not the post-selection output estimate — a highly
+        # selective filter over a huge scan still costs the scan
         if len(shared) == 1:
             right_base, right_filter = self._peel_selects(node.right, right_columns)
             if (
                 isinstance(right_base, RelScan)
-                and left_estimate <= right_estimate // 2
+                and left_estimate
+                <= self._db.indexes.association_size(right_base.association) // 2
                 and shared[0] in right_columns[:2]
             ):
                 yield from self._index_join(
@@ -777,7 +1268,8 @@ class _Executor:
             left_base, left_filter = self._peel_selects(node.left, left_columns)
             if (
                 isinstance(left_base, RelScan)
-                and right_estimate <= left_estimate // 2
+                and right_estimate
+                <= self._db.indexes.association_size(left_base.association) // 2
                 and shared[0] in left_columns[:2]
             ):
                 yield from self._index_join(
@@ -912,6 +1404,17 @@ class _Executor:
                 raise QueryError(f"column {node.column!r} does not hold objects")
             for value in dereference(obj, steps):
                 yield row + (value,)
+
+
+def execute_node(db: SeedDatabase, node: PlanNode) -> Relation:
+    """Materialize an arbitrary plan node against *db*.
+
+    Runs the node exactly as given — no optimization, no cache. Used by
+    benchmarks and tests to execute a previously-optimized ("pinned")
+    tree against changed data, e.g. to measure what a stale cached plan
+    would have cost without drift invalidation.
+    """
+    return Relation(_columns_of(db, node), tuple(_Executor(db).rows(node)))
 
 
 # ----------------------------------------------------------------------

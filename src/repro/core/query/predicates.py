@@ -11,8 +11,11 @@ Predicates are *structured*: each factory returns an
 :class:`ObjectPredicate` — still a plain callable ``obj -> bool``, but
 one the planner can inspect. :class:`NamePrefix` and :class:`InClass`
 carry enough metadata to be rewritten into indexed scans
-(``objects_by_name_prefix`` / ``extent_oids``), and :class:`And` /
-:class:`Or` / :class:`Not` preserve the boolean structure so a
+(``objects_by_name_prefix`` / ``extent_oids``); :class:`HasValue`,
+:class:`ValueEquals`, and :class:`ParticipatesIn` carry enough to be
+costed from the index layer's value and participation histograms
+(selection selectivity instead of a fixed heuristic); and :class:`And`
+/ :class:`Or` / :class:`Not` preserve the boolean structure so a
 conjunction can be split into an indexable part and a residual filter.
 Every predicate renders a deterministic :meth:`~ObjectPredicate.describe`
 string, which keeps ``explain()`` output stable across runs.
@@ -39,6 +42,9 @@ __all__ = [
     "Not",
     "NamePrefix",
     "InClass",
+    "HasValue",
+    "ValueEquals",
+    "ParticipatesIn",
     "describe_predicate",
     "narrowed_class",
     "true",
@@ -183,6 +189,67 @@ class InClass(ObjectPredicate):
         return f"in_class({self.class_name}{exact})"
 
 
+@dataclass(frozen=True)
+class HasValue(ObjectPredicate):
+    """Match objects whose value is defined.
+
+    Recognized by the planner's cost model: selectivity is the class's
+    defined-value fraction read from the value histogram.
+    """
+
+    def __call__(self, obj: SeedObject) -> bool:
+        return obj.value is not None
+
+    def describe(self) -> str:
+        return "has_value"
+
+
+@dataclass(frozen=True)
+class ValueEquals(ObjectPredicate):
+    """Match defined values equal to *expected* (undefined matches nothing).
+
+    Recognized by the planner's cost model: selectivity comes from the
+    class's top-K + remainder value histogram.
+    """
+
+    expected: Any
+
+    def __call__(self, obj: SeedObject) -> bool:
+        return obj.value is not None and obj.value == self.expected
+
+    def describe(self) -> str:
+        return f"value=={self.expected!r}"
+
+
+@dataclass(frozen=True)
+class ParticipatesIn(ObjectPredicate):
+    """Match objects bound in at least one *association* relationship.
+
+    With *role*, the object must be bound in that role. Effective
+    (pattern-expanded) relationships count. Recognized by the planner's
+    cost model: selectivity is the distinct-participant count over the
+    extent size.
+    """
+
+    association: str
+    role: Optional[str] = None
+
+    def __call__(self, obj: SeedObject) -> bool:
+        db = obj._database  # noqa: SLF001 - query-internal access
+        wanted = db.schema.association(self.association)
+        for rel in db.patterns.effective_relationships(obj, wanted):
+            if self.role is None:
+                return True
+            bound = rel.bound(self.role)  # type: ignore[union-attr]
+            if bound is obj:
+                return True
+        return False
+
+    def describe(self) -> str:
+        at_role = f", {self.role}" if self.role else ""
+        return f"participates_in({self.association}{at_role})"
+
+
 def narrowed_class(db: Any, base_name: str, predicate: InClass) -> Optional[str]:
     """Class the extent of *base_name* narrows to under *predicate*.
 
@@ -257,19 +324,16 @@ def has_value(_obj: Optional[SeedObject] = None) -> Any:
     """Match objects whose value is defined.
 
     Usable directly (``has_value`` as a predicate) or called with no
-    argument to obtain the predicate explicitly.
+    argument to obtain the structured predicate explicitly.
     """
     if _obj is None:
-        return FunctionPredicate(lambda obj: obj.value is not None, "has_value")
+        return HasValue()
     return _obj.value is not None
 
 
 def value_is(expected: Any) -> ObjectPredicate:
     """Match defined values equal to *expected* (undefined matches nothing)."""
-    return FunctionPredicate(
-        lambda obj: obj.value is not None and obj.value == expected,
-        f"value=={expected!r}",
-    )
+    return ValueEquals(expected)
 
 
 def value_matches(pattern: str) -> ObjectPredicate:
@@ -306,23 +370,10 @@ def sub_object_value(role_path: str, expected: Any) -> ObjectPredicate:
     return FunctionPredicate(check, f"{role_path}=={expected!r}")
 
 
-def participates_in(association: str, role: Optional[str] = None) -> ObjectPredicate:
+def participates_in(association: str, role: Optional[str] = None) -> ParticipatesIn:
     """Match objects bound in at least one *association* relationship.
 
     With *role*, the object must be bound in that role. Effective
     (pattern-expanded) relationships count.
     """
-
-    def check(obj: SeedObject) -> bool:
-        db = obj._database  # noqa: SLF001 - query-internal access
-        wanted = db.schema.association(association)
-        for rel in db.patterns.effective_relationships(obj, wanted):
-            if role is None:
-                return True
-            bound = rel.bound(role)  # type: ignore[union-attr]
-            if bound is obj:
-                return True
-        return False
-
-    at_role = f", {role}" if role else ""
-    return FunctionPredicate(check, f"participates_in({association}{at_role})")
+    return ParticipatesIn(association, role)

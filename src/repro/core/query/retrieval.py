@@ -105,6 +105,16 @@ class Retrieval:
         """
         return self._db.objects_by_name_prefix(prefix)
 
+    def count_by_name_prefix(self, prefix: str) -> int:
+        """Number of indexed independent names starting with *prefix*.
+
+        Two bisections — O(log n), nothing materialized — served from
+        the planner's statistics accessor. Counts the *name index*, so
+        independent pattern objects are included (unlike
+        :meth:`by_name_prefix`, which filters them from its results).
+        """
+        return self._db.indexes.name_prefix_count(prefix)
+
     def by_name_prefix_deep(self, prefix: str) -> list[SeedObject]:
         """All objects (any depth) whose dotted name starts with *prefix*.
 

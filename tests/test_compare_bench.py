@@ -107,6 +107,80 @@ def test_committed_baselines_parse():
     assert ("1000", "query_extent") in reference
     assert ("1000", "version_walk") in reference
     assert ("1000", "completeness_incremental") in reference
+    assert ("1000", "multijoin_drift") in reference
+
+
+class TestDroppedSections:
+    """A gated baseline section vanishing from the fresh run must fail."""
+
+    def test_vanished_section_fails_the_gate(self, tmp_path, capsys):
+        write_report(
+            tmp_path / "BENCH_PR1.json",
+            {"query_extent": 100.0, "query_multijoin": 50.0},
+        )
+        # the fresh run silently dropped query_multijoin at a size it
+        # still measures — previously this passed forever
+        write_report(tmp_path / "fresh.json", {"query_extent": 100.0})
+        code = compare_bench.main(
+            [str(tmp_path / "fresh.json"), "--baseline-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "MISSING" in out and "query_multijoin" in out
+        assert "dropped section" in out
+
+    def test_allow_missing_waives_intentional_removals(self, tmp_path, capsys):
+        write_report(
+            tmp_path / "BENCH_PR1.json",
+            {"query_extent": 100.0, "retired": 50.0},
+        )
+        write_report(tmp_path / "fresh.json", {"query_extent": 100.0})
+        code = compare_bench.main(
+            [
+                str(tmp_path / "fresh.json"),
+                "--baseline-dir", str(tmp_path),
+                "--allow-missing", "retired",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "allowed" in out and "retired" in out
+
+    def test_allow_missing_does_not_waive_other_sections(self, tmp_path):
+        write_report(
+            tmp_path / "BENCH_PR1.json",
+            {"query_extent": 100.0, "retired": 50.0, "still_gated": 10.0},
+        )
+        write_report(tmp_path / "fresh.json", {"query_extent": 100.0})
+        code = compare_bench.main(
+            [
+                str(tmp_path / "fresh.json"),
+                "--baseline-dir", str(tmp_path),
+                "--allow-missing", "retired",
+            ]
+        )
+        assert code == 1  # still_gated is still missing
+
+    def test_unmeasured_sizes_do_not_count_as_dropped(self, tmp_path):
+        # baselines at size 10000 must not fail a size-1000 smoke run
+        (tmp_path / "BENCH_PR1.json").write_text(
+            json.dumps(
+                {
+                    "results": {
+                        "1000": {"query_extent": {"speedup": 100.0}},
+                        "10000": {
+                            "query_extent": {"speedup": 200.0},
+                            "only_at_full_size": {"speedup": 5.0},
+                        },
+                    }
+                }
+            )
+        )
+        write_report(tmp_path / "fresh.json", {"query_extent": 100.0})
+        code = compare_bench.main(
+            [str(tmp_path / "fresh.json"), "--baseline-dir", str(tmp_path)]
+        )
+        assert code == 0
 
 
 @pytest.mark.parametrize("tolerance,expected", [(0.25, 1), (0.5, 0)])

@@ -444,3 +444,63 @@ class TestLazyRetrieval:
         names = [o.simple_name for o in retrieval.by_name_prefix("Item1")]
         assert names == sorted(names)
         assert len(names) == 11  # Item1 and Item10..Item19
+
+    def test_count_by_name_prefix_matches_retrieval(self, populated):
+        retrieval = Retrieval(populated)
+        for prefix in ("Item1", "Item", "Nope", ""):
+            assert retrieval.count_by_name_prefix(prefix) == len(
+                retrieval.by_name_prefix(prefix)
+            )
+
+
+class TestMaxCodePointPrefixes:
+    """Prefixes ending in U+10FFFF have no same-length successor: the
+    naive ``prefix[:-1] + chr(ord(last) + 1)`` upper bound raised
+    ``ValueError``. The successor now strips trailing maxima (and a
+    prefix of only maxima scans to the end of the list)."""
+
+    @pytest.fixture
+    def populated(self):
+        builder = SchemaBuilder("maxchar")
+        builder.entity_class("Item")
+        db = SeedDatabase(builder.build(), "maxchar")
+        for i in range(8):
+            db.create_object("Item", f"Item{i}")
+        return db
+
+    @pytest.mark.parametrize(
+        "prefix",
+        [
+            "Item" + chr(0x10FFFF),
+            "Item" + chr(0x10FFFF) * 2,
+            chr(0x10FFFF),
+            chr(0x10FFFF) * 3,
+            "Item3" + chr(0x10FFFF),
+        ],
+    )
+    def test_round_trip_through_every_prefix_path(self, populated, prefix):
+        retrieval = Retrieval(populated)
+        expected = [
+            name
+            for name in populated.indexes.names
+            if name.startswith(prefix)
+        ]
+        assert populated.indexes.names_with_prefix(prefix) == expected
+        assert populated.indexes.name_prefix_count(prefix) == len(expected)
+        assert retrieval.by_name_prefix(prefix) == []
+        assert retrieval.by_name_prefix_deep(prefix) == []
+        assert retrieval.count_by_name_prefix(prefix) == 0
+
+    def test_max_code_point_names_in_the_index(self, populated):
+        # the index layer itself accepts arbitrary strings (it mirrors
+        # whatever the name index holds); bounds must stay exact when
+        # indexed names themselves contain the maximum code point
+        top = chr(0x10FFFF)
+        for synthetic in ("Item" + top, "Item" + top + "x", top, top * 2):
+            populated.indexes.add_name(synthetic)
+        names = populated.indexes.names
+        assert names == sorted(names)
+        for prefix in ("Item", "Item" + top, top, top * 2, top * 3, ""):
+            expected = [n for n in names if n.startswith(prefix)]
+            assert populated.indexes.names_with_prefix(prefix) == expected
+            assert populated.indexes.name_prefix_count(prefix) == len(expected)
