@@ -17,9 +17,12 @@ versus the per-item mutation path) and ``checkout_cold`` (one-pass
 a multi-join plan cached against a small population, then the database
 bulk-loaded two orders of magnitude larger; the drift-aware plan cache
 (re-optimizing on cardinality drift) is timed against executing the
-pinned stale plan. Results are written to ``BENCH_PR5.json`` at the
+pinned stale plan — and the PR-6 scenario ``durability``: making one
+check-in durable via a write-ahead delta record (O(change)) versus the
+only pre-PR-6 durability mechanism, a full-image checkpoint
+(O(database)). Results are written to ``BENCH_PR6.json`` at the
 repository root so future PRs have a perf trajectory to compare
-against (``BENCH_PR1.json``..``BENCH_PR4.json`` hold the earlier runs;
+against (``BENCH_PR1.json``..``BENCH_PR5.json`` hold the earlier runs;
 ``benchmarks/compare_bench.py`` gates CI on the trajectory, and since
 PR 5 also fails when a gated baseline section vanishes from the fresh
 run).
@@ -662,6 +665,63 @@ def bench_completeness(size: int, repeats: int) -> dict:
     }
 
 
+def bench_durability(size: int, repeats: int) -> dict:
+    """Durable check-in: write-ahead delta vs full-image checkpoint.
+
+    A journal-bound server with ``size`` objects in the master. Before
+    PR 6 the only way to make a check-in durable was to rewrite a full
+    database image — O(database) per check-in. The write-ahead path
+    appends one delta record (the check-in package) before the master
+    applies it — O(change), with identical recovery semantics (the
+    crash matrix in ``tests/test_crash_matrix.py`` proves equivalence).
+    Timed here: one complete durable check-in (check-out, one creation,
+    check-in with its delta append + fsync) against one
+    :meth:`~repro.core.storage.engine.JournaledDatabase.checkpoint` of
+    the same database. Byte costs are reported alongside.
+    """
+    import tempfile
+
+    from repro.multiuser import SeedServer
+
+    with tempfile.TemporaryDirectory(prefix="seed-bench-") as tmp:
+        path = Path(tmp) / "central.seed"
+        server = SeedServer.open(
+            path, schema=harness_schema(), name=f"durable-{size}"
+        )
+        server.master.bulk_load(
+            [{"class": "Note", "name": f"Note{i}"} for i in range(size)], []
+        )
+        journal = server.journal
+        before = journal._file.size_bytes()  # noqa: SLF001 - byte accounting
+        server.checkpoint()
+        image_bytes = journal._file.size_bytes() - before  # noqa: SLF001
+
+        counter = [0]
+
+        def durable_checkin() -> None:
+            counter[0] += 1
+            client = server.connect(f"writer{counter[0]}")
+            local = client.check_out()
+            local.create_object("Note", f"Delta{counter[0]}")
+            client.check_in()
+
+        before = journal._file.size_bytes()  # noqa: SLF001
+        durable_checkin()
+        delta_bytes = journal._file.size_bytes() - before  # noqa: SLF001
+
+        few = max(3, repeats // 2)
+        checkin = median_time(durable_checkin, few)
+        checkpoint = median_time(server.checkpoint, few)
+        return {
+            "objects": size,
+            "image_bytes": image_bytes,
+            "delta_bytes": delta_bytes,
+            "bruteforce_s": checkpoint,
+            "indexed_s": checkin,
+            "speedup": round(checkpoint / checkin, 1) if checkin else None,
+        }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -678,7 +738,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR5.json",
+        default=REPO_ROOT / "BENCH_PR6.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -695,7 +755,7 @@ def main(argv=None) -> int:
     repeats = 3 if args.quick else 7
 
     report = {
-        "benchmark": "PR5: selectivity statistics + drift-aware plan cache",
+        "benchmark": "PR6: failpoints + crash-safe durability",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "repeats": repeats,
@@ -709,6 +769,7 @@ def main(argv=None) -> int:
         data["bulk_ingest"] = bench_bulk_ingest(size, repeats)
         data["checkout_cold"] = bench_checkout_cold(size, repeats)
         data["multijoin_drift"] = bench_multijoin_drift(size, repeats)
+        data["durability"] = bench_durability(size, repeats)
         report["results"][str(size)] = data
 
     acceptance = {}
@@ -758,6 +819,12 @@ def main(argv=None) -> int:
         acceptance["multijoin_drift_speedup_ok"] = (
             at_10k["multijoin_drift"]["speedup"] >= 2
         )
+        acceptance["durability_speedup_at_10k"] = at_10k["durability"][
+            "speedup"
+        ]
+        acceptance["durability_speedup_ok"] = (
+            at_10k["durability"]["speedup"] >= 2
+        )
     report["acceptance"] = acceptance
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -773,7 +840,8 @@ def main(argv=None) -> int:
             f"completeness x{data['completeness_incremental']['speedup']}, "
             f"bulk ingest x{data['bulk_ingest']['speedup']}, "
             f"checkout cold x{data['checkout_cold']['speedup']}, "
-            f"multijoin drift x{data['multijoin_drift']['speedup']}"
+            f"multijoin drift x{data['multijoin_drift']['speedup']}, "
+            f"durability x{data['durability']['speedup']}"
         )
     if args.gate_planner:
         # compare raw medians, not the rounded display value: a 5%

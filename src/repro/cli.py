@@ -14,6 +14,7 @@ Usage (also via ``python -m repro``)::
     python -m repro ddl DB.seed                    # schema as DDL text
     python -m repro query DB.seed --extent Data --prefix Alarm --via Access
                                                    # planned ER-algebra query
+    python -m repro fsck DB.seed [--salvage]       # verify / repair storage
 
 The CLI operates on the SPADES schema (the paper's application); it is a
 thin layer over the library so scripted use mirrors programmatic use.
@@ -94,6 +95,18 @@ def _build_parser() -> argparse.ArgumentParser:
     compact.add_argument("--dry-run", action="store_true",
                          help="report store statistics without compacting")
 
+    fsck = commands.add_parser(
+        "fsck",
+        help="verify a database/journal file's record integrity")
+    fsck.add_argument("database", type=Path, help="database or journal file")
+    fsck.add_argument("--salvage", action="store_true",
+                      help="repair in place: quarantine corrupt byte ranges "
+                           "into a .corrupt sidecar, keep intact records")
+    fsck.add_argument("--quarantine", type=Path, default=None,
+                      metavar="PATH",
+                      help="where to write the quarantine sidecar "
+                           "(default: <file>.corrupt)")
+
     query = commands.add_parser(
         "query", help="run a planned ER-algebra query (cost-based planner)")
     query.add_argument("database", type=Path, help="database file")
@@ -167,6 +180,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "compact":
         return _run_compact(args)
+    if args.command == "fsck":
+        return _run_fsck(args)
     if args.command == "query":
         return _run_query(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
@@ -201,6 +216,40 @@ def _run_compact(args: argparse.Namespace) -> int:
     size = save_database(db, args.database)
     print(f"compacted: {result.summary()}")
     print(f"after:  {store_stats()} ({size} bytes on disk)")
+    return 0
+
+
+def _run_fsck(args: argparse.Namespace) -> int:
+    """Verify (and with ``--salvage`` repair) a record file.
+
+    Exit codes: 0 clean (or salvaged), 1 error, 2 corruption found in
+    report-only mode — mirroring ``completeness``'s 2-means-findings.
+    """
+    from repro.core.storage import RecordFile
+
+    record_file = RecordFile(args.database)
+    if not record_file.exists():
+        raise SeedError(f"no database file at {args.database}")
+    report = record_file.verify()
+    print(report.render())
+    if report.is_clean:
+        return 0
+    if not args.salvage:
+        if report.tail_problem is not None and report.tail_is_torn:
+            # a torn tail is ordinary crash recovery: the next load
+            # ignores it, no repair required
+            print("torn tail only: loads recover automatically")
+            return 0
+        print("corruption found: re-run with --salvage to repair")
+        return 2
+    salvaged = record_file.salvage(args.quarantine)
+    quarantine = args.quarantine or args.database.with_name(
+        args.database.name + ".corrupt"
+    )
+    print(
+        f"salvaged: kept {salvaged.intact_records} record(s), "
+        f"quarantined {salvaged.corrupt_bytes} byte(s) -> {quarantine}"
+    )
     return 0
 
 

@@ -19,6 +19,7 @@ from repro.core.errors import (
     LockError,
     PatternError,
     QueryError,
+    RecoveryWarning,
     SchemaError,
     SeedError,
     StorageError,
@@ -59,6 +60,7 @@ __all__ = [
     "LockError",
     "PatternError",
     "QueryError",
+    "RecoveryWarning",
     "SchemaError",
     "SeedError",
     "StorageError",

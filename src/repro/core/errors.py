@@ -87,6 +87,18 @@ class StorageError(SeedError):
     """Persistence failure (corrupt record file, unreadable image, ...)."""
 
 
+class RecoveryWarning(UserWarning):
+    """Storage recovered past corruption (salvage scan, skipped deltas).
+
+    Emitted — never silently swallowed — when a load encounters
+    mid-journal corruption: records were skipped by the resynchronizing
+    salvage scan, a newer checkpoint had been shadowed, or trailing
+    check-in deltas could not be safely replayed. A :class:`Warning`
+    rather than an error because the load *did* produce a consistent
+    committed state; pass ``strict=True`` to the loaders to escalate.
+    """
+
+
 class LockError(SeedError):
     """Multi-user extension: a write lock is already held by another client."""
 

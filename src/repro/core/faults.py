@@ -1,0 +1,196 @@
+"""Deterministic fault injection: named failpoints and seeded plans.
+
+Crash-safety code is only trustworthy if its failure paths can be
+*exercised*. This module provides the machinery: production code fires
+named **failpoints** at the moments where a crash or I/O error would
+matter (``recordfile.append.pre_fsync``, ``recordfile.rewrite.replace``,
+``checkin.apply.mid``, ...), and a test arms a :class:`FaultPlan` that
+maps failpoint names to faults:
+
+* **I/O errors** — :meth:`FaultPlan.fail_io` raises ``OSError`` with a
+  chosen errno (``EIO``, ``ENOSPC``) at the Nth hit of a point;
+* **torn writes** — :meth:`FaultPlan.torn_write` truncates the bytes
+  about to be written at byte *k*, lets the caller persist exactly that
+  prefix, then crashes (models power loss mid-``write``);
+* **simulated crashes** — :meth:`FaultPlan.crash` raises
+  :class:`SimulatedCrash` so the process state after the point is never
+  reached (models power loss between two operations).
+
+Determinism: a plan never consults the wall clock or global randomness.
+Faults trigger on exact per-point hit counts, and the plan carries a
+seeded ``random.Random`` (:attr:`FaultPlan.rng`) so tests that *derive*
+fault placements (truncation offsets, byte flips) stay reproducible.
+
+Zero overhead when disarmed: the module-global :data:`_PLAN` is ``None``
+unless a plan is armed, and every instrumented call site guards with
+``if faults._PLAN is not None`` (or :func:`armed`) — the disarmed cost
+is one global load per failpoint, nothing else. Only one plan can be
+armed at a time (arming is process-global, like the failure modes it
+simulates).
+
+Usage::
+
+    plan = FaultPlan(seed=7)
+    plan.fail_io("recordfile.append.pre_fsync", errno_code=errno.EIO)
+    with plan:                     # armed for the duration
+        journal.checkpoint()       # raises OSError(EIO) at the point
+    assert plan.triggered          # [(point, kind, hit_index)]
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "FaultPlan",
+    "SimulatedCrash",
+    "TornWrite",
+    "armed",
+    "arm",
+    "disarm",
+    "fire",
+]
+
+#: the armed plan; ``None`` means every failpoint is a near-no-op
+_PLAN: Optional["FaultPlan"] = None
+
+
+class SimulatedCrash(RuntimeError):
+    """An injected crash: the code after the failpoint never runs.
+
+    Deliberately *not* a :class:`~repro.core.errors.SeedError` — a real
+    crash is not a library error, and recovery code must not be able to
+    swallow it with a broad ``except SeedError``.
+    """
+
+
+class TornWrite(Exception):
+    """Internal signal: persist :attr:`data` (a prefix), then crash.
+
+    Raised by :func:`fire` at write-site failpoints; the call site
+    writes ``torn.data`` in place of the full buffer, makes it durable,
+    and raises :class:`SimulatedCrash`. Carrying the truncated bytes in
+    the exception keeps the fault logic out of the write path proper.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        super().__init__(f"torn write: {len(data)} bytes survive")
+        self.data = data
+
+
+@dataclass
+class _Fault:
+    """One scheduled fault at one failpoint."""
+
+    kind: str  # "errno" | "torn" | "crash"
+    at: int  # 1-based hit index of the point that triggers it
+    errno_code: int = 0
+    keep: int = 0  # torn writes: surviving prefix length
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, seeded schedule of faults for named failpoints.
+
+    The plan is also a context manager; entering arms it process-wide,
+    leaving disarms (and re-raising is never suppressed). :attr:`hits`
+    counts every armed hit per point — tests assert coverage with it —
+    and :attr:`triggered` logs ``(point, kind, hit)`` for every fault
+    that actually fired.
+    """
+
+    seed: int = 0
+    _faults: dict[str, list[_Fault]] = field(default_factory=dict)
+    hits: dict[str, int] = field(default_factory=dict)
+    triggered: list[tuple[str, str, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        #: seeded generator for tests that derive fault placements
+        self.rng = random.Random(self.seed)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def fail_io(
+        self, point: str, *, errno_code: int = _errno.EIO, at: int = 1
+    ) -> "FaultPlan":
+        """Raise ``OSError(errno_code)`` at the *at*-th hit of *point*."""
+        self._faults.setdefault(point, []).append(
+            _Fault("errno", at, errno_code=errno_code)
+        )
+        return self
+
+    def torn_write(self, point: str, *, keep: int, at: int = 1) -> "FaultPlan":
+        """Truncate the write at byte *keep*, persist it, then crash."""
+        self._faults.setdefault(point, []).append(_Fault("torn", at, keep=keep))
+        return self
+
+    def crash(self, point: str, *, at: int = 1) -> "FaultPlan":
+        """Raise :class:`SimulatedCrash` at the *at*-th hit of *point*."""
+        self._faults.setdefault(point, []).append(_Fault("crash", at))
+        return self
+
+    # -- firing -------------------------------------------------------------
+
+    def trigger(self, point: str, data: Optional[bytes]) -> Optional[bytes]:
+        """Record a hit of *point* and raise/mutate per the schedule."""
+        hit = self.hits.get(point, 0) + 1
+        self.hits[point] = hit
+        for fault in self._faults.get(point, ()):
+            if fault.at != hit:
+                continue
+            self.triggered.append((point, fault.kind, hit))
+            if fault.kind == "errno":
+                raise OSError(
+                    fault.errno_code,
+                    f"{os.strerror(fault.errno_code)} [injected at {point}]",
+                )
+            if fault.kind == "crash":
+                raise SimulatedCrash(f"injected crash at {point}")
+            if fault.kind == "torn":
+                raise TornWrite((data or b"")[: fault.keep])
+        return data
+
+    # -- arming -------------------------------------------------------------
+
+    def __enter__(self) -> "FaultPlan":
+        arm(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        disarm()
+
+
+def armed() -> bool:
+    """True while a plan is armed (failpoints are live)."""
+    return _PLAN is not None
+
+
+def arm(plan: FaultPlan) -> None:
+    """Arm *plan* process-wide; only one plan can be armed at a time."""
+    global _PLAN
+    if _PLAN is not None:
+        raise RuntimeError("a fault plan is already armed")
+    _PLAN = plan
+
+
+def disarm() -> None:
+    """Disarm the active plan (idempotent)."""
+    global _PLAN
+    _PLAN = None
+
+
+def fire(point: str, data: Optional[bytes] = None) -> Optional[bytes]:
+    """Hit failpoint *point*; returns *data* (possibly to be replaced).
+
+    No-op returning *data* unchanged when no plan is armed. Call sites
+    on hot paths guard with ``if faults._PLAN is not None`` so the
+    disarmed cost is a single global load.
+    """
+    plan = _PLAN
+    if plan is None:
+        return data
+    return plan.trigger(point, data)

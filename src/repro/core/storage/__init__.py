@@ -2,10 +2,15 @@
 
 from repro.core.storage.engine import (
     JournaledDatabase,
+    RecoveryInfo,
     load_database,
     save_database,
 )
-from repro.core.storage.recordfile import RecordFile
+from repro.core.storage.recordfile import (
+    CorruptRange,
+    IntegrityReport,
+    RecordFile,
+)
 from repro.core.storage.serialize import (
     database_from_dict,
     database_to_dict,
@@ -15,9 +20,12 @@ from repro.core.storage.serialize import (
 
 __all__ = [
     "JournaledDatabase",
+    "RecoveryInfo",
     "load_database",
     "save_database",
     "RecordFile",
+    "CorruptRange",
+    "IntegrityReport",
     "database_from_dict",
     "database_to_dict",
     "schema_from_dict",

@@ -1,32 +1,123 @@
-"""The storage engine: database images and an update journal.
+"""The storage engine: database images, check-in deltas, recovery.
 
-Two persistence modes, composable:
+Three persistence record kinds, composable in one journal file:
 
 * **images** — :func:`save_database` / :func:`load_database` write/read
   one complete database image (a single record holding the canonical
   dict of :mod:`repro.core.storage.serialize`);
-* **journal** — :class:`JournaledDatabase` wraps a database and appends
-  an image record on every :meth:`~JournaledDatabase.checkpoint`; the
-  newest intact image wins on load, so a crash during checkpointing
-  falls back to the previous one.
+* **check-in deltas** — ``{"kind": "checkin", "seq": n, "delta": ...}``
+  records appended by :meth:`JournaledDatabase.append_delta` *before*
+  the master database applies a multi-user check-in (write-ahead): an
+  accepted check-in is durable at O(change) cost, not O(database).
+  A delta whose apply failed is neutralized by a matching
+  ``{"kind": "checkin.abort", "seq": n}`` marker;
+* **checkpoints** — :class:`JournaledDatabase.checkpoint` appends a
+  full image; deltas before the newest image are superseded by it.
+
+Recovery contract (shared by :func:`load_database` and
+:meth:`JournaledDatabase.open`, built on the salvage scan of
+:class:`~repro.core.storage.recordfile.RecordFile`):
+
+1. The **base** is the newest intact image anywhere in the file —
+   corruption can no longer shadow a newer intact checkpoint, because
+   the scan resynchronizes past corrupt regions instead of stopping.
+2. Check-in deltas *after* the base replay in order, each in its own
+   transaction, skipping aborted seqs; a delta that fails to apply is
+   rolled back (a live abort re-fails deterministically on replay).
+3. Replay stops at the first corrupt region after the base: deltas
+   beyond a gap may depend on the lost record, so applying them could
+   not be prefix-consistent. They are counted, not applied.
+4. The result is always a **prefix-consistent committed state**, and
+   any mid-journal corruption, rotted tail, or skipped delta is
+   surfaced via :class:`~repro.core.errors.RecoveryWarning` (or raised,
+   with ``strict=True``) — never silently ignored. A *torn tail* (the
+   clean prefix an interrupted append leaves) stays silent: that is
+   ordinary crash recovery, not data loss.
 
 A full write-ahead log of individual updates would exceed the paper
 ("SEED does not keep a log of every database update"); the checkpoint
-journal matches its session-oriented saving style.
+journal with per-check-in deltas matches its session-oriented saving
+style while making accepted check-ins durable. Direct mutations of a
+journaled database (outside check-ins) remain durable only from the
+next :meth:`~JournaledDatabase.checkpoint` on.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.database import SeedDatabase
-from repro.core.errors import StorageError
+from repro.core.errors import RecoveryWarning, SeedError, StorageError
 from repro.core.schema.attached import ProcedureRegistry
-from repro.core.storage.recordfile import RecordFile
+from repro.core.storage.recordfile import (
+    CorruptRange,
+    IntegrityReport,
+    RecordFile,
+)
 from repro.core.storage.serialize import database_from_dict, database_to_dict
 
-__all__ = ["save_database", "load_database", "JournaledDatabase"]
+__all__ = [
+    "save_database",
+    "load_database",
+    "JournaledDatabase",
+    "RecoveryInfo",
+]
+
+
+@dataclass
+class RecoveryInfo:
+    """What a journal load found and did (attached to the loaded db)."""
+
+    report: IntegrityReport
+    #: byte offset of the base image record, None when no image survived
+    base_offset: Optional[int] = None
+    #: check-in deltas replayed successfully after the base image
+    applied_deltas: int = 0
+    #: deltas skipped via abort markers or deterministic re-failure
+    aborted_deltas: int = 0
+    #: deltas after the first post-base corrupt region (not applied)
+    skipped_deltas: int = 0
+    #: intact records found *after* a corrupt region (would have been
+    #: lost by a stop-at-first-error scan — the pre-salvage-scan bug)
+    recovered_records: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Nothing to surface: no suspicious corruption, nothing skipped."""
+        return not self.report.needs_attention and self.skipped_deltas == 0
+
+    def problems(self) -> list[str]:
+        """Human-readable descriptions of everything worth surfacing."""
+        found: list[str] = []
+        for corrupt in self.report.corrupt_ranges:
+            found.append(
+                f"skipped corrupt region [{corrupt.offset}:{corrupt.end}] "
+                f"({corrupt.problem})"
+            )
+        if (
+            self.report.tail_problem is not None
+            and not self.report.tail_is_torn
+        ):
+            found.append(
+                f"corrupt tail at byte {self.report.tail_offset} "
+                f"({self.report.tail_problem})"
+            )
+        if self.recovered_records:
+            found.append(
+                f"recovered {self.recovered_records} intact record(s) past "
+                "the corruption (a stop-at-first-error load would have "
+                "served stale state)"
+            )
+        if self.skipped_deltas:
+            found.append(
+                f"{self.skipped_deltas} check-in delta(s) after the "
+                "corruption were not replayed (prefix consistency); run "
+                "`repro fsck --salvage` to quarantine the damage"
+            )
+        return found
 
 
 def save_database(db: SeedDatabase, path: str | Path) -> int:
@@ -40,23 +131,145 @@ def save_database(db: SeedDatabase, path: str | Path) -> int:
 
 
 def load_database(
-    path: str | Path, registry: Optional[ProcedureRegistry] = None
+    path: str | Path,
+    registry: Optional[ProcedureRegistry] = None,
+    *,
+    strict: bool = False,
 ) -> SeedDatabase:
-    """Load the newest intact image from *path*."""
+    """Load the newest committed state from *path*.
+
+    The newest intact image (found by the salvage scan, so corruption
+    cannot shadow it) plus every safely replayable check-in delta after
+    it. Corruption is surfaced per the module recovery contract:
+    :class:`~repro.core.errors.RecoveryWarning` by default, raised as
+    :class:`~repro.core.errors.StorageError` with ``strict=True``.
+    """
     record_file = RecordFile(path)
     if not record_file.exists():
         raise StorageError(f"no database file at {path}")
-    image = None
-    for record in record_file.records():
-        if record.get("kind") == "image":
-            image = record["image"]
-    if image is None:
+    db, info, __ = _load_journal_state(record_file, registry)
+    if db is None:
         raise StorageError(f"no intact database image in {path}")
-    return database_from_dict(image, registry)
+    _surface_recovery(info, path, strict)
+    return db
+
+
+def _load_journal_state(
+    record_file: RecordFile, registry: Optional[ProcedureRegistry]
+) -> tuple[Optional[SeedDatabase], RecoveryInfo, int]:
+    """Shared loader: salvage scan, base image, delta replay.
+
+    Returns ``(db or None, RecoveryInfo, next delta seq)``.
+    """
+    events = list(record_file.scan())
+    report = IntegrityReport(
+        path=record_file.path, total_bytes=record_file.size_bytes()
+    )
+    for event in events:
+        if event.kind == "record":
+            report.intact_records += 1
+        elif event.kind == "corrupt":
+            report.corrupt_ranges.append(
+                CorruptRange(event.offset, event.end, event.problem)
+            )
+        else:
+            report.tail_problem = event.problem
+            report.tail_offset = event.offset
+    info = RecoveryInfo(report=report)
+
+    record_events = [event for event in events if event.kind == "record"]
+    max_seq = 0
+    for event in record_events:
+        if isinstance(event.record, dict):
+            seq = event.record.get("seq")
+            if isinstance(seq, int) and seq > max_seq:
+                max_seq = seq
+    base = None
+    for event in record_events:
+        if (
+            isinstance(event.record, dict)
+            and event.record.get("kind") == "image"
+        ):
+            base = event
+    if base is None:
+        return None, info, max_seq + 1
+    info.base_offset = base.offset
+
+    first_corrupt = [event for event in events if event.kind == "corrupt"]
+    info.recovered_records = sum(
+        1
+        for event in record_events
+        if first_corrupt and event.offset >= first_corrupt[0].end
+    )
+    # replay window: record events after the base, up to the first
+    # corrupt region after the base (prefix consistency past a gap)
+    gap_offset = None
+    for event in first_corrupt:
+        if event.offset > base.offset:
+            gap_offset = event.offset
+            break
+    window = [
+        event
+        for event in record_events
+        if event.offset > base.offset
+        and (gap_offset is None or event.end <= gap_offset)
+    ]
+    info.skipped_deltas = sum(
+        1
+        for event in record_events
+        if gap_offset is not None
+        and event.offset >= gap_offset
+        and isinstance(event.record, dict)
+        and event.record.get("kind") == "checkin"
+    )
+
+    db = database_from_dict(base.record["image"], registry)
+    aborted_seqs = {
+        event.record.get("seq")
+        for event in window
+        if isinstance(event.record, dict)
+        and event.record.get("kind") == "checkin.abort"
+    }
+    # imported lazily: the delta payload is a multi-user check-in
+    # package; the storage layer stays import-independent of the
+    # multiuser package except on this replay path
+    from repro.multiuser.checkin import package_from_dict
+
+    for event in window:
+        record = event.record
+        if not isinstance(record, dict) or record.get("kind") != "checkin":
+            continue
+        if record.get("seq") in aborted_seqs:
+            info.aborted_deltas += 1
+            continue
+        package = package_from_dict(record["delta"])
+        try:
+            with db.transaction():
+                package.apply_to(db)
+        except SeedError:
+            # a live abort whose marker did not survive re-fails
+            # deterministically here — same committed state either way
+            info.aborted_deltas += 1
+        else:
+            info.applied_deltas += 1
+    return db, info, max_seq + 1
+
+
+def _surface_recovery(
+    info: RecoveryInfo, path: str | Path, strict: bool
+) -> None:
+    """Warn (or raise) per the recovery contract; silent when clean."""
+    if info.clean:
+        return
+    problems = info.problems()
+    message = f"recovered {path} past corruption: " + "; ".join(problems)
+    if strict:
+        raise StorageError(message)
+    warnings.warn(RecoveryWarning(message), stacklevel=3)
 
 
 class JournaledDatabase:
-    """A database bound to a record file of checkpoint images.
+    """A database bound to a record file of checkpoints and deltas.
 
     Usage::
 
@@ -64,12 +277,28 @@ class JournaledDatabase:
         db = journal.db
         ...updates...
         journal.checkpoint()          # appends a recoverable image
-        journal.compact()             # drops superseded images
+        journal.append_delta(pkg)     # durable O(change) check-in record
+        journal.compact()             # drops superseded records
+
+    After :meth:`open`, :attr:`recovery` describes what the load found
+    (corruption skipped, deltas replayed/aborted/stranded).
     """
 
-    def __init__(self, db: SeedDatabase, record_file: RecordFile) -> None:
+    def __init__(
+        self,
+        db: SeedDatabase,
+        record_file: RecordFile,
+        *,
+        recovery: Optional[RecoveryInfo] = None,
+        next_seq: int = 1,
+    ) -> None:
         self.db = db
         self._file = record_file
+        #: what the load found; a fresh journal reports a clean scan
+        self.recovery = recovery or RecoveryInfo(
+            report=IntegrityReport(path=record_file.path)
+        )
+        self._next_seq = next_seq
 
     @classmethod
     def open(
@@ -79,17 +308,30 @@ class JournaledDatabase:
         schema=None,
         name: str = "db",
         registry: Optional[ProcedureRegistry] = None,
+        strict: bool = False,
     ) -> "JournaledDatabase":
         """Open an existing journal or start a fresh one.
 
-        When the file exists, the newest intact image is loaded and
+        When the file holds an intact image, the newest one is loaded,
+        every safely replayable check-in delta after it is applied, and
         *schema* is ignored; otherwise *schema* is required and an
-        initial image is written.
+        initial image is written. A file that exists but contains no
+        intact record at all (e.g. a crash tore the very first
+        checkpoint) counts as fresh: recovering to the empty pre-first-
+        commit state is the prefix-consistent answer.
         """
         record_file = RecordFile(path)
-        if record_file.exists() and record_file.count() > 0:
-            db = load_database(path, registry)
-            return cls(db, record_file)
+        if record_file.exists():
+            db, info, next_seq = _load_journal_state(record_file, registry)
+            if db is not None:
+                _surface_recovery(info, path, strict)
+                return cls(
+                    db, record_file, recovery=info, next_seq=next_seq
+                )
+            if info.report.intact_records > 0:
+                # intact records but no image: not a journal we can
+                # resume, and not safe to clobber with a fresh one
+                raise StorageError(f"no intact database image in {path}")
         if schema is None:
             raise StorageError(
                 f"no journal at {path} and no schema given to create one"
@@ -100,23 +342,87 @@ class JournaledDatabase:
         return journal
 
     def checkpoint(self) -> int:
-        """Append a recovery image of the current state; returns file size."""
+        """Append a recovery image of the current state; returns file size.
+
+        The image supersedes every earlier record on load (deltas
+        before it replay into it implicitly).
+        """
         self._file.append({"kind": "image", "image": database_to_dict(self.db)})
         return self._file.size_bytes()
 
+    def append_delta(self, delta: dict[str, Any]) -> int:
+        """Durably append one check-in delta; returns its sequence number.
+
+        Write-ahead: the caller appends *before* applying the check-in
+        to the database, so an accepted check-in is durable at
+        O(change) cost. If the apply then fails, neutralize the record
+        with :meth:`append_abort` — replay skips marked seqs (and a
+        marker lost to a crash re-fails deterministically on replay).
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        self._file.append({"kind": "checkin", "seq": seq, "delta": delta})
+        return seq
+
+    def append_abort(self, seq: int) -> None:
+        """Mark delta *seq* as never-applied (its check-in was rejected)."""
+        self._file.append({"kind": "checkin.abort", "seq": seq})
+
     def compact(self) -> int:
-        """Keep only the newest image; returns the new file size."""
-        newest = None
-        for record in self._file.records():
-            if record.get("kind") == "image":
-                newest = record
-        if newest is None:
+        """Drop superseded records; returns the new file size.
+
+        Keeps the newest intact image plus the check-in deltas after it
+        (minus aborted delta/marker pairs). Corrupt regions are
+        implicitly dropped by the rewrite; quarantine first via
+        :meth:`~repro.core.storage.recordfile.RecordFile.salvage` if
+        the bytes matter.
+        """
+        records = [
+            event.record
+            for event in self._file.scan()
+            if event.kind == "record"
+        ]
+        base_index = None
+        for index, record in enumerate(records):
+            if isinstance(record, dict) and record.get("kind") == "image":
+                base_index = index
+        if base_index is None:
             raise StorageError("journal holds no intact image to compact to")
-        self._file.rewrite([newest])
+        tail = records[base_index:]
+        aborted = {
+            record.get("seq")
+            for record in tail
+            if isinstance(record, dict)
+            and record.get("kind") == "checkin.abort"
+        }
+        kept = [
+            record
+            for record in tail
+            if not (
+                isinstance(record, dict)
+                and record.get("kind") in ("checkin", "checkin.abort")
+                and record.get("seq") in aborted
+            )
+        ]
+        self._file.rewrite(kept)
         return self._file.size_bytes()
 
     def checkpoints(self) -> int:
         """Number of intact images in the journal."""
         return sum(
-            1 for record in self._file.records() if record.get("kind") == "image"
+            1
+            for event in self._file.scan()
+            if event.kind == "record"
+            and isinstance(event.record, dict)
+            and event.record.get("kind") == "image"
+        )
+
+    def deltas(self) -> int:
+        """Number of intact check-in delta records in the journal."""
+        return sum(
+            1
+            for event in self._file.scan()
+            if event.kind == "record"
+            and isinstance(event.record, dict)
+            and event.record.get("kind") == "checkin"
         )

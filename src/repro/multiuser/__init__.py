@@ -9,14 +9,22 @@ check-in as one transaction), and the supporting lock table and
 check-in packages.
 """
 
-from repro.multiuser.checkin import CheckInPackage, build_package
-from repro.multiuser.client import SeedClient
+from repro.multiuser.checkin import (
+    CheckInPackage,
+    build_package,
+    package_from_dict,
+    package_to_dict,
+)
+from repro.multiuser.client import RetryPolicy, SeedClient
 from repro.multiuser.locks import LockTable
 from repro.multiuser.server import SeedServer
 
 __all__ = [
     "CheckInPackage",
     "build_package",
+    "package_from_dict",
+    "package_to_dict",
+    "RetryPolicy",
     "SeedClient",
     "LockTable",
     "SeedServer",

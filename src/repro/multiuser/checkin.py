@@ -5,6 +5,15 @@ to its check-out baseline: created items, modified items, deletions.
 ``apply_to`` replays it against the master database inside the server's
 single check-in transaction, translating client-local ids of created
 items to fresh master ids.
+
+Packages also serialise (:func:`package_to_dict` /
+:func:`package_from_dict`): a journal-bound server appends each package
+as a write-ahead ``{"kind": "checkin"}`` delta record before applying
+it, making accepted check-ins durable at O(change) cost; the engine
+replays the same records on load. ``apply_to`` is deterministic given
+the master state (fresh ids come from the master's counter, stale-copy
+guards compare full frozen states), which is what makes replay
+equivalent to the live application.
 """
 
 from __future__ import annotations
@@ -12,13 +21,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.core import faults
 from repro.core.database import SeedDatabase
 from repro.core.errors import CheckInError
 from repro.core.objects import ObjectState
 from repro.core.relationships import RelationshipState
+from repro.core.storage.serialize import decode_value, encode_value
 from repro.core.versions.store import ItemKey
 
-__all__ = ["CheckInPackage", "build_package"]
+__all__ = [
+    "CheckInPackage",
+    "build_package",
+    "package_to_dict",
+    "package_from_dict",
+]
 
 
 @dataclass
@@ -100,6 +116,9 @@ class CheckInPackage:
                 pattern=state.is_pattern,
             )
             id_map[local_rid] = rel.rid
+        if faults._PLAN is not None:  # noqa: SLF001 - zero-cost guard
+            # mid-apply failpoint: creations done, modifications pending
+            faults.fire("checkin.apply.mid")
         # 3. inherits links of created objects (after all objects exist)
         for local_oid, state in self.created_objects:
             if state.inherited_pattern_oids:
@@ -190,6 +209,112 @@ class CheckInPackage:
                 if before_attrs.get(name) != value:
                     master.set_attribute(rel, name, value)
         return id_map
+
+
+# ---------------------------------------------------------------------------
+# serialisation (write-ahead check-in deltas)
+# ---------------------------------------------------------------------------
+
+def _object_state_to_dict(state: ObjectState) -> dict:
+    return {
+        "class_name": state.class_name,
+        "name": state.name,
+        "index": state.index,
+        "parent_oid": state.parent_oid,
+        "value": encode_value(state.value),
+        "deleted": state.deleted,
+        "is_pattern": state.is_pattern,
+        "inherited_pattern_oids": list(state.inherited_pattern_oids),
+    }
+
+
+def _object_state_from_dict(data: dict) -> ObjectState:
+    return ObjectState(
+        class_name=data["class_name"],
+        name=data["name"],
+        index=data["index"],
+        parent_oid=data["parent_oid"],
+        value=decode_value(data["value"]),
+        deleted=data["deleted"],
+        is_pattern=data["is_pattern"],
+        inherited_pattern_oids=tuple(data["inherited_pattern_oids"]),
+    )
+
+
+def _relationship_state_to_dict(state: RelationshipState) -> dict:
+    return {
+        "association_name": state.association_name,
+        "bindings": [[role, oid] for role, oid in state.bindings],
+        "attributes": [
+            [name, encode_value(value)] for name, value in state.attributes
+        ],
+        "deleted": state.deleted,
+        "is_pattern": state.is_pattern,
+    }
+
+
+def _relationship_state_from_dict(data: dict) -> RelationshipState:
+    return RelationshipState(
+        association_name=data["association_name"],
+        bindings=tuple((role, oid) for role, oid in data["bindings"]),
+        attributes=tuple(
+            (name, decode_value(value)) for name, value in data["attributes"]
+        ),
+        deleted=data["deleted"],
+        is_pattern=data["is_pattern"],
+    )
+
+
+def package_to_dict(package: CheckInPackage) -> dict:
+    """JSON-compatible form of a package (the journal delta payload)."""
+    return {
+        "created_objects": [
+            [oid, _object_state_to_dict(state)]
+            for oid, state in package.created_objects
+        ],
+        "created_relationships": [
+            [rid, _relationship_state_to_dict(state)]
+            for rid, state in package.created_relationships
+        ],
+        "modified_objects": [
+            [oid, _object_state_to_dict(before), _object_state_to_dict(after)]
+            for oid, before, after in package.modified_objects
+        ],
+        "modified_relationships": [
+            [
+                rid,
+                _relationship_state_to_dict(before),
+                _relationship_state_to_dict(after),
+            ]
+            for rid, before, after in package.modified_relationships
+        ],
+    }
+
+
+def package_from_dict(data: dict) -> CheckInPackage:
+    """Inverse of :func:`package_to_dict` (the journal replay path)."""
+    return CheckInPackage(
+        created_objects=[
+            (oid, _object_state_from_dict(state))
+            for oid, state in data["created_objects"]
+        ],
+        created_relationships=[
+            (rid, _relationship_state_from_dict(state))
+            for rid, state in data["created_relationships"]
+        ],
+        modified_objects=[
+            (oid, _object_state_from_dict(before), _object_state_from_dict(after))
+            for oid, before, after in data["modified_objects"]
+        ],
+        modified_relationships=[
+            (
+                rid,
+                _relationship_state_from_dict(before),
+                _relationship_state_from_dict(after),
+            )
+            for rid, before, after in data["modified_relationships"]
+        ],
+    )
 
 
 def build_package(

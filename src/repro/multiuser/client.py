@@ -11,11 +11,13 @@ updated copy back in as one server-side transaction.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.core.bulk import load_item_states
 from repro.core.database import SeedDatabase
-from repro.core.errors import SeedError
+from repro.core.errors import LockError, SeedError
 from repro.core.objects import ObjectState, SeedObject
 from repro.core.relationships import RelationshipState
 from repro.core.versions.version_id import VersionId
@@ -24,7 +26,51 @@ from repro.multiuser.checkin import build_package
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.multiuser.server import SeedServer
 
-__all__ = ["SeedClient"]
+__all__ = ["SeedClient", "RetryPolicy"]
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retry for contended check-outs (fail-fast stays default).
+
+    ``attempts`` tries in total, sleeping ``backoff * 2**i`` (capped at
+    ``max_backoff``) between them, giving up early once ``deadline``
+    seconds have elapsed since the first attempt. ``sleep``/``clock``
+    are injectable so tests drive a fake clock (shared with the lock
+    table's lease clock) instead of wall-clock waiting — a retry loop
+    against an expiring lease then reclaims a dead client's locks
+    deterministically.
+    """
+
+    attempts: int = 3
+    backoff: float = 0.05
+    max_backoff: float = 1.0
+    deadline: Optional[float] = None
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number *attempt* (1-based)."""
+        return min(self.max_backoff, self.backoff * (2 ** (attempt - 1)))
+
+    def run(self, operation: Callable[[], "SeedDatabase"]) -> "SeedDatabase":
+        """Call *operation* until it stops raising ``LockError``."""
+        if self.attempts < 1:
+            raise ValueError("RetryPolicy needs at least one attempt")
+        started = self.clock()
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return operation()
+            except LockError:
+                out_of_attempts = attempt >= self.attempts
+                out_of_time = (
+                    self.deadline is not None
+                    and self.clock() - started >= self.deadline
+                )
+                if out_of_attempts or out_of_time:
+                    raise
+                self.sleep(self.delay(attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
 
 
 class SeedClient:
@@ -59,7 +105,9 @@ class SeedClient:
         """True while a local copy is checked out."""
         return self._local is not None
 
-    def check_out(self, *names: str) -> SeedDatabase:
+    def check_out(
+        self, *names: str, retry: Optional[RetryPolicy] = None
+    ) -> SeedDatabase:
         """Copy the named objects (closure) for local update.
 
         The closure comprises the objects' sub-trees, every relationship
@@ -67,8 +115,13 @@ class SeedClient:
         (with *its* sub-tree and relationships, recursively) — a copy
         must be self-contained to be checked for consistency locally.
         Write locks are taken centrally; a conflicting check-out raises
-        :class:`~repro.core.errors.LockError` with the holder's id.
+        :class:`~repro.core.errors.LockError` with the holder's id —
+        immediately by default, or after the bounded wait of *retry*
+        (each attempt re-resolves the closure, so a retry can succeed
+        once the holder releases, checks in, or lets its lease expire).
         """
+        if retry is not None:
+            return retry.run(lambda: self.check_out(*names))
         if self._local is not None:
             raise SeedError(
                 f"client {self.client_id!r} already holds a copy; check it "

@@ -4,37 +4,114 @@
 the central database." The lock table is item-granular: every object or
 relationship checked out for update is locked by exactly one client;
 conflicting check-outs fail fast with :class:`~repro.core.errors.
-LockError` rather than blocking (the paper sketches no queueing).
+LockError` rather than blocking (the paper sketches no queueing —
+bounded waiting lives client-side, in
+:class:`~repro.multiuser.client.RetryPolicy`).
+
+Lease semantics (multi-user liveness)
+-------------------------------------
+
+A crashed client must not hold its write locks forever. When the table
+is built with ``lease_seconds`` (or an acquisition passes an explicit
+lease), every lock carries an expiry on the injectable ``clock``:
+
+* an **expired** lock is invisible — ``holder``/``is_locked`` report it
+  free, and a conflicting :meth:`LockTable.acquire` *reclaims* it
+  (purged, counted in :attr:`LockTable.reclaimed`);
+* a live client keeps its locks alive by touching them with
+  :meth:`LockTable.renew` (check-in does not renew — a client that lets
+  its lease lapse must expect to lose the race);
+* a client whose lease expired can no longer check in changes to the
+  reclaimed items: the server's held-lock validation no longer sees the
+  lock, so the stale check-in is rejected rather than clobbering
+  whoever reclaimed it.
+
+The ``clock`` is any ``() -> float`` (default ``time.monotonic``);
+tests inject a fake clock so lease expiry is deterministic — no
+wall-clock sleeps.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+import time
+from typing import Callable, Iterable, Optional
 
 from repro.core.errors import LockError
 from repro.core.versions.store import ItemKey
 
 __all__ = ["LockTable"]
 
+#: "use the table default" sentinel for per-acquisition leases
+_DEFAULT = object()
+
 
 class LockTable:
     """Item-granular write locks, keyed like the version store."""
 
-    def __init__(self) -> None:
-        self._locks: dict[ItemKey, str] = {}
+    def __init__(
+        self,
+        *,
+        lease_seconds: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        #: key -> (holder, expiry on the clock, or None = no lease)
+        self._locks: dict[ItemKey, tuple[str, Optional[float]]] = {}
+        self._lease = lease_seconds
+        self._clock = clock if clock is not None else time.monotonic
+        #: expired locks reclaimed by later acquisitions or purges
+        self.reclaimed = 0
 
-    def acquire(self, client_id: str, keys: Iterable[ItemKey]) -> None:
+    # -- lease plumbing -----------------------------------------------------
+
+    def _expiry(self, lease) -> Optional[float]:
+        seconds = self._lease if lease is _DEFAULT else lease
+        return None if seconds is None else self._clock() + seconds
+
+    def _live_holder(self, key: ItemKey) -> Optional[str]:
+        """The holder of *key* if the lock has not expired, else None."""
+        entry = self._locks.get(key)
+        if entry is None:
+            return None
+        holder, expires = entry
+        if expires is not None and expires <= self._clock():
+            return None
+        return holder
+
+    def purge_expired(self) -> list[ItemKey]:
+        """Drop every expired lock; returns the reclaimed keys."""
+        now = self._clock()
+        expired = [
+            key
+            for key, (__, expires) in self._locks.items()
+            if expires is not None and expires <= now
+        ]
+        for key in expired:
+            del self._locks[key]
+        self.reclaimed += len(expired)
+        return expired
+
+    # -- acquisition --------------------------------------------------------
+
+    def acquire(
+        self,
+        client_id: str,
+        keys: Iterable[ItemKey],
+        *,
+        lease_seconds=_DEFAULT,
+    ) -> None:
         """Lock *keys* for *client_id*, all or nothing.
 
-        Re-acquiring one's own lock is idempotent; any key held by a
-        different client fails the whole acquisition (no partial locks
-        are left behind).
+        Re-acquiring one's own lock is idempotent (and refreshes its
+        lease); any key held — with an unexpired lease — by a different
+        client fails the whole acquisition (no partial locks are left
+        behind). Keys whose lease expired are reclaimed on the spot.
         """
         wanted = list(keys)
         conflicts = [
             (key, holder)
             for key in wanted
-            if (holder := self._locks.get(key)) is not None and holder != client_id
+            if (holder := self._live_holder(key)) is not None
+            and holder != client_id
         ]
         if conflicts:
             description = ", ".join(
@@ -43,19 +120,50 @@ class LockTable:
             raise LockError(
                 f"client {client_id!r} cannot lock: {description}"
             )
+        expiry = self._expiry(lease_seconds)
         for key in wanted:
-            self._locks[key] = client_id
+            entry = self._locks.get(key)
+            if entry is not None and self._live_holder(key) is None:
+                self.reclaimed += 1  # expired lock of a dead client
+            self._locks[key] = (client_id, expiry)
+
+    def renew(
+        self,
+        client_id: str,
+        keys: Optional[Iterable[ItemKey]] = None,
+        *,
+        lease_seconds=_DEFAULT,
+    ) -> int:
+        """Extend the lease on *keys* (or all held locks); returns count.
+
+        Renewing a lock whose lease already expired raises
+        :class:`~repro.core.errors.LockError` — the client must assume
+        it lost the item and check out again.
+        """
+        if keys is None:
+            to_renew = self.held_by(client_id)
+        else:
+            to_renew = []
+            for key in keys:
+                if self._live_holder(key) != client_id:
+                    raise LockError(
+                        f"client {client_id!r} no longer holds the lock on "
+                        f"{key} (released or lease expired)"
+                    )
+                to_renew.append(key)
+        expiry = self._expiry(lease_seconds)
+        for key in to_renew:
+            self._locks[key] = (client_id, expiry)
+        return len(to_renew)
 
     def release(self, client_id: str, keys: Optional[Iterable[ItemKey]] = None) -> int:
         """Release *keys* (or all of the client's locks); returns the count."""
         if keys is None:
-            to_release = [
-                key for key, holder in self._locks.items() if holder == client_id
-            ]
+            to_release = self.held_by(client_id)
         else:
             to_release = []
             for key in keys:
-                holder = self._locks.get(key)
+                holder = self._live_holder(key)
                 if holder is None:
                     continue
                 if holder != client_id:
@@ -67,17 +175,24 @@ class LockTable:
             del self._locks[key]
         return len(to_release)
 
+    # -- queries ------------------------------------------------------------
+
     def holder(self, key: ItemKey) -> Optional[str]:
-        """The client holding *key*'s lock, or None."""
-        return self._locks.get(key)
+        """The client holding *key*'s lock (lease unexpired), or None."""
+        return self._live_holder(key)
 
     def is_locked(self, key: ItemKey) -> bool:
-        """True when any client holds *key*."""
-        return key in self._locks
+        """True when any client holds *key* with an unexpired lease."""
+        return self._live_holder(key) is not None
 
     def held_by(self, client_id: str) -> list[ItemKey]:
-        """All keys locked by *client_id*."""
-        return [key for key, holder in self._locks.items() if holder == client_id]
+        """All keys locked by *client_id* (expired leases excluded)."""
+        return [
+            key
+            for key in self._locks
+            if self._live_holder(key) == client_id
+        ]
 
     def __len__(self) -> int:
-        return len(self._locks)
+        """Count of live (unexpired) locks."""
+        return sum(1 for key in self._locks if self._live_holder(key) is not None)

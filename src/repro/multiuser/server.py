@@ -18,12 +18,15 @@ master database; updates travel through check-out / check-in.
 
 from __future__ import annotations
 
-from typing import Optional
+from pathlib import Path
+from typing import Callable, Optional
 
+from repro.core import faults
 from repro.core.database import SeedDatabase
 from repro.core.errors import CheckInError, SeedError
 from repro.core.objects import SeedObject
 from repro.core.schema.schema import Schema
+from repro.core.storage.engine import JournaledDatabase
 from repro.core.versions.store import ItemKey
 from repro.core.versions.version_id import VersionId
 from repro.multiuser.locks import LockTable
@@ -32,12 +35,66 @@ __all__ = ["SeedServer"]
 
 
 class SeedServer:
-    """The central database plus lock management and global versions."""
+    """The central database plus lock management and global versions.
 
-    def __init__(self, schema: Schema, name: str = "central") -> None:
-        self.master = SeedDatabase(schema, name)
-        self.locks = LockTable()
+    Durability: bind the server to a
+    :class:`~repro.core.storage.engine.JournaledDatabase` (pass
+    ``journal=`` or construct via :meth:`open`) and every *accepted*
+    check-in becomes durable at O(change) cost — the package is
+    appended as a write-ahead delta record before the master applies
+    it, and replayed on the next load atop the newest intact image.
+    A rejected check-in leaves an abort marker so replay skips it.
+    :meth:`checkpoint` still bounds replay length with a full image.
+
+    Liveness: pass ``lease_seconds`` (and, in tests, an injectable
+    ``clock``) and a crashed client's write locks expire — conflicting
+    check-outs reclaim them, while the dead client's eventual check-in
+    is rejected by the held-lock validation instead of clobbering the
+    reclaimer's work.
+    """
+
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        name: str = "central",
+        *,
+        journal: Optional[JournaledDatabase] = None,
+        lease_seconds: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if journal is not None:
+            self.journal: Optional[JournaledDatabase] = journal
+            self.master = journal.db
+        else:
+            if schema is None:
+                raise SeedError("SeedServer needs a schema or a journal")
+            self.journal = None
+            self.master = SeedDatabase(schema, name)
+        self.locks = LockTable(lease_seconds=lease_seconds, clock=clock)
         self._clients: dict[str, "SeedClient"] = {}
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        *,
+        schema: Optional[Schema] = None,
+        name: str = "central",
+        lease_seconds: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+        strict: bool = False,
+    ) -> "SeedServer":
+        """A journal-bound server: open (or create) the journal at *path*."""
+        journal = JournaledDatabase.open(
+            path, schema=schema, name=name, strict=strict
+        )
+        return cls(journal=journal, lease_seconds=lease_seconds, clock=clock)
+
+    def checkpoint(self) -> int:
+        """Append a full image to the journal; returns the file size."""
+        if self.journal is None:
+            raise SeedError("server has no journal to checkpoint to")
+        return self.journal.checkpoint()
 
     # -- client lifecycle ----------------------------------------------------
 
@@ -136,8 +193,23 @@ class SeedServer:
         )
         use_bulk = package_size >= 64 and package_size * 8 >= master_items
         boundary = self.master.bulk if use_bulk else self.master.transaction
-        with boundary():
-            translation = changes.apply_to(self.master)
+        seq = None
+        if self.journal is not None and not changes.is_empty():
+            # write-ahead: the delta is durable before the master
+            # mutates, so an acknowledged check-in survives a crash
+            if faults._PLAN is not None:  # noqa: SLF001 - zero-cost guard
+                faults.fire("checkin.journal.pre_append")
+            seq = self.journal.append_delta(package_to_dict(changes))
+        try:
+            with boundary():
+                translation = changes.apply_to(self.master)
+        except BaseException:
+            if seq is not None:
+                # neutralize the journaled delta; if *this* append is
+                # lost to a crash too, replay re-fails the delta
+                # deterministically — same committed state either way
+                self.journal.append_abort(seq)
+            raise
         self.locks.release(client_id)
         return translation
 
@@ -155,4 +227,7 @@ class SeedServer:
 
 
 # imported late to avoid a cycle in type checking; re-exported for typing
-from repro.multiuser.checkin import CheckInPackage  # noqa: E402  (cycle guard)
+from repro.multiuser.checkin import (  # noqa: E402  (cycle guard)
+    CheckInPackage,
+    package_to_dict,
+)

@@ -1,0 +1,252 @@
+"""The crash matrix: exhaustive truncation/flip recovery equivalence.
+
+A journal corpus is built through the real multi-user write path —
+checkpoints interleaved with write-ahead check-in deltas, including a
+rejected (aborted) check-in and a direct master mutation that is only
+durable from its checkpoint on. While building, an **oracle** records
+the committed state at every append boundary. Then, for *every*
+truncation offset and *every* single-byte flip of the corpus file,
+``JournaledDatabase.open`` must succeed (no unhandled error) and load
+exactly the prefix-consistent committed state the oracle predicts:
+
+* truncation at ``t`` → the state of the last append boundary ≤ ``t``
+  (a partial record is a torn tail; a clean-prefix delta whose abort
+  marker was cut off re-fails deterministically on replay);
+* a flip in record ``j`` → base = newest intact image ≠ ``j``; replay
+  the deltas after it, stopping at the corrupt gap (records past the
+  first post-base kill are skipped for prefix consistency).
+
+Corruption is never silent: mid-file damage must raise
+:class:`~repro.core.errors.RecoveryWarning` (checked on samples; the
+exhaustive loops suppress warnings for speed). Finally, ``repro fsck
+--salvage`` must recover every intact record on seeded samples.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+
+import pytest
+
+from repro.core import SchemaBuilder
+from repro.core.errors import RecoveryWarning
+from repro.core.storage import JournaledDatabase, RecordFile, database_to_dict
+from repro.multiuser import SeedServer
+
+
+def matrix_schema():
+    return (
+        SchemaBuilder("crash")
+        .entity_class("Item", sort="STRING")
+        .build()
+    )
+
+
+def canonical(db):
+    state = database_to_dict(db)
+    state.pop("name")
+    return state
+
+
+class Corpus:
+    """The journal file, its append boundaries, and record ranges."""
+
+    def __init__(self, path, data, boundaries, records):
+        self.path = path
+        self.data = data
+        #: (file size, committed canonical state) per operation boundary
+        self.boundaries = boundaries
+        #: (start, end, kind) of every record, in file order
+        self.records = records
+
+    # -- oracles ------------------------------------------------------------
+
+    def expected_after_truncation(self, size):
+        """Committed state for the clean-or-torn prefix of *size* bytes."""
+        state = self.boundaries[0][1]
+        for boundary_size, boundary_state in self.boundaries:
+            if boundary_size <= size:
+                state = boundary_state
+        return state
+
+    def state_after_record(self, index):
+        """Committed state once record *index* is durable."""
+        end = self.records[index][1]
+        for boundary_size, boundary_state in self.boundaries:
+            if boundary_size >= end:
+                return boundary_state
+        raise AssertionError("record beyond the last boundary")
+
+    def expected_after_flip(self, offset):
+        """Committed state when the record holding *offset* is corrupt."""
+        killed = next(
+            index
+            for index, (start, end, __) in enumerate(self.records)
+            if start <= offset < end
+        )
+        base = None
+        for index, (__, ___, kind) in enumerate(self.records):
+            if kind == "image" and index != killed:
+                base = index
+        if base is None:
+            return self.boundaries[0][1]  # fresh pre-first-commit state
+        if killed < base:
+            # damage before the base is shadowed by the newer image:
+            # the full tail replays
+            return self.state_after_record(len(self.records) - 1)
+        # replay stops at the corrupt gap; the last clean record before
+        # it defines the committed prefix
+        return self.state_after_record(killed - 1)
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """Build the journal through the real server write path."""
+    path = tmp_path_factory.mktemp("crash") / "central.seed"
+    record_file = RecordFile(path)
+    boundaries = []
+    server = SeedServer.open(path, schema=matrix_schema(), name="central")
+
+    def snap():
+        boundaries.append((record_file.size_bytes(), canonical(server.master)))
+
+    snap()  # the initial image
+
+    # committed check-in: create A          (delta seq 1)
+    writer = server.connect("c1")
+    local = writer.check_out()
+    local.create_object("Item", "A").set_value("a1")
+    writer.check_in()
+    snap()
+
+    server.checkpoint()  # image 2
+    snap()
+
+    # committed check-in: modify A          (delta seq 2)
+    writer = server.connect("c2")
+    local = writer.check_out("A")
+    local.get_object("A").set_value("a2")
+    writer.check_in()
+    snap()
+
+    # committed check-in: create B          (delta seq 3)
+    writer = server.connect("c3")
+    local = writer.check_out()
+    local.create_object("Item", "B").set_value("b1")
+    writer.check_in()
+    snap()
+
+    server.checkpoint()  # image 3
+    snap()
+
+    # a direct master mutation is durable only from its checkpoint on —
+    # and it makes the stale client's later check-in fail
+    stale = server.connect("c4")
+    stale_local = stale.check_out("B")
+    server.master.get_object("B").set_value("server-side")
+    server.checkpoint()  # image 4 (captures the direct mutation)
+    snap()
+
+    # rejected check-in: delta seq 4 + abort marker; replay re-fails it
+    # deterministically even when the marker itself is lost
+    stale_local.get_object("B").set_value("from c4")
+    with pytest.raises(Exception):
+        stale.check_in()
+    snap()
+
+    # committed check-in after the abort: create C   (delta seq 5)
+    writer = server.connect("c5")
+    local = writer.check_out()
+    local.create_object("Item", "C").set_value("c1")
+    writer.check_in()
+    snap()
+
+    server.checkpoint()  # image 5
+    snap()
+
+    records = [
+        (event.offset, event.end, event.record.get("kind"))
+        for event in record_file.scan()
+        if event.kind == "record"
+    ]
+    data = path.read_bytes()
+    # sanity: the corpus has the advertised shape
+    assert sum(1 for __, ___, kind in records if kind == "image") == 5
+    assert sum(1 for __, ___, kind in records if kind == "checkin") == 5
+    assert sum(1 for __, ___, kind in records if kind == "checkin.abort") == 1
+    assert records[-1][1] == len(data) == boundaries[-1][0]
+    return Corpus(path, data, boundaries, records)
+
+
+def load_state(path):
+    journal = JournaledDatabase.open(path, schema=matrix_schema(), name="central")
+    return canonical(journal.db)
+
+
+class TestCrashMatrix:
+    def test_every_truncation_recovers_the_committed_prefix(self, corpus, tmp_path):
+        work = tmp_path / "trunc.seed"
+        mismatches = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for size in range(len(corpus.data) + 1):
+                work.write_bytes(corpus.data[:size])
+                if load_state(work) != corpus.expected_after_truncation(size):
+                    mismatches.append(size)
+        assert mismatches == []
+
+    def test_every_byte_flip_recovers_a_consistent_prefix(self, corpus, tmp_path):
+        work = tmp_path / "flip.seed"
+        data = bytearray(corpus.data)
+        mismatches = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for offset in range(len(data)):
+                original = data[offset]
+                data[offset] ^= 0xFF
+                work.write_bytes(bytes(data))
+                data[offset] = original
+                if load_state(work) != corpus.expected_after_flip(offset):
+                    mismatches.append(offset)
+        assert mismatches == []
+
+    def test_flip_damage_is_surfaced_not_silent(self, corpus, tmp_path):
+        # sampled: every mid-file flip must announce itself
+        work = tmp_path / "warn.seed"
+        rng = random.Random(1986)
+        last_start = corpus.records[-1][0]
+        for offset in rng.sample(range(last_start), 12):
+            data = bytearray(corpus.data)
+            data[offset] ^= 0xFF
+            work.write_bytes(bytes(data))
+            with pytest.warns(RecoveryWarning):
+                load_state(work)
+
+    def test_truncation_recovery_is_silent(self, corpus, tmp_path, recwarn):
+        # a torn tail is ordinary crash recovery, not data loss
+        work = tmp_path / "quiet.seed"
+        rng = random.Random(42)
+        for size in rng.sample(range(1, len(corpus.data)), 12):
+            work.write_bytes(corpus.data[:size])
+            load_state(work)
+        assert not [
+            w for w in recwarn if isinstance(w.message, RecoveryWarning)
+        ]
+
+    def test_fsck_salvage_recovers_all_intact_records(self, corpus, tmp_path):
+        from repro.cli import main
+
+        rng = random.Random(7)
+        total = len(corpus.records)
+        for sample, offset in enumerate(rng.sample(range(len(corpus.data)), 10)):
+            work = tmp_path / f"fsck{sample}.seed"
+            data = bytearray(corpus.data)
+            data[offset] ^= 0xFF
+            work.write_bytes(bytes(data))
+            assert main(["fsck", str(work), "--salvage"]) == 0
+            repaired = RecordFile(work)
+            assert repaired.verify().is_clean
+            # exactly the one damaged record was lost, nothing else
+            assert repaired.count() == total - 1
+            assert work.with_name(work.name + ".corrupt").exists()
