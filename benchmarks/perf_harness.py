@@ -20,9 +20,13 @@ bulk-loaded two orders of magnitude larger; the drift-aware plan cache
 pinned stale plan — and the PR-6 scenario ``durability``: making one
 check-in durable via a write-ahead delta record (O(change)) versus the
 only pre-PR-6 durability mechanism, a full-image checkpoint
-(O(database)). Results are written to ``BENCH_PR6.json`` at the
-repository root so future PRs have a perf trajectory to compare
-against (``BENCH_PR1.json``..``BENCH_PR5.json`` hold the earlier runs;
+(O(database)) — and the PR-7 scenario ``multiuser_concurrent``: eight
+reader threads retrieving while a writer applies bulk check-ins, MVCC
+pinned-snapshot reads (which never block on an apply) against the
+pre-PR-7 serialized live reads. Results are written to
+``BENCH_PR7.json`` at the repository root so future PRs have a perf
+trajectory to compare
+against (``BENCH_PR1.json``..``BENCH_PR6.json`` hold the earlier runs;
 ``benchmarks/compare_bench.py`` gates CI on the trajectory, and since
 PR 5 also fails when a gated baseline section vanishes from the fresh
 run).
@@ -665,6 +669,158 @@ def bench_completeness(size: int, repeats: int) -> dict:
     }
 
 
+def bench_multiuser_concurrent(size: int, repeats: int) -> dict:
+    """MVCC snapshot reads vs serialized live reads under a hot writer.
+
+    Eight reader threads retrieve from a server whose writer applies
+    bulk check-ins at a ~50% duty cycle (each apply is followed by an
+    equal pause — a structural, machine-independent load shape). Two
+    read models over a fixed wall-clock window:
+
+    * **serialized** (the pre-PR-7 model): retrieval goes to the live
+      master, so a read cannot overlap a mutating check-in — readers
+      queue on the writer's mutex and wait out every apply;
+    * **MVCC** (PR 7): readers pin the published snapshot — a fully
+      materialized immutable view — and keep reading straight through
+      the applies; ``reads_during_apply`` counts reads that completed
+      while a check-in was mid-apply (the non-blocking evidence).
+
+    The gated speedup is the per-read cost ratio. With a ~50% apply
+    duty cycle the serialized model loses about half the window by
+    construction, so the expected ratio is ≈2x and stable across
+    machines — the gate catches the MVCC path regressing into lock
+    coupling, not scheduler noise.
+    """
+    import random
+    import threading
+
+    from repro.multiuser import SeedServer
+
+    readers = 8
+    items = [
+        {"class": "Note", "name": f"Note{i}"} for i in range(size)
+    ]
+
+    def build_server() -> SeedServer:
+        server = SeedServer(harness_schema())
+        server.master.bulk_load(items, [])
+        server.publish_snapshot()
+        return server
+
+    # calibrate: one bulk check-in apply at this size bounds the window
+    # (the window must span several apply+pause cycles)
+    calibration = build_server()
+    cal_client = calibration.connect("cal")
+    cal_local = cal_client.check_out()
+    batch = max(64, min(512, size // 16))
+    for j in range(batch):
+        cal_local.create_object("Note", f"Cal{j}")
+    started = time.perf_counter()
+    cal_client.check_in(bulk=True)
+    apply_s = time.perf_counter() - started
+    window = max(0.25, 4 * apply_s)
+
+    def run_mode(mvcc: bool) -> tuple[int, int, int]:
+        """(reads completed, reads mid-apply, check-ins applied)."""
+        server = build_server()
+        # pin before the writer starts: publication is a write and must
+        # not race a bulk apply; the pinned view itself is immutable
+        pinned = server.snapshot() if mvcc else None
+        mutex = threading.Lock()
+        stop = threading.Event()
+        in_apply = threading.Event()
+        writer_waiting = threading.Event()
+        counts = [0] * readers
+        during_apply = [0] * readers
+
+        def writer() -> None:
+            n = 0
+            while not stop.is_set():
+                n += 1
+                client = server.connect(f"w{n}")
+                local = client.check_out()
+                for j in range(batch):
+                    local.create_object("Note", f"W{n}_{j}")
+                applied_at = time.perf_counter()
+                if mvcc:
+                    in_apply.set()
+                    client.check_in(bulk=True)
+                    server.publish_snapshot()
+                    in_apply.clear()
+                else:
+                    writer_waiting.set()
+                    with mutex:
+                        in_apply.set()
+                        client.check_in(bulk=True)
+                        in_apply.clear()
+                    writer_waiting.clear()
+                server.disconnect(f"w{n}")
+                # ~50% duty cycle: pause as long as the apply took
+                stop.wait(time.perf_counter() - applied_at)
+
+        def reader(idx: int) -> None:
+            rng = random.Random(idx)
+            view = pinned
+            master = server.master
+            deadline = time.perf_counter() + window
+            while time.perf_counter() < deadline:
+                name = f"Note{rng.randrange(size)}"
+                if mvcc:
+                    found = view.find(name)
+                    if in_apply.is_set():
+                        during_apply[idx] += 1
+                else:
+                    # pre-PR-7: retrieval waits out the whole apply
+                    while writer_waiting.is_set() or in_apply.is_set():
+                        if time.perf_counter() >= deadline:
+                            return
+                        time.sleep(0.0002)
+                    with mutex:
+                        found = master.find_object(name)
+                assert found is not None
+                counts[idx] += 1
+
+        writer_thread = threading.Thread(target=writer, daemon=True)
+        reader_threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(readers)
+        ]
+        writer_thread.start()
+        for thread in reader_threads:
+            thread.start()
+        for thread in reader_threads:
+            thread.join()
+        stop.set()
+        writer_thread.join(timeout=30)
+        return sum(counts), sum(during_apply), server.checkins_applied
+
+    few = max(3, repeats // 2)
+    gc.collect()
+    mvcc_runs = [run_mode(mvcc=True) for __ in range(few)]
+    serial_runs = [run_mode(mvcc=False) for __ in range(few)]
+    mvcc_reads = statistics.median(run[0] for run in mvcc_runs)
+    serial_reads = statistics.median(run[0] for run in serial_runs)
+    mvcc_per_read = window / mvcc_reads if mvcc_reads else None
+    serial_per_read = window / serial_reads if serial_reads else None
+    return {
+        "objects": size,
+        "readers": readers,
+        "batch": batch,
+        "apply_s": apply_s,
+        "window_s": window,
+        "reads_during_apply": max(run[1] for run in mvcc_runs),
+        "checkins_mvcc": max(run[2] for run in mvcc_runs),
+        "read_throughput_per_s": round(mvcc_reads / window, 1),
+        "bruteforce_s": serial_per_read,
+        "indexed_s": mvcc_per_read,
+        "speedup": (
+            round(serial_per_read / mvcc_per_read, 1)
+            if mvcc_per_read and serial_per_read
+            else None
+        ),
+    }
+
+
 def bench_durability(size: int, repeats: int) -> dict:
     """Durable check-in: write-ahead delta vs full-image checkpoint.
 
@@ -738,7 +894,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR6.json",
+        default=REPO_ROOT / "BENCH_PR7.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -755,7 +911,7 @@ def main(argv=None) -> int:
     repeats = 3 if args.quick else 7
 
     report = {
-        "benchmark": "PR6: failpoints + crash-safe durability",
+        "benchmark": "PR7: sessions + concurrent multi-user service",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "repeats": repeats,
@@ -770,6 +926,9 @@ def main(argv=None) -> int:
         data["checkout_cold"] = bench_checkout_cold(size, repeats)
         data["multijoin_drift"] = bench_multijoin_drift(size, repeats)
         data["durability"] = bench_durability(size, repeats)
+        data["multiuser_concurrent"] = bench_multiuser_concurrent(
+            size, repeats
+        )
         report["results"][str(size)] = data
 
     acceptance = {}
@@ -825,6 +984,19 @@ def main(argv=None) -> int:
         acceptance["durability_speedup_ok"] = (
             at_10k["durability"]["speedup"] >= 2
         )
+        acceptance["multiuser_concurrent_speedup_at_10k"] = at_10k[
+            "multiuser_concurrent"
+        ]["speedup"]
+        # the ~50% writer duty cycle makes ≈2x the structural floor
+        acceptance["multiuser_concurrent_speedup_ok"] = (
+            at_10k["multiuser_concurrent"]["speedup"] >= 1.5
+        )
+        acceptance["multiuser_reads_during_apply"] = at_10k[
+            "multiuser_concurrent"
+        ]["reads_during_apply"]
+        acceptance["multiuser_reads_nonblocking_ok"] = (
+            at_10k["multiuser_concurrent"]["reads_during_apply"] > 0
+        )
     report["acceptance"] = acceptance
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -841,7 +1013,8 @@ def main(argv=None) -> int:
             f"bulk ingest x{data['bulk_ingest']['speedup']}, "
             f"checkout cold x{data['checkout_cold']['speedup']}, "
             f"multijoin drift x{data['multijoin_drift']['speedup']}, "
-            f"durability x{data['durability']['speedup']}"
+            f"durability x{data['durability']['speedup']}, "
+            f"concurrent reads x{data['multiuser_concurrent']['speedup']}"
         )
     if args.gate_planner:
         # compare raw medians, not the rounded display value: a 5%

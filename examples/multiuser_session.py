@@ -1,17 +1,26 @@
 #!/usr/bin/env python
-"""The two-level multi-user architecture (paper, "Open problems").
+"""The multi-user service: sessions, wire clients, MVCC snapshot reads.
 
-Two engineers work on one central specification: they check out disjoint
-parts (taking write locks), update local copies with full SEED semantics
-(including private local versions), and check their work back in as
-single server-side transactions. A conflicting check-out fails fast with
-the holder's name.
+Since PR 7 the two-level architecture (paper, "Open problems") is a
+real concurrent service: ``connect`` mints a session *token* — the
+credential every check-out/check-in presents — the lock table is keyed
+by token (a stale pre-disconnect handle can never touch its successor's
+locks), and retrieval runs against *pinned snapshot views* that stay
+consistent while check-ins apply.
+
+This script runs the service in-process on an ephemeral port. The same
+service runs standalone against a durable journal with::
+
+    python -m repro serve central.journal --port 7844
+
+and any number of :class:`~repro.multiuser.ServiceClient` processes
+connect to it.
 
 Run:  python examples/multiuser_session.py
 """
 
-from repro.core import LockError
-from repro.multiuser import SeedServer
+from repro.core import LockError, SeedError
+from repro.multiuser import SeedServer, SeedService, ServiceClient
 from repro.spades import SpadesTool, spades_schema
 from repro.workloads import SpecShape, generate_spec, load_into_spades
 
@@ -26,52 +35,84 @@ def main() -> None:
     )
     load_into_spades(spec, SpadesTool("central", db=server.master))
     server.create_global_version()
-    data_names = [o.simple_name for o in server.master.objects("Data", include_specials=False)]
-    print("central objects:", ", ".join(sorted(data_names)))
-
-    # ------------------------------------------------------------------
-    # two clients, disjoint check-outs
-    # ------------------------------------------------------------------
-    alice = server.connect("alice")
-    bob = server.connect("bob")
-
-    alice_item, bob_item = data_names[0], data_names[1]
-    alice_local = alice.check_out(alice_item)
-    bob_local = bob.check_out(bob_item)
-    print(f"\nalice checked out {alice_item}, bob checked out {bob_item}")
-    print(f"write locks held centrally: {len(server.locks)}")
-
-    # a third client cannot touch alice's item
-    carol = server.connect("carol")
-    try:
-        carol.check_out(alice_item)
-    except LockError as exc:
-        print(f"carol's conflicting check-out failed fast: {exc}")
-
-    # ------------------------------------------------------------------
-    # local work with full SEED semantics, including local versions
-    # ------------------------------------------------------------------
-    alice_obj = alice_local.get_object(alice_item)
-    alice_obj.add_sub_object("Note", "alice: needs retention policy")
-    alice.save_local_version()                      # private snapshot
-    alice_obj.sub_objects("Note")[0].set_value(
-        "alice: retention policy = 30 days"
+    data_names = sorted(
+        o.simple_name
+        for o in server.master.objects("Data", include_specials=False)
     )
-    print(f"\nalice's local versions: {[str(v) for v in alice.local_versions()]}")
-
-    bob_local.get_object(bob_item).add_sub_object("Note", "bob: rename pending")
+    print("central objects:", ", ".join(data_names))
 
     # ------------------------------------------------------------------
-    # check-in: one server transaction each; locks released
+    # serve it: many concurrent clients over the wire protocol
     # ------------------------------------------------------------------
-    alice.check_in()
-    bob.check_in()
-    print(f"\nafter check-ins, locks held: {len(server.locks)}")
-    for name in (alice_item, bob_item):
-        notes = [n.value for n in server.master.get_object(name).sub_objects("Note")]
-        print(f"central {name}: {notes}")
+    with SeedService(server, maintain_every=2) as service:
+        host, port = service.address
+        print(f"\nserving on {host}:{port} (JSON lines over a socket)")
 
-    # the server records a global version of the merged state
+        alice = ServiceClient.for_service(service, "alice")
+        bob = ServiceClient.for_service(service, "bob")
+        print(f"alice's session token: {alice.token}")
+
+        # -- disjoint check-outs; conflicts fail fast, naming the user -
+        alice_item, bob_item = data_names[0], data_names[1]
+        alice_local = alice.check_out(alice_item)
+        bob.check_out(bob_item)
+        try:
+            bob_second = ServiceClient.for_service(service, "carol")
+            bob_second.check_out(alice_item)
+        except LockError as exc:
+            print(f"carol's conflicting check-out failed fast: {exc}")
+
+        # -- an MVCC reader pins a snapshot before alice commits -------
+        reader = ServiceClient.for_service(service, "reporter")
+        pinned = reader.pin()
+        before_objects, __ = reader.counts()
+
+        # -- local work with full SEED semantics, then check-in --------
+        alice_obj = alice_local.get_object(alice_item)
+        alice_obj.add_sub_object("Note", "alice: retention policy = 30 days")
+        alice.check_in()
+        print(f"\nalice checked in; locks held centrally: "
+              f"{len(server.locks)} (bob still holds his)")
+
+        # the reader's pin predates the commit: its answers are frozen
+        after_objects, __ = reader.counts()
+        print(f"reporter pinned {pinned}: {before_objects} objects before "
+              f"alice's commit, still {after_objects} after (consistent "
+              "as of the pin)")
+        reader.pin()
+        fresh_objects, __ = reader.counts()
+        print(f"after re-pinning: {fresh_objects} objects (alice's Note)")
+
+        # -- a zombie: bob's socket drops without a clean disconnect ---
+        stale_token = bob.token
+        bob.close()  # crash, network cut — no disconnect call
+        import time
+        time.sleep(0.1)  # the service notices EOF and closes the session
+        zombie = ServiceClient.for_service(service)
+        zombie.token = stale_token  # resurrect the dead credential
+        try:
+            zombie.check_out(bob_item)
+        except SeedError as exc:
+            print(f"\nbob's zombie handle was refused: {exc}")
+        print(f"bob's locks after the drop: "
+              f"{len(server.locks)} held centrally")
+
+        # -- bulk ingest over the wire ---------------------------------
+        loader = ServiceClient.for_service(service, "loader")
+        local = loader.check_out()
+        for i in range(80):
+            local.create_object("Data", f"Imported{i}")
+        loader.check_in(bulk=True)  # the deferred-maintenance apply path
+        print(f"\nloader bulk-ingested 80 objects; service stats:")
+        stats = loader.stats()
+        print(f"  check-ins applied: {stats['checkins_applied']}, "
+              f"maintenance runs: {stats['maintenance_runs']}, "
+              f"snapshot reads served: {stats['reads_served']}")
+
+        for client in (alice, reader, zombie, loader):
+            client.close()
+
+    # the server object survives the service: global versions and all
     version = server.create_global_version()
     print(f"\nglobal version {version} saved; history:")
     print(server.master.versions.tree.render())

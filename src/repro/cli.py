@@ -15,6 +15,7 @@ Usage (also via ``python -m repro``)::
     python -m repro query DB.seed --extent Data --prefix Alarm --via Access
                                                    # planned ER-algebra query
     python -m repro fsck DB.seed [--salvage]       # verify / repair storage
+    python -m repro serve DB.journal [--port P]    # multi-user wire service
 
 The CLI operates on the SPADES schema (the paper's application); it is a
 thin layer over the library so scripted use mirrors programmatic use.
@@ -107,6 +108,26 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="where to write the quarantine sidecar "
                            "(default: <file>.corrupt)")
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve a journal-bound database to concurrent wire clients")
+    serve.add_argument("journal", type=Path,
+                       help="journal file (created if missing)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7844,
+                       help="TCP port (default: 7844; 0 = ephemeral)")
+    serve.add_argument("--lease-seconds", type=float, default=30.0,
+                       metavar="S",
+                       help="write-lock lease; a silent client's locks are "
+                            "reclaimable after S seconds (default: 30)")
+    serve.add_argument("--session-seconds", type=float, default=300.0,
+                       metavar="S",
+                       help="idle session expiry (default: 300)")
+    serve.add_argument("--maintain-every", type=int, default=8, metavar="N",
+                       help="background compaction every N accepted "
+                            "check-ins (default: 8; 0 = never)")
+
     query = commands.add_parser(
         "query", help="run a planned ER-algebra query (cost-based planner)")
     query.add_argument("database", type=Path, help="database file")
@@ -182,6 +203,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_compact(args)
     if args.command == "fsck":
         return _run_fsck(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "query":
         return _run_query(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
@@ -250,6 +273,54 @@ def _run_fsck(args: argparse.Namespace) -> int:
         f"salvaged: kept {salvaged.intact_records} record(s), "
         f"quarantined {salvaged.corrupt_bytes} byte(s) -> {quarantine}"
     )
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Serve a journal-bound SPADES database over the wire protocol.
+
+    Runs until interrupted (Ctrl-C); every accepted check-in is durable
+    in the journal before it is acknowledged, so a killed server
+    restarts from its last acknowledged state.
+    """
+    import asyncio
+
+    from repro.multiuser.server import SeedServer
+    from repro.multiuser.service import SeedService
+    from repro.spades import spades_schema
+
+    server = SeedServer.open(
+        args.journal,
+        schema=spades_schema(),
+        lease_seconds=args.lease_seconds,
+        session_seconds=args.session_seconds,
+    )
+    service = SeedService(
+        server,
+        host=args.host,
+        port=args.port,
+        maintain_every=args.maintain_every,
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        stats = server.master.statistics()
+        print(
+            f"serving {args.journal} on {service.host}:{service.port} "
+            f"({stats['objects']} objects, "
+            f"{stats['relationships']} relationships; "
+            f"lease {args.lease_seconds}s, session {args.session_seconds}s)"
+        )
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print(
+            f"stopped: {server.checkins_applied} check-in(s) applied, "
+            f"{server.checkins_rejected} rejected, "
+            f"{service.reads_served} snapshot read(s) served"
+        )
     return 0
 
 

@@ -22,6 +22,7 @@ from repro.core.errors import (
     RecoveryWarning,
     SchemaError,
     SeedError,
+    SessionError,
     StorageError,
     TransactionError,
     ValueTypeError,
@@ -63,6 +64,7 @@ __all__ = [
     "RecoveryWarning",
     "SchemaError",
     "SeedError",
+    "SessionError",
     "StorageError",
     "TransactionError",
     "ValueTypeError",

@@ -103,5 +103,16 @@ class LockError(SeedError):
     """Multi-user extension: a write lock is already held by another client."""
 
 
+class SessionError(SeedError):
+    """Multi-user extension: an operation presented no live session.
+
+    Raised when a session token is unknown, was closed by ``disconnect``,
+    or let its lease expire — the structural fix for the zombie-client
+    holes: every check-out, check-in, and renewal authenticates against
+    a live session first, so a stale handle (pre-disconnect, or one whose
+    lease lapsed) can no longer act on the central database.
+    """
+
+
 class CheckInError(SeedError):
     """Multi-user extension: a client check-in could not be applied."""

@@ -3,10 +3,13 @@
 "SEED is currently a single user system only. ... We only have some
 rough ideas concerning a two level approach" — this package implements
 those ideas: :class:`~repro.multiuser.server.SeedServer` (central
-database, write locks, global versions),
-:class:`~repro.multiuser.client.SeedClient` (local copies for update,
-check-in as one transaction), and the supporting lock table and
-check-in packages.
+database, session tokens, write locks keyed by session, MVCC snapshot
+views, global versions), :class:`~repro.multiuser.client.SeedClient`
+(local copies for update, check-in as one transaction), the wire
+service (:class:`~repro.multiuser.service.SeedService` /
+:class:`~repro.multiuser.service.ServiceClient`, JSON lines over a
+socket), and the supporting session manager, lock table, and check-in
+packages.
 """
 
 from repro.multiuser.checkin import (
@@ -15,9 +18,11 @@ from repro.multiuser.checkin import (
     package_from_dict,
     package_to_dict,
 )
-from repro.multiuser.client import RetryPolicy, SeedClient
+from repro.multiuser.client import RetryPolicy, SeedClient, materialize_ticket
 from repro.multiuser.locks import LockTable
-from repro.multiuser.server import SeedServer
+from repro.multiuser.server import CheckOutTicket, SeedServer
+from repro.multiuser.service import SeedService, ServiceClient
+from repro.multiuser.sessions import Session, SessionManager
 
 __all__ = [
     "CheckInPackage",
@@ -26,6 +31,12 @@ __all__ = [
     "package_to_dict",
     "RetryPolicy",
     "SeedClient",
+    "materialize_ticket",
     "LockTable",
+    "CheckOutTicket",
     "SeedServer",
+    "SeedService",
+    "ServiceClient",
+    "Session",
+    "SessionManager",
 ]

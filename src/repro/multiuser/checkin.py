@@ -34,6 +34,10 @@ __all__ = [
     "build_package",
     "package_to_dict",
     "package_from_dict",
+    "object_state_to_dict",
+    "object_state_from_dict",
+    "relationship_state_to_dict",
+    "relationship_state_from_dict",
 ]
 
 
@@ -263,6 +267,14 @@ def _relationship_state_from_dict(data: dict) -> RelationshipState:
         deleted=data["deleted"],
         is_pattern=data["is_pattern"],
     )
+
+
+# public names: the wire protocol (multiuser.protocol) serializes
+# check-out tickets with the same state codecs the journal deltas use
+object_state_to_dict = _object_state_to_dict
+object_state_from_dict = _object_state_from_dict
+relationship_state_to_dict = _relationship_state_to_dict
+relationship_state_from_dict = _relationship_state_from_dict
 
 
 def package_to_dict(package: CheckInPackage) -> dict:

@@ -7,6 +7,17 @@ any patterns they inherit), works on a private
 :class:`~repro.core.database.SeedDatabase` copy with full SEED semantics
 (consistency checking, local versions, transactions), and checks the
 updated copy back in as one server-side transaction.
+
+Every client is bound to a **session token** minted at
+:meth:`~repro.multiuser.server.SeedServer.connect`; the server
+authenticates the token on each check-out, check-in, renewal, and
+abandon. A handle that outlives its session — its client disconnected,
+its session or lease expired, or its client id reconnected and got a
+fresh token — fails every operation with
+:class:`~repro.core.errors.SessionError` instead of acting on locks it
+no longer owns. The same handle class also backs the wire client
+(:class:`~repro.multiuser.service.ServiceClient` materializes local
+copies through the shared :func:`materialize_ticket`).
 """
 
 from __future__ import annotations
@@ -20,13 +31,14 @@ from repro.core.database import SeedDatabase
 from repro.core.errors import LockError, SeedError
 from repro.core.objects import ObjectState, SeedObject
 from repro.core.relationships import RelationshipState
+from repro.core.schema.schema import Schema
 from repro.core.versions.version_id import VersionId
 from repro.multiuser.checkin import build_package
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.multiuser.server import SeedServer
+    from repro.multiuser.server import CheckOutTicket, SeedServer
 
-__all__ = ["SeedClient", "RetryPolicy"]
+__all__ = ["SeedClient", "RetryPolicy", "materialize_ticket"]
 
 
 @dataclass
@@ -34,12 +46,15 @@ class RetryPolicy:
     """Bounded retry for contended check-outs (fail-fast stays default).
 
     ``attempts`` tries in total, sleeping ``backoff * 2**i`` (capped at
-    ``max_backoff``) between them, giving up early once ``deadline``
-    seconds have elapsed since the first attempt. ``sleep``/``clock``
-    are injectable so tests drive a fake clock (shared with the lock
-    table's lease clock) instead of wall-clock waiting — a retry loop
-    against an expiring lease then reclaims a dead client's locks
-    deterministically.
+    ``max_backoff``) between them, giving up once ``deadline`` seconds
+    have elapsed since the first attempt — or once the *next* backoff
+    would carry past the deadline: the policy never sleeps beyond it
+    (the PR-7 fix; previously the deadline was only checked after a
+    failed attempt, so the final sleep could overshoot it by a whole
+    ``max_backoff``). ``sleep``/``clock`` are injectable so tests drive
+    a fake clock (shared with the lock table's lease clock) instead of
+    wall-clock waiting — a retry loop against an expiring lease then
+    reclaims a dead client's locks deterministically.
     """
 
     attempts: int = 3
@@ -62,32 +77,72 @@ class RetryPolicy:
             try:
                 return operation()
             except LockError:
-                out_of_attempts = attempt >= self.attempts
-                out_of_time = (
-                    self.deadline is not None
-                    and self.clock() - started >= self.deadline
-                )
-                if out_of_attempts or out_of_time:
+                if attempt >= self.attempts:
                     raise
-                self.sleep(self.delay(attempt))
+                delay = self.delay(attempt)
+                if self.deadline is not None:
+                    elapsed = self.clock() - started
+                    # give up instead of sleeping past the deadline: a
+                    # retry that could only start after it is pointless
+                    if elapsed >= self.deadline or (
+                        elapsed + delay > self.deadline
+                    ):
+                        raise
+                self.sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover
 
 
-class SeedClient:
-    """One user's handle on the central database."""
+def materialize_ticket(
+    schema: Schema, name: str, ticket: "CheckOutTicket"
+) -> SeedDatabase:
+    """A fresh local database holding a check-out ticket's copy set.
 
-    def __init__(self, server: "SeedServer", client_id: str) -> None:
+    One-shot: the ticket's frozen states are handed to the shared bulk
+    state materializer, which wires parents, name index, incidence,
+    patterns, and indexes in a single pass (checkout at index-rebuild
+    speed — no per-item maintenance). Shared by the in-process client
+    and the wire client: the ticket is pure data either way.
+    """
+    local = SeedDatabase(schema, name)
+    load_item_states(
+        local,
+        iter(ticket.objects),
+        iter(ticket.relationships),
+        next_id_floor=ticket.next_id_floor,
+    )
+    local.clear_dirty()
+    return local
+
+
+class SeedClient:
+    """One user's session-bound handle on the central database."""
+
+    def __init__(
+        self, server: "SeedServer", client_id: str, token: str
+    ) -> None:
         self._server = server
         self.client_id = client_id
+        #: the session credential; every server operation presents it
+        self.token = token
         self._local: Optional[SeedDatabase] = None
         self._baseline_objects: dict[int, ObjectState] = {}
         self._baseline_relationships: dict[int, RelationshipState] = {}
 
-    # -- retrieval (server-side, no copy) -----------------------------------
+    # -- retrieval ----------------------------------------------------------
 
     def find_object(self, name: str) -> Optional[SeedObject]:
-        """Retrieval against the central database (read-only use!)."""
+        """Retrieval against the live central database (read-only use!)."""
         return self._server.find_object(name)
+
+    def snapshot(self, version=None):
+        """A pinned MVCC read view (see :meth:`SeedServer.snapshot`)."""
+        return self._server.snapshot(version)
+
+    # -- session ------------------------------------------------------------
+
+    def renew(self) -> int:
+        """Keep the session and its lock leases (and standing) alive."""
+        return self._server.renew(self.token)
 
     # -- check-out ------------------------------------------------------------
 
@@ -114,8 +169,9 @@ class SeedClient:
         among copied objects, and every pattern a copied object inherits
         (with *its* sub-tree and relationships, recursively) — a copy
         must be self-contained to be checked for consistency locally.
-        Write locks are taken centrally; a conflicting check-out raises
-        :class:`~repro.core.errors.LockError` with the holder's id —
+        Write locks are taken centrally under the session token; a
+        conflicting check-out raises
+        :class:`~repro.core.errors.LockError` with the holder —
         immediately by default, or after the bounded wait of *retry*
         (each attempt re-resolves the closure, so a retry can succeed
         once the holder releases, checks in, or lets its lease expire).
@@ -127,70 +183,36 @@ class SeedClient:
                 f"client {self.client_id!r} already holds a copy; check it "
                 "in or abandon it first"
             )
+        ticket = self._server.check_out(self.token, names)
         master = self._server.master
-        roots: list[SeedObject] = []
-        seen_roots: set[int] = set()
-        frontier = [
-            master.get_object(name, include_patterns=True) for name in names
-        ]
-        while frontier:
-            obj = frontier.pop()
-            root = obj.root
-            if root.oid in seen_roots:
-                continue
-            seen_roots.add(root.oid)
-            roots.append(root)
-            for node in root.walk():
-                frontier.extend(master.patterns.patterns_of(node))
-        objects, keys = self._server.closure_keys(roots)
-        self._server.locks.acquire(self.client_id, keys)
-        self._local = self._copy_items(master, objects, keys)
-        self._baseline_objects = {
-            obj.oid: obj.freeze() for obj in self._local.all_objects_raw()
-        }
-        self._baseline_relationships = {
-            rel.rid: rel.freeze() for rel in self._local.all_relationships_raw()
-        }
-        return self._local
-
-    def _copy_items(self, master: SeedDatabase, objects, keys) -> SeedDatabase:
-        """Materialize the copy set into a fresh local database.
-
-        One-shot: the closure items are frozen and handed to the shared
-        bulk state materializer, which wires parents, name index,
-        incidence, patterns, and indexes in a single pass (checkout at
-        index-rebuild speed — no per-item maintenance).
-        """
-        local = SeedDatabase(master.schema, f"{master.name}@{self.client_id}")
-        copied_rids = [item_id for kind, item_id in keys if kind == "r"]
-        load_item_states(
-            local,
-            ((obj.oid, obj.freeze()) for obj in objects),
-            (
-                (rid, master._relationships[rid].freeze())  # noqa: SLF001
-                for rid in copied_rids
-            ),
-            # fresh local ids must not collide with *any* master id
-            next_id_floor=master._next_id + 1_000_000,  # noqa: SLF001
+        self._local = materialize_ticket(
+            master.schema, f"{master.name}@{self.client_id}", ticket
         )
-        local.clear_dirty()
-        return local
+        self._baseline_objects = dict(ticket.objects)
+        self._baseline_relationships = dict(ticket.relationships)
+        return self._local
 
     # -- check-in ---------------------------------------------------------------------
 
-    def check_in(self) -> dict[int, int]:
+    def check_in(self, *, bulk: Optional[bool] = None) -> dict[int, int]:
         """Send the updated copy back; the server applies it atomically.
 
         Returns the id translation map for locally created items. On
         success the local copy is dropped and all locks are released; on
         failure (consistency violation or stale data) the copy and locks
-        survive so the client can repair and retry.
+        survive so the client can repair and retry. ``bulk=True`` forces
+        the master's deferred-maintenance bulk path regardless of
+        package size (the right call for large ingest-style check-ins);
+        ``bulk=False`` forces the per-item transaction; ``None`` lets
+        the server's size heuristic decide.
         """
         local = self.local
         package = build_package(
             local, self._baseline_objects, self._baseline_relationships
         )
-        translation = self._server.apply_check_in(self.client_id, package)
+        translation = self._server.apply_check_in(
+            self.token, package, force_bulk=bulk
+        )
         self._drop_copy()
         return translation
 
@@ -198,7 +220,7 @@ class SeedClient:
         """Discard the local copy and release all locks (nothing applied)."""
         if self._local is None:
             raise SeedError(f"client {self.client_id!r} has no copy to abandon")
-        self._server.locks.release(self.client_id)
+        self._server.abandon(self.token)
         self._drop_copy()
 
     def _drop_copy(self) -> None:

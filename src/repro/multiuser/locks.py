@@ -2,11 +2,17 @@
 
 "Data that has been copied to a client for update has a write lock in
 the central database." The lock table is item-granular: every object or
-relationship checked out for update is locked by exactly one client;
+relationship checked out for update is locked by exactly one owner;
 conflicting check-outs fail fast with :class:`~repro.core.errors.
 LockError` rather than blocking (the paper sketches no queueing —
 bounded waiting lives client-side, in
 :class:`~repro.multiuser.client.RetryPolicy`).
+
+Owners are opaque strings. Since PR 7 the server keys locks by **session
+token** (one per ``connect``), never by the reusable client id — a stale
+pre-disconnect handle therefore cannot touch, or release by checking in,
+the locks of the session that reconnected under the same client id (see
+:mod:`repro.multiuser.sessions`).
 
 Lease semantics (multi-user liveness)
 -------------------------------------
@@ -53,19 +59,43 @@ class LockTable:
         *,
         lease_seconds: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
+        owner_alias: Optional[Callable[[str], str]] = None,
     ) -> None:
         #: key -> (holder, expiry on the clock, or None = no lease)
         self._locks: dict[ItemKey, tuple[str, Optional[float]]] = {}
         self._lease = lease_seconds
         self._clock = clock if clock is not None else time.monotonic
+        #: renders an owner for error messages (the server maps session
+        #: tokens back to client ids so conflicts name the *user*, not
+        #: the opaque credential); identity when absent
+        self._owner_alias = owner_alias
         #: expired locks reclaimed by later acquisitions or purges
         self.reclaimed = 0
+
+    def _alias(self, owner: str) -> str:
+        if self._owner_alias is None:
+            return owner
+        return self._owner_alias(owner)
 
     # -- lease plumbing -----------------------------------------------------
 
     def _expiry(self, lease) -> Optional[float]:
         seconds = self._lease if lease is _DEFAULT else lease
         return None if seconds is None else self._clock() + seconds
+
+    def default_expiry(self) -> Optional[float]:
+        """Expiry on this table's clock for a lease granted now.
+
+        ``None`` when the table has no default lease. The server stamps
+        check-out *standing* with the same expiry as the locks it grants
+        — so a client whose lease lapsed loses not only its locks but
+        also the right to inject create-only packages.
+        """
+        return self._expiry(_DEFAULT)
+
+    def is_expired(self, expiry: Optional[float]) -> bool:
+        """True when *expiry* (from :meth:`default_expiry`) has passed."""
+        return expiry is not None and expiry <= self._clock()
 
     def _live_holder(self, key: ItemKey) -> Optional[str]:
         """The holder of *key* if the lock has not expired, else None."""
@@ -115,10 +145,11 @@ class LockTable:
         ]
         if conflicts:
             description = ", ".join(
-                f"{key} held by {holder!r}" for key, holder in conflicts
+                f"{key} held by {self._alias(holder)!r}"
+                for key, holder in conflicts
             )
             raise LockError(
-                f"client {client_id!r} cannot lock: {description}"
+                f"client {self._alias(client_id)!r} cannot lock: {description}"
             )
         expiry = self._expiry(lease_seconds)
         for key in wanted:
@@ -147,8 +178,8 @@ class LockTable:
             for key in keys:
                 if self._live_holder(key) != client_id:
                     raise LockError(
-                        f"client {client_id!r} no longer holds the lock on "
-                        f"{key} (released or lease expired)"
+                        f"client {self._alias(client_id)!r} no longer holds "
+                        f"the lock on {key} (released or lease expired)"
                     )
                 to_renew.append(key)
         expiry = self._expiry(lease_seconds)
@@ -168,7 +199,8 @@ class LockTable:
                     continue
                 if holder != client_id:
                     raise LockError(
-                        f"client {client_id!r} does not hold the lock on {key}"
+                        f"client {self._alias(client_id)!r} does not hold "
+                        f"the lock on {key}"
                     )
                 to_release.append(key)
         for key in to_release:

@@ -1,0 +1,161 @@
+"""Wire protocol for the multi-user service: JSON lines over a socket.
+
+One request or response per line, UTF-8 JSON, newline-terminated — the
+simplest framing that a line-buffered reader on either side can parse
+incrementally. Requests carry an ``op`` plus parameters (and the session
+``token`` for every authenticated operation); responses are either
+
+``{"ok": true, "result": ...}``
+
+or
+
+``{"ok": false, "error": "<code>", "message": "..."}``
+
+where ``error`` is a symbolic code mapped from the server-side exception
+class (:data:`ERROR_CODES`). The client raises the matching exception
+class again (:func:`raise_remote_error`), so wire clients see the same
+error surface as in-process clients — ``SessionError`` for a zombie
+token is an ``SessionError`` on both sides of the socket.
+
+Payload codecs reuse the journal's state serializers
+(:mod:`repro.multiuser.checkin`): a check-out ticket travels as the same
+frozen-state dictionaries a write-ahead delta uses, and a check-in
+package travels as its ``package_to_dict`` form. Item keys — tuples
+``("o", id)`` / ``("r", id)`` in memory — become two-element lists in
+JSON and are restored on decode.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.errors import (
+    CheckInError,
+    ConsistencyError,
+    LockError,
+    SeedError,
+    SessionError,
+    VersionError,
+)
+from repro.multiuser.checkin import (
+    object_state_from_dict,
+    object_state_to_dict,
+    relationship_state_from_dict,
+    relationship_state_to_dict,
+)
+from repro.multiuser.server import CheckOutTicket
+
+__all__ = [
+    "ERROR_CODES",
+    "encode_message",
+    "decode_message",
+    "error_response",
+    "ok_response",
+    "raise_remote_error",
+    "ticket_to_dict",
+    "ticket_from_dict",
+]
+
+#: symbolic wire code -> exception class; the generic "seed" entry is
+#: both the fallback encoding for unlisted SeedError subclasses and the
+#: decoding for codes a newer server might send an older client
+ERROR_CODES: dict[str, type[SeedError]] = {
+    "session": SessionError,
+    "lock": LockError,
+    "checkin": CheckInError,
+    "consistency": ConsistencyError,
+    "version": VersionError,
+    "seed": SeedError,
+}
+
+_CLASS_TO_CODE = {cls: code for code, cls in ERROR_CODES.items()}
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """One wire frame: compact JSON plus the newline terminator."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes | str) -> dict[str, Any]:
+    """Parse one frame; raises :class:`SeedError` on malformed input."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise SeedError(f"malformed wire frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise SeedError(
+            f"wire frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+# ---------------------------------------------------------------------------
+# responses
+# ---------------------------------------------------------------------------
+
+def ok_response(result: Any) -> dict[str, Any]:
+    """A success response envelope."""
+    return {"ok": True, "result": result}
+
+
+def error_response(exc: BaseException) -> dict[str, Any]:
+    """Map a server-side exception onto the wire error envelope.
+
+    The most specific registered class wins (walks the MRO, so e.g. a
+    bespoke ``LockError`` subclass still travels as ``"lock"``).
+    """
+    code = "seed"
+    for cls in type(exc).__mro__:
+        if cls in _CLASS_TO_CODE:
+            code = _CLASS_TO_CODE[cls]
+            break
+    return {"ok": False, "error": code, "message": str(exc)}
+
+
+def raise_remote_error(response: dict[str, Any]) -> None:
+    """Re-raise the exception a ``{"ok": false}`` response describes."""
+    cls = ERROR_CODES.get(response.get("error", "seed"), SeedError)
+    raise cls(response.get("message", "remote error"))
+
+
+# ---------------------------------------------------------------------------
+# payload codecs
+# ---------------------------------------------------------------------------
+
+def ticket_to_dict(ticket: CheckOutTicket) -> dict[str, Any]:
+    """JSON form of a check-out ticket (frozen states + keys + floor)."""
+    return {
+        "objects": [
+            [oid, object_state_to_dict(state)]
+            for oid, state in ticket.objects
+        ],
+        "relationships": [
+            [rid, relationship_state_to_dict(state)]
+            for rid, state in ticket.relationships
+        ],
+        "keys": [[kind, item_id] for kind, item_id in ticket.keys],
+        "next_id_floor": ticket.next_id_floor,
+    }
+
+
+def ticket_from_dict(data: dict[str, Any]) -> CheckOutTicket:
+    """Inverse of :func:`ticket_to_dict`."""
+    return CheckOutTicket(
+        objects=[
+            (oid, object_state_from_dict(state))
+            for oid, state in data["objects"]
+        ],
+        relationships=[
+            (rid, relationship_state_from_dict(state))
+            for rid, state in data["relationships"]
+        ],
+        keys=[(kind, item_id) for kind, item_id in data["keys"]],
+        next_id_floor=data["next_id_floor"],
+    )

@@ -9,49 +9,93 @@ the modified data into the central database in a single transaction.
 Versions are kept both locally and globally under control of the user
 and the server, respectively."
 
-:class:`SeedServer` implements that sketch in-process (the paper gives
-no wire protocol, and none is needed to study the concurrency
-behaviour): clients are :class:`~repro.multiuser.client.SeedClient`
-handles obtained from :meth:`connect`; retrieval goes straight to the
-master database; updates travel through check-out / check-in.
+:class:`SeedServer` implements that architecture. Since PR 7 it is a
+real concurrent service core rather than an in-process sketch:
+
+**Sessions.** Every :meth:`connect` mints a session token
+(:mod:`repro.multiuser.sessions`); check-out, check-in, renewal, and
+abandon all authenticate the token first. Locks and check-out standing
+are keyed by token — never by the reusable client id — which
+structurally closes the zombie-client holes: a disconnected handle, a
+lease-expired one, or a stale pre-disconnect handle after a reconnect
+cannot check in anything (create-only packages included) or touch the
+successor session's locks.
+
+**MVCC snapshot reads.** :meth:`publish_snapshot` materializes a
+consistent read view from the version store (which already keeps every
+committed state); :meth:`snapshot` serves pinned views from a bounded
+cache. A pinned view is a fully materialized, immutable object — reads
+against it never block on (and are never torn by) an in-flight check-in
+or ``bulk()`` batch. The wire layer
+(:mod:`repro.multiuser.service`) applies check-ins in a worker thread
+while the event loop keeps answering snapshot reads.
+
+**Background maintenance.** :meth:`maintain` runs version-store
+compaction + tombstone GC between check-ins (the service schedules it
+automatically), pinning every cached snapshot so pinned readers survive
+the squash.
+
+Durability and liveness are unchanged from PR 6: bind a
+:class:`~repro.core.storage.engine.JournaledDatabase` (``journal=`` or
+:meth:`open`) and accepted check-ins are durable at O(change) via
+write-ahead deltas; pass ``lease_seconds`` and a crashed client's locks
+— and, new in PR 7, its check-out standing — expire together.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
 from repro.core import faults
 from repro.core.database import SeedDatabase
-from repro.core.errors import CheckInError, SeedError
-from repro.core.objects import SeedObject
+from repro.core.errors import CheckInError, SeedError, VersionError
+from repro.core.objects import ObjectState, SeedObject
+from repro.core.relationships import RelationshipState
 from repro.core.schema.schema import Schema
 from repro.core.storage.engine import JournaledDatabase
+from repro.core.versions.compaction import CompactionStats, RetentionPolicy
 from repro.core.versions.store import ItemKey
 from repro.core.versions.version_id import VersionId
+from repro.core.versions.view import VersionView
 from repro.multiuser.locks import LockTable
+from repro.multiuser.sessions import Session, SessionManager
 
-__all__ = ["SeedServer"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.multiuser.client import SeedClient
+
+__all__ = ["CheckOutTicket", "SeedServer"]
+
+#: pinned snapshot views kept hot by default (oldest evicted first)
+DEFAULT_SNAPSHOT_CACHE = 8
+
+#: compaction between check-ins when the caller names no policy
+DEFAULT_MAINTENANCE = RetentionPolicy(
+    squash_chains=True, snapshot_interval=16, keep_last=2, gc_tombstones=True
+)
+
+
+@dataclass
+class CheckOutTicket:
+    """Everything a client needs to materialize its local copy.
+
+    Pure data (frozen item states), so it serializes over the wire
+    (:mod:`repro.multiuser.protocol`) exactly as it hands off
+    in-process. ``keys`` are the write locks granted to the session;
+    ``next_id_floor`` keeps locally created ids clear of every master
+    id so check-in translation is unambiguous.
+    """
+
+    objects: list[tuple[int, ObjectState]]
+    relationships: list[tuple[int, RelationshipState]]
+    keys: list[ItemKey]
+    next_id_floor: int
 
 
 class SeedServer:
-    """The central database plus lock management and global versions.
-
-    Durability: bind the server to a
-    :class:`~repro.core.storage.engine.JournaledDatabase` (pass
-    ``journal=`` or construct via :meth:`open`) and every *accepted*
-    check-in becomes durable at O(change) cost — the package is
-    appended as a write-ahead delta record before the master applies
-    it, and replayed on the next load atop the newest intact image.
-    A rejected check-in leaves an abort marker so replay skips it.
-    :meth:`checkpoint` still bounds replay length with a full image.
-
-    Liveness: pass ``lease_seconds`` (and, in tests, an injectable
-    ``clock``) and a crashed client's write locks expire — conflicting
-    check-outs reclaim them, while the dead client's eventual check-in
-    is rejected by the held-lock validation instead of clobbering the
-    reclaimer's work.
-    """
+    """The central database plus sessions, locks, snapshots, versions."""
 
     def __init__(
         self,
@@ -60,7 +104,9 @@ class SeedServer:
         *,
         journal: Optional[JournaledDatabase] = None,
         lease_seconds: Optional[float] = None,
+        session_seconds: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
+        snapshot_cache_size: int = DEFAULT_SNAPSHOT_CACHE,
     ) -> None:
         if journal is not None:
             self.journal: Optional[JournaledDatabase] = journal
@@ -70,8 +116,29 @@ class SeedServer:
                 raise SeedError("SeedServer needs a schema or a journal")
             self.journal = None
             self.master = SeedDatabase(schema, name)
-        self.locks = LockTable(lease_seconds=lease_seconds, clock=clock)
+        self.sessions = SessionManager(
+            session_seconds=session_seconds, clock=clock
+        )
+        self.locks = LockTable(
+            lease_seconds=lease_seconds,
+            clock=clock,
+            # conflicts must name the user, not the opaque credential
+            owner_alias=lambda token: self.sessions.client_of(token) or token,
+        )
+        #: in-process client handles by client id (live sessions only)
         self._clients: dict[str, "SeedClient"] = {}
+        #: session token -> standing expiry (None = leaseless standing);
+        #: standing is the right to check a copy back in
+        self._standing: dict[str, Optional[float]] = {}
+        #: published snapshot views by version string, oldest first
+        self._views: "OrderedDict[str, VersionView]" = OrderedDict()
+        self._published: Optional[VersionId] = None
+        self.snapshot_cache_size = max(1, snapshot_cache_size)
+        self.maintenance_policy = DEFAULT_MAINTENANCE
+        # -- service counters (diagnostics, surfaced by `repro serve`) --
+        self.checkins_applied = 0
+        self.checkins_rejected = 0
+        self.maintenance_runs = 0
 
     @classmethod
     def open(
@@ -81,6 +148,7 @@ class SeedServer:
         schema: Optional[Schema] = None,
         name: str = "central",
         lease_seconds: Optional[float] = None,
+        session_seconds: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
         strict: bool = False,
     ) -> "SeedServer":
@@ -88,7 +156,12 @@ class SeedServer:
         journal = JournaledDatabase.open(
             path, schema=schema, name=name, strict=strict
         )
-        return cls(journal=journal, lease_seconds=lease_seconds, clock=clock)
+        return cls(
+            journal=journal,
+            lease_seconds=lease_seconds,
+            session_seconds=session_seconds,
+            clock=clock,
+        )
 
     def checkpoint(self) -> int:
         """Append a full image to the journal; returns the file size."""
@@ -96,55 +169,242 @@ class SeedServer:
             raise SeedError("server has no journal to checkpoint to")
         return self.journal.checkpoint()
 
-    # -- client lifecycle ----------------------------------------------------
+    # -- session lifecycle ---------------------------------------------------
 
     def connect(self, client_id: str) -> "SeedClient":
-        """Register a client and hand out its handle."""
+        """Open a session and hand out an in-process client handle.
+
+        Wire clients use :meth:`open_session` (via the service) instead;
+        both paths mint the same kind of session. A client id with a
+        live session cannot connect twice; after :meth:`disconnect` the
+        id is free again — and gets a *fresh token*, so the previous
+        handle's locks and standing stay out of reach.
+        """
         from repro.multiuser.client import SeedClient
 
-        if client_id in self._clients:
-            raise SeedError(f"client id {client_id!r} is already connected")
-        client = SeedClient(self, client_id)
+        session = self.open_session(client_id)
+        client = SeedClient(self, client_id, session.token)
         self._clients[client_id] = client
         return client
 
+    def open_session(self, client_id: str) -> Session:
+        """Authenticate a client and mint its session token."""
+        return self.sessions.open(client_id)
+
     def disconnect(self, client_id: str) -> None:
-        """Drop a client; its locks are released (work is abandoned)."""
+        """Drop a client's live session; locks released, work abandoned."""
+        session = self.sessions.find_live(client_id)
         self._clients.pop(client_id, None)
-        self.locks.release(client_id)
+        if session is not None:
+            self.close_session(session.token)
+
+    def close_session(self, token: str) -> None:
+        """End the session behind *token*; its locks and standing die."""
+        session = self.sessions.close(token)
+        self._clients.pop(session.client_id, None)
+        self.locks.release(token)
+        self._standing.pop(token, None)
+
+    def renew(self, token: str) -> int:
+        """Touch the session and extend its lock leases and standing.
+
+        Returns the number of locks renewed. A dead session raises
+        :class:`~repro.core.errors.SessionError`; locks whose lease
+        already lapsed raise :class:`~repro.core.errors.LockError` via
+        the lock table (the client must check out again).
+        """
+        self.sessions.validate(token)
+        renewed = self.locks.renew(token)
+        if token in self._standing:
+            self._standing[token] = self.locks.default_expiry()
+        return renewed
 
     def clients(self) -> list[str]:
-        """Connected client ids."""
-        return sorted(self._clients)
+        """Client ids with live sessions (in-process and wire alike)."""
+        return sorted(session.client_id for session in self.sessions.live())
 
-    # -- retrieval (no locks needed) ----------------------------------------------
+    # -- retrieval (live master; see snapshot() for MVCC reads) -------------
 
     def find_object(self, name: str) -> Optional[SeedObject]:
-        """Retrieval passthrough to the master database."""
+        """Retrieval passthrough to the live master database."""
         return self.master.find_object(name)
 
     def objects(self, class_name: Optional[str] = None) -> list[SeedObject]:
-        """Retrieval passthrough to the master database."""
+        """Retrieval passthrough to the live master database."""
         return self.master.objects(class_name)
 
-    # -- check-out support ------------------------------------------------------------
+    # -- MVCC snapshot reads -------------------------------------------------
 
-    def closure_keys(self, roots: list[SeedObject]) -> tuple[list[SeedObject], list[ItemKey]]:
+    def publish_snapshot(
+        self, version: Optional[str | VersionId] = None
+    ) -> VersionId:
+        """Materialize (and cache) a consistent read view of the master.
+
+        Creates a global version when the master changed since the last
+        publication (or none exists yet); otherwise the existing
+        publication stands. Returns the published version id. Writers
+        call this after each accepted check-in; readers pin whatever is
+        published and keep reading it — a fully materialized
+        :class:`~repro.core.versions.view.VersionView` is immutable, so
+        pinned reads proceed while the next check-in or ``bulk()``
+        batch is applying.
+        """
+        if (
+            version is not None
+            or self._published is None
+            or self.master.has_unsaved_changes()
+        ):
+            published = self.master.create_version(version)
+            self._published = published
+            self._cache_view(published, self.master.version_view(published))
+        assert self._published is not None
+        return self._published
+
+    def latest_snapshot(self) -> Optional[VersionId]:
+        """The currently published snapshot version (None before first)."""
+        return self._published
+
+    def snapshot(
+        self,
+        version: Optional[str | VersionId] = None,
+        *,
+        build: bool = True,
+    ) -> VersionView:
+        """A pinned read view: the published snapshot, or *version*.
+
+        With ``build=False`` only cached views are served — the wire
+        service's reader path uses this so a read can never fall back
+        to materializing from the version store concurrently with a
+        writer; an evicted pin asks the client to re-pin instead.
+        """
+        if version is None:
+            vid = self.publish_snapshot() if build else self._published
+            if vid is None:
+                raise VersionError("no snapshot published yet")
+        else:
+            vid = version
+        key = str(vid)
+        view = self._views.get(key)
+        if view is None:
+            if not build:
+                raise VersionError(
+                    f"snapshot {key} is no longer pinned (cache holds the "
+                    f"newest {self.snapshot_cache_size}); pin a fresh one"
+                )
+            view = self.master.version_view(vid)
+            self._cache_view(
+                vid if isinstance(vid, VersionId) else VersionId.parse(key),
+                view,
+            )
+        return view
+
+    def _cache_view(self, version: VersionId, view: VersionView) -> None:
+        key = str(version)
+        self._views[key] = view
+        self._views.move_to_end(key)
+        published = None if self._published is None else str(self._published)
+        while len(self._views) > self.snapshot_cache_size:
+            for candidate in self._views:
+                if candidate != published:
+                    del self._views[candidate]
+                    break
+            else:  # pragma: no cover - cache of 1 holding the publication
+                break
+
+    def pinned_snapshots(self) -> list[str]:
+        """Version strings of the snapshot views currently cached."""
+        return list(self._views)
+
+    # -- background maintenance ----------------------------------------------
+
+    def maintain(
+        self, policy: Optional[RetentionPolicy] = None
+    ) -> CompactionStats:
+        """Compact the version store between check-ins.
+
+        Runs chain squashing, snapshot consolidation, and tombstone GC
+        under *policy* (default :data:`DEFAULT_MAINTENANCE`), with every
+        cached snapshot version pinned so concurrent pinned readers
+        survive; stale cache entries for squashed-away versions are
+        dropped afterwards. The wire service schedules this
+        automatically every ``maintain_every`` accepted check-ins.
+        """
+        policy = policy or self.maintenance_policy
+        if self._views:
+            policy = replace(
+                policy, pins=frozenset(policy.pins) | set(self._views)
+            )
+        stats = self.master.compact(policy)
+        surviving = {str(v) for v in self.master.saved_versions()}
+        for key in [k for k in self._views if k not in surviving]:
+            del self._views[key]  # pragma: no cover - pins protect these
+        self.maintenance_runs += 1
+        return stats
+
+    # -- check-out -----------------------------------------------------------
+
+    def resolve_roots(self, names: Iterable[str]) -> list[SeedObject]:
+        """Root objects of a check-out: named roots plus inherited patterns.
+
+        A copy must be self-contained to be checked for consistency
+        locally, so every pattern a copied object inherits joins the
+        copy set (with *its* sub-tree and relationships, recursively).
+        """
+        master = self.master
+        roots: list[SeedObject] = []
+        seen_roots: set[int] = set()
+        frontier = [
+            master.get_object(name, include_patterns=True) for name in names
+        ]
+        while frontier:
+            obj = frontier.pop()
+            root = obj.root
+            if root.oid in seen_roots:
+                continue
+            seen_roots.add(root.oid)
+            roots.append(root)
+            for node in root.walk():
+                frontier.extend(master.patterns.patterns_of(node))
+        return roots
+
+    def closure_keys(
+        self, roots: list[SeedObject]
+    ) -> tuple[list[SeedObject], list[ItemKey]]:
         """The copy set of a check-out: root objects, their sub-trees, and
         every relationship among the copied objects.
 
         Returns (objects, item keys incl. relationships). Relationships
         with only one endpoint in the set are *not* copied (they remain
         retrievable from the server and updatable by whoever owns the
-        other end's lock set).
+        other end's lock set). Collected through the incidence index —
+        O(copied objects + their incident relationships), not
+        O(all relationships in the master) per check-out
+        (:meth:`closure_keys_scan` is the retained scan reference).
         """
-        objects: list[SeedObject] = []
-        oids: set[int] = set()
-        for root in roots:
-            for node in root.walk():
-                if node.oid not in oids:
-                    oids.add(node.oid)
-                    objects.append(node)
+        objects, oids = self._closure_objects(roots)
+        keys: list[ItemKey] = [("o", obj.oid) for obj in objects]
+        copied_rids: set[int] = set()
+        for obj in objects:
+            for rel in self.master.relationships_of_object(
+                obj, include_patterns=True
+            ):
+                if rel.rid in copied_rids:
+                    continue
+                if all(
+                    bound.oid in oids for bound in rel.bound_objects()
+                ):
+                    copied_rids.add(rel.rid)
+        # ascending rid = master creation order, identical to the scan
+        keys.extend(("r", rid) for rid in sorted(copied_rids))
+        return objects, keys
+
+    def closure_keys_scan(
+        self, roots: list[SeedObject]
+    ) -> tuple[list[SeedObject], list[ItemKey]]:
+        """Reference implementation of :meth:`closure_keys`: one pass over
+        every relationship in the master (the pre-PR-7 behaviour), kept
+        for the equivalence suite."""
+        objects, oids = self._closure_objects(roots)
         keys: list[ItemKey] = [("o", obj.oid) for obj in objects]
         for rel in self.master.relationships(include_patterns=True):
             endpoint_oids = [obj.oid for obj in rel.bound_objects()]
@@ -152,18 +412,81 @@ class SeedServer:
                 keys.append(("r", rel.rid))
         return objects, keys
 
+    @staticmethod
+    def _closure_objects(
+        roots: list[SeedObject],
+    ) -> tuple[list[SeedObject], set[int]]:
+        objects: list[SeedObject] = []
+        oids: set[int] = set()
+        for root in roots:
+            for node in root.walk():
+                if node.oid not in oids:
+                    oids.add(node.oid)
+                    objects.append(node)
+        return objects, oids
+
+    def check_out(self, token: str, names: Iterable[str]) -> CheckOutTicket:
+        """Lock the named objects' closure for the session behind *token*.
+
+        Validates the session, resolves the closure, acquires the write
+        locks (all or nothing), records check-out *standing* (stamped
+        with the same lease expiry as the locks), and returns the
+        frozen copy set. In-process and wire clients both materialize
+        their local database from this ticket.
+        """
+        session = self.sessions.validate(token)
+        if token in self._standing:
+            raise SeedError(
+                f"client {session.client_id!r} already holds a copy; check "
+                "it in or abandon it first"
+            )
+        roots = self.resolve_roots(names)
+        objects, keys = self.closure_keys(roots)
+        self.locks.acquire(token, keys)
+        self._standing[token] = self.locks.default_expiry()
+        master = self.master
+        copied_rids = [item_id for kind, item_id in keys if kind == "r"]
+        return CheckOutTicket(
+            objects=[(obj.oid, obj.freeze()) for obj in objects],
+            relationships=[
+                (rid, master._relationships[rid].freeze())  # noqa: SLF001
+                for rid in copied_rids
+            ],
+            keys=keys,
+            # fresh local ids must not collide with *any* master id
+            next_id_floor=master._next_id + 1_000_000,  # noqa: SLF001
+        )
+
+    def abandon(self, token: str) -> None:
+        """Release the session's locks and standing; nothing is applied."""
+        self.sessions.validate(token)
+        if token not in self._standing:
+            raise SeedError("session has no checked-out copy to abandon")
+        self.locks.release(token)
+        self._standing.pop(token, None)
+
     # -- check-in ----------------------------------------------------------------------
 
     def apply_check_in(
         self,
-        client_id: str,
+        token: str,
         changes: "CheckInPackage",
+        *,
+        force_bulk: Optional[bool] = None,
     ) -> dict[int, int]:
-        """Apply a client's updated copy in a single master transaction.
+        """Apply a session's updated copy in a single master transaction.
 
-        Returns the id translation map (local id → master id) for items
+        Standing is validated first — the zombie-client fix: the caller
+        must present a *live* session token (not disconnected, not
+        expired) that still holds unexpired check-out standing, so a
+        create-only package from a zombie handle is rejected before the
+        held-lock validation (which only ever saw modified keys) runs.
+
+        Returns the id translation map (local id -> master id) for items
         the client created. Large packages replay through the master's
-        deferred-maintenance bulk path: no per-item index undo closures
+        deferred-maintenance bulk path — ``force_bulk`` overrides the
+        size heuristic in either direction (the client API's ``bulk()``
+        exposure for large check-ins): no per-item index undo closures
         or incremental ACYCLIC probes while the package applies, one
         index rebuild plus one validation pass at the end. Small
         packages (the lock-a-few-items common case) stay on the
@@ -173,9 +496,22 @@ class SeedServer:
         the semantics are identical: any consistency violation or
         stale-copy conflict rolls everything back in place — the master
         is left unchanged (surviving handles stay valid) and the client
-        keeps its locks (it can fix the copy and retry).
+        keeps its locks and standing (it can fix the copy and retry).
         """
-        held = set(self.locks.held_by(client_id))
+        session = self.sessions.validate(token)
+        client_id = session.client_id
+        if token not in self._standing:
+            raise CheckInError(
+                f"client {client_id!r} has no checked-out copy to check in "
+                "(no standing: check out first)"
+            )
+        if self.locks.is_expired(self._standing[token]):
+            raise CheckInError(
+                f"client {client_id!r} checked in without holding standing: "
+                "its lease expired and the locks may have been reclaimed; "
+                "abandon and check out again"
+            )
+        held = set(self.locks.held_by(token))
         for key in changes.changed_existing_keys():
             if key not in held:
                 raise CheckInError(
@@ -191,7 +527,10 @@ class SeedServer:
         master_items = len(self.master._objects) + len(  # noqa: SLF001
             self.master._relationships  # noqa: SLF001
         )
-        use_bulk = package_size >= 64 and package_size * 8 >= master_items
+        if force_bulk is None:
+            use_bulk = package_size >= 64 and package_size * 8 >= master_items
+        else:
+            use_bulk = force_bulk and package_size > 0
         boundary = self.master.bulk if use_bulk else self.master.transaction
         seq = None
         if self.journal is not None and not changes.is_empty():
@@ -204,13 +543,16 @@ class SeedServer:
             with boundary():
                 translation = changes.apply_to(self.master)
         except BaseException:
+            self.checkins_rejected += 1
             if seq is not None:
                 # neutralize the journaled delta; if *this* append is
                 # lost to a crash too, replay re-fails the delta
                 # deterministically — same committed state either way
                 self.journal.append_abort(seq)
             raise
-        self.locks.release(client_id)
+        self.locks.release(token)
+        self._standing.pop(token, None)
+        self.checkins_applied += 1
         return translation
 
     # -- global versions -------------------------------------------------------------------

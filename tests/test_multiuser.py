@@ -134,7 +134,7 @@ class TestCheckIn:
         with pytest.raises((ConsistencyError, CheckInError)):
             alice.check_in()
         assert alice.has_copy  # copy survives for repair
-        assert server.locks.held_by("alice")
+        assert server.locks.held_by(alice.token)
         assert server.master.find_object("Sensor") is not None
 
     def test_empty_check_in(self, server):

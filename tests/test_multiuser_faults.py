@@ -197,7 +197,7 @@ class TestLockLeases:
         alice = server.connect("alice")
         alice.check_out("Alarms")
         clock.now += 20
-        server.locks.renew("alice")
+        server.renew(alice.token)
         clock.now += 20  # 40s total, but only 20s since the renewal
         bob = server.connect("bob")
         with pytest.raises(LockError, match="held by 'alice'"):
@@ -299,9 +299,35 @@ class TestRetryPolicy:
 
         with pytest.raises(LockError):
             policy.run(contended)
-        # attempts at t=0, 5, 10; at t=10 the next check passes 12s? no:
-        # deadline is checked after each failure, 10 < 12, so one more
-        assert calls == [0.0, 5.0, 10.0, 15.0]
+        # attempts at t=0, 5, 10; at t=10 the next backoff would land at
+        # t=15 — past the 12s deadline — so the policy gives up without
+        # sleeping (it never overshoots the deadline)
+        assert calls == [0.0, 5.0, 10.0]
+
+    def test_retry_never_sleeps_past_the_deadline(self):
+        """The fixed invariant, directly: no sleep may overshoot."""
+        clock = FakeClock()
+        slept_until = []
+
+        def sleeping(seconds):
+            clock.sleep(seconds)
+            slept_until.append(clock.now)
+
+        policy = RetryPolicy(
+            attempts=50,
+            backoff=3.0,
+            max_backoff=3.0,
+            deadline=10.0,
+            sleep=sleeping,
+            clock=clock,
+        )
+        with pytest.raises(LockError):
+            policy.run(lambda: (_ for _ in ()).throw(LockError("busy")))
+        assert slept_until  # it did retry before giving up
+        # a backoff landing exactly on the deadline is still allowed;
+        # one that would carry past it is not taken
+        assert all(at <= 10.0 for at in slept_until)
+        assert clock.now <= 10.0
 
     def test_retry_reclaims_an_expiring_lease(self):
         clock = FakeClock()

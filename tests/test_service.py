@@ -1,0 +1,245 @@
+"""The wire service: sessions over sockets, MVCC reads, background GC.
+
+These tests run the asyncio service on a background thread and drive it
+with blocking :class:`~repro.multiuser.service.ServiceClient` sockets —
+the same deployment shape as ``repro serve``. The headline property is
+MVCC: a pinned snapshot read completes *while* a check-in is applying
+(the apply runs in a thread executor; the event loop keeps serving
+reads), and a pinned view stays consistent-as-of-pin no matter how many
+check-ins land after it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import (
+    LockError,
+    SeedError,
+    SessionError,
+    VersionError,
+)
+from repro.multiuser import SeedServer, SeedService, ServiceClient
+from repro.spades import spades_schema
+
+
+def populate(master):
+    alarms = master.create_object("Data", "Alarms")
+    handler = master.create_object("Action", "AlarmHandler")
+    handler.add_sub_object("Description", "handles")
+    sensor = master.create_object("Action", "Sensor")
+    sensor.add_sub_object("Description", "senses")
+    master.relate("Read", {"from": alarms, "by": handler})
+
+
+def make_server(**kwargs):
+    server = SeedServer(spades_schema(), **kwargs)
+    populate(server.master)
+    server.create_global_version()
+    return server
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def service():
+    with SeedService(make_server(), maintain_every=0) as running:
+        yield running
+
+
+class TestWireRoundTrip:
+    def test_check_out_modify_check_in(self, service):
+        with ServiceClient.for_service(service, "alice") as alice:
+            local = alice.check_out("AlarmHandler")
+            local.get_object("AlarmHandler.Description").set_value("wired")
+            local.create_object("Data", "WireData")
+            translation = alice.check_in()
+        master = service.server.master
+        assert master.get_object("AlarmHandler.Description").value == "wired"
+        created = master.find_object("WireData")
+        assert created is not None
+        assert created.oid in translation.values()
+
+    def test_ping_and_stats(self, service):
+        with ServiceClient.for_service(service, "alice") as alice:
+            assert alice.ping()
+            stats = alice.stats()
+            assert stats["clients"] == ["alice"]
+            assert stats["checkins_applied"] == 0
+
+    def test_abandon_releases_over_the_wire(self, service):
+        with ServiceClient.for_service(service, "alice") as alice:
+            alice.check_out("Alarms")
+            alice.abandon()
+            assert not alice.has_copy
+            assert len(service.server.locks) == 0
+
+    def test_bulk_check_in_over_the_wire(self, service):
+        with ServiceClient.for_service(service, "loader") as loader:
+            local = loader.check_out()
+            for i in range(40):
+                obj = local.create_object("Data", f"Bulk{i}")
+                local.set_value(obj, None)
+            translation = loader.check_in(bulk=True)
+        master = service.server.master
+        assert len(translation) == 40
+        assert master.find_object("Bulk39") is not None
+        assert service.server.checkins_applied == 1
+
+
+class TestWireErrors:
+    def test_zombie_token_maps_to_session_error(self, service):
+        alice = ServiceClient.for_service(service, "alice")
+        alice.check_out("Sensor")
+        alice.local.create_object("Data", "SneakedIn")
+        token = alice.token
+        alice.disconnect()
+        # resurrect the handle with its dead credential: every op fails
+        alice.token = token
+        alice._local = alice._local  # zombie still "holds" its copy
+        with pytest.raises(SessionError, match="disconnected"):
+            alice._call("renew")
+        with pytest.raises(SessionError, match="disconnected"):
+            alice._call("check_out", names=["Alarms"])
+        assert service.server.find_object("SneakedIn") is None
+        alice.close()
+
+    def test_lock_conflict_maps_to_lock_error(self, service):
+        with ServiceClient.for_service(service, "alice") as alice, \
+                ServiceClient.for_service(service, "bob") as bob:
+            alice.check_out("Alarms")
+            with pytest.raises(LockError, match="held by 'alice'"):
+                bob.check_out("Alarms")
+
+    def test_duplicate_client_id_over_the_wire(self, service):
+        with ServiceClient.for_service(service, "alice"):
+            with pytest.raises(SessionError, match="already connected"):
+                ServiceClient.for_service(service, "alice")
+
+    def test_unknown_op_is_a_seed_error(self, service):
+        with ServiceClient.for_service(service, "alice") as alice:
+            with pytest.raises(SeedError, match="unknown operation"):
+                alice._call("self_destruct")
+
+    def test_socket_drop_closes_the_session(self, service):
+        walker = ServiceClient.for_service(service, "walker")
+        walker.check_out("Alarms")
+        assert service.server.clients() == ["walker"]
+        walker.close()  # no disconnect: the socket just dies
+        assert wait_until(lambda: service.server.clients() == [])
+        assert len(service.server.locks) == 0
+
+
+class TestMVCCReads:
+    def test_pinned_reads_are_consistent_as_of_pin(self, service):
+        with ServiceClient.for_service(service, "reader") as reader, \
+                ServiceClient.for_service(service, "writer") as writer:
+            reader.pin()
+            before = reader.counts()
+            assert reader.find("Later") is None
+            local = writer.check_out()
+            local.create_object("Data", "Later")
+            writer.check_in()
+            # the pin predates the commit: same answers as before
+            assert reader.counts() == before
+            assert reader.find("Later") is None
+            reader.pin()  # a fresh pin sees the commit
+            assert reader.find("Later") is not None
+            assert reader.counts()[0] == before[0] + 1
+
+    def test_reads_complete_while_a_check_in_is_applying(self, service):
+        server = service.server
+        in_apply = threading.Event()
+        release = threading.Event()
+        original = server.apply_check_in
+
+        def stalled_apply(*args, **kwargs):
+            in_apply.set()
+            assert release.wait(timeout=10), "test deadlock"
+            return original(*args, **kwargs)
+
+        server.apply_check_in = stalled_apply
+        try:
+            with ServiceClient.for_service(service, "reader") as reader, \
+                    ServiceClient.for_service(service, "writer") as writer:
+                reader.pin()
+                expected = reader.counts()
+                local = writer.check_out()
+                local.create_object("Data", "MidApply")
+                done = []
+
+                def commit():
+                    writer.check_in()
+                    done.append(True)
+
+                thread = threading.Thread(target=commit)
+                thread.start()
+                assert in_apply.wait(timeout=10)
+                # the apply is in flight (holding the write lock) and
+                # stalled — snapshot reads still answer, consistently
+                for _ in range(3):
+                    assert reader.counts() == expected
+                assert not done
+                release.set()
+                thread.join(timeout=10)
+                assert done
+        finally:
+            release.set()
+            server.apply_check_in = original
+
+    def test_evicted_pin_errors_and_repins(self):
+        server = make_server(snapshot_cache_size=2)
+        with SeedService(server, maintain_every=0) as service:
+            with ServiceClient.for_service(service, "reader") as reader, \
+                    ServiceClient.for_service(service, "writer") as writer:
+                stale = reader.pin()
+                for i in range(3):  # each commit publishes a snapshot
+                    local = writer.check_out()
+                    local.create_object("Data", f"Churn{i}")
+                    writer.check_in()
+                with pytest.raises(VersionError, match="no longer pinned"):
+                    reader.counts()
+                assert reader.pin() != stale
+                assert reader.find("Churn2") is not None
+
+
+class TestBackgroundMaintenance:
+    def test_maintenance_runs_between_check_ins(self):
+        server = make_server()
+        with SeedService(server, maintain_every=2) as service:
+            with ServiceClient.for_service(service, "writer") as writer:
+                for i in range(4):
+                    local = writer.check_out()
+                    local.create_object("Data", f"Gen{i}")
+                    writer.check_in()
+                assert wait_until(lambda: server.maintenance_runs >= 1)
+                # pinned snapshots survived compaction
+                stats = writer.stats()
+                assert stats["published"] in stats["pinned"]
+            # the master is intact after compaction
+            assert server.find_object("Gen3") is not None
+
+    def test_pinned_reader_survives_compaction(self):
+        server = make_server()
+        with SeedService(server, maintain_every=1) as service:
+            with ServiceClient.for_service(service, "reader") as reader, \
+                    ServiceClient.for_service(service, "writer") as writer:
+                reader.pin()
+                before = reader.counts()
+                local = writer.check_out()
+                local.create_object("Data", "AfterPin")
+                writer.check_in()
+                assert wait_until(lambda: server.maintenance_runs >= 1)
+                # compaction pinned every cached snapshot: the reader's
+                # view still answers, consistent as of its pin
+                assert reader.counts() == before
