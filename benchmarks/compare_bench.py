@@ -20,15 +20,24 @@ would otherwise pass forever. Intentional removals go through
 ``--allow-missing SECTION`` (repeatable), which records the waiver in
 the output.
 
+The check also runs in reverse: a gated section *name* that appears in
+**no** baseline file **fails the gate** unless waived with
+``--allow-new SECTION`` — an accidental section rename would otherwise
+sail through as "new (no baseline yet)" while its history silently
+stops being compared. A PR introducing a real section passes the
+waiver in CI until its ``BENCH_PR<n>.json`` lands; known sections
+measured at a previously-unmeasured *size* (e.g. nightly growing a
+tier) stay informational, not failures.
+
 Usage (CI wires this after the harness smoke run)::
 
     python benchmarks/compare_bench.py bench_smoke.json
     python benchmarks/compare_bench.py bench_smoke.json --tolerance 0.4
     python benchmarks/compare_bench.py bench_smoke.json \
-        --allow-missing retired_section
+        --allow-missing retired_section --allow-new fresh_section
 
-Exit codes: 0 trend ok, 1 regression(s) or dropped section(s),
-2 usage/baseline problems.
+Exit codes: 0 trend ok, 1 regression(s), dropped section(s), or
+undeclared new section(s), 2 usage/baseline problems.
 """
 
 from __future__ import annotations
@@ -103,6 +112,15 @@ def main(argv=None) -> int:
         "harness; missing it in the fresh run is then not a failure "
         "(repeatable)",
     )
+    parser.add_argument(
+        "--allow-new",
+        action="append",
+        default=[],
+        metavar="SECTION",
+        help="gated section intentionally introduced by this PR; its "
+        "absence from every committed baseline is then not a failure "
+        "(repeatable)",
+    )
     args = parser.parse_args(argv)
 
     if not args.fresh.exists():
@@ -122,11 +140,36 @@ def main(argv=None) -> int:
 
     floor = 1.0 - args.tolerance
     regressions: list[str] = []
+    # a section *name* no baseline has ever measured is suspect (rename
+    # or typo) unless this PR declares it via --allow-new; a known
+    # section at a previously-unmeasured size is ordinary tier growth
+    known_sections = {section for __, section in reference}
+    allowed_new = set(args.allow_new)
+    unexpected_new: list[str] = []
     compared = 0
     for (size, section), fresh_speedup in sorted(fresh.items()):
         baseline = reference.get((size, section))
         if baseline is None:
-            print(f"  new      {section}@{size}: x{fresh_speedup} (no baseline yet)")
+            if section in known_sections:
+                print(
+                    f"  new-size {section}@{size}: x{fresh_speedup} "
+                    "(known section, no baseline at this size)"
+                )
+            elif section in allowed_new:
+                print(
+                    f"  allowed  {section}@{size}: x{fresh_speedup} "
+                    "new section via --allow-new"
+                )
+            else:
+                print(
+                    f"  NEW      {section}@{size}: x{fresh_speedup} "
+                    "appears in no committed baseline"
+                )
+                unexpected_new.append(
+                    f"{section}@{size}: gated section appears in no "
+                    "committed baseline (pass --allow-new "
+                    f"{section} if this PR introduces it)"
+                )
             continue
         baseline_speedup, source = baseline
         compared += 1
@@ -172,12 +215,13 @@ def main(argv=None) -> int:
     if not compared:
         print("error: fresh run shares no gated (size, section) with baselines")
         return 2
-    if regressions or dropped:
+    if regressions or dropped or unexpected_new:
         print(
             f"\ntrend gate FAILED ({len(regressions)} regression(s), "
-            f"{len(dropped)} dropped section(s)):"
+            f"{len(dropped)} dropped section(s), "
+            f"{len(unexpected_new)} undeclared new section(s)):"
         )
-        for line in regressions + dropped:
+        for line in regressions + dropped + unexpected_new:
             print(f"  {line}")
         return 1
     print(

@@ -23,18 +23,29 @@ only pre-PR-6 durability mechanism, a full-image checkpoint
 (O(database)) — and the PR-7 scenario ``multiuser_concurrent``: eight
 reader threads retrieving while a writer applies bulk check-ins, MVCC
 pinned-snapshot reads (which never block on an apply) against the
-pre-PR-7 serialized live reads. Results are written to
-``BENCH_PR7.json`` at the repository root so future PRs have a perf
-trajectory to compare
-against (``BENCH_PR1.json``..``BENCH_PR6.json`` hold the earlier runs;
-``benchmarks/compare_bench.py`` gates CI on the trajectory, and since
-PR 5 also fails when a gated baseline section vanishes from the fresh
-run).
+pre-PR-7 serialized live reads — and the PR-8 scenario
+``multijoin_parallel``: a selective multi-join whose driving extent
+scan the optimizer shards across a worker pool with fused per-shard
+scan kernels (:mod:`repro.core.query.parallel`), timed against the
+serial streaming executor on the identical query; below the costing
+threshold the parallel config deliberately stays serial, so the small
+sizes double as a no-overhead regression check. Sizes at or above
+``PARALLEL_ONLY_SIZE`` (the 1M tier) run **only** this section — the
+brute-force baselines of the earlier sections are infeasible there.
+Results are written to ``BENCH_PR8.json`` at the repository root so
+future PRs have a perf trajectory to compare against
+(``BENCH_PR1.json``..``BENCH_PR7.json`` hold the earlier runs;
+``benchmarks/compare_bench.py`` gates CI on the trajectory, since PR 5
+fails when a gated baseline section vanishes from the fresh run, and
+since PR 8 also fails in reverse when an undeclared section name
+appears — ``--allow-new`` waives it for the introducing PR).
 
 Run::
 
     PYTHONPATH=src python benchmarks/perf_harness.py            # full: 1k/10k/50k
     PYTHONPATH=src python benchmarks/perf_harness.py --quick    # CI smoke: 1k
+    PYTHONPATH=src python benchmarks/perf_harness.py \
+        --sizes 10000 1000000                                   # nightly 1M tier
 
 This is a standalone script, deliberately not a pytest module: the
 timings are workload benchmarks, not assertions (the figure/claim
@@ -63,13 +74,16 @@ from repro.core.database import SeedDatabase  # noqa: E402
 from repro.core.indexes import brute_objects  # noqa: E402
 from repro.core.versions.compaction import RetentionPolicy  # noqa: E402
 from repro.core.query.algebra import Relation, extent, relationship_relation  # noqa: E402
+from repro.core.query.parallel import ParallelConfig  # noqa: E402
 from repro.core.query.planner import execute_node, on, plan, plan_cache  # noqa: E402
-from repro.core.query.predicates import name_prefix  # noqa: E402
+from repro.core.query.predicates import name_prefix, value_is  # noqa: E402
 from repro.core.query.retrieval import Retrieval  # noqa: E402
 from repro.core.schema.builder import SchemaBuilder  # noqa: E402
 
 FULL_SIZES = (1_000, 10_000, 50_000)
 QUICK_SIZES = (1_000,)
+#: sizes at or above this run only the multijoin_parallel section
+PARALLEL_ONLY_SIZE = 200_000
 
 
 def harness_schema():
@@ -821,6 +835,105 @@ def bench_multiuser_concurrent(size: int, repeats: int) -> dict:
     }
 
 
+def parallel_schema():
+    """Value-typed notes over a doc/code web (the sharded-scan workload)."""
+    builder = SchemaBuilder("parq")
+    builder.entity_class("Doc")
+    builder.entity_class("Code")
+    builder.entity_class("Note", sort="STRING")
+    builder.association(
+        "Mentions",
+        ("doc", "Doc", "0..*"),
+        ("code", "Code", "0..*"),
+    )
+    builder.association(
+        "Covers",
+        ("note", "Note", "0..*"),
+        ("doc", "Doc", "0..*"),
+    )
+    return builder.build()
+
+
+def bench_multijoin_parallel(size: int, repeats: int) -> dict:
+    """Sharded parallel scan kernels vs the serial streaming executor.
+
+    ``size`` value-typed notes (~1000 distinct tags), one ``Covers``
+    edge per note onto ``size/10`` docs, six ``Mentions`` per doc:
+    the query "codes mentioned by docs covered by tag7 notes" is
+    dominated by the selective σ over the full Note extent — exactly
+    the Select-over-ExtentScan chain :func:`repro.core.query.planner.
+    _parallelize` shards. Both paths run the *same* optimized join
+    order (the ``Parallel`` wrapper only replaces the driving scan);
+    the parallel side dispatches fused per-shard kernels that test
+    specialized predicates in a tight loop over the shard's oid list
+    instead of streaming rows through the generator protocol, and adds
+    pool-level concurrency on multi-core hosts. Below the default
+    costing threshold (sizes < 100k) the config deliberately resolves
+    to the serial plan, so small sizes gate dispatch overhead staying
+    at zero rather than a speedup. Row multisets are verified
+    identical before timing.
+    """
+    db = SeedDatabase(parallel_schema(), f"parq-{size}")
+    doc_count = max(size // 10, 5)
+    code_count = max(size // 10, 5)
+    db.bulk_load(
+        objects=[{"class": "Doc", "name": f"Doc{i}"} for i in range(doc_count)]
+        + [{"class": "Code", "name": f"Code{i}"} for i in range(code_count)]
+        + [
+            {"class": "Note", "name": f"Note{i}", "value": f"tag{i % 997}"}
+            for i in range(size)
+        ],
+        relationships=[
+            {
+                "association": "Mentions",
+                "bindings": {
+                    "doc": f"Doc{i}",
+                    "code": f"Code{(i * 6 + offset) % code_count}",
+                },
+            }
+            for i in range(doc_count)
+            for offset in range(6)
+        ]
+        + [
+            {
+                "association": "Covers",
+                "bindings": {"note": f"Note{i}", "doc": f"Doc{i % doc_count}"},
+            }
+            for i in range(size)
+        ],
+    )
+    query = (
+        plan(db)
+        .extent("Note", column="note")
+        .select(on("note", value_is("tag7")))
+        .join(plan(db).relationship("Covers"))
+        .join(plan(db).relationship("Mentions"))
+        .project("code")
+    )
+    config = ParallelConfig()  # default costing decides serial vs parallel
+    serial_rows = query.execute()
+    parallel_rows = query.execute(parallel=config)
+    assert sorted(o.oid for o in serial_rows.column("code")) == sorted(
+        o.oid for o in parallel_rows.column("code")
+    )
+    parallelized = "Parallel" in query.explain(parallel=config)
+    few = max(3, repeats // 2)
+    serial_s = median_time(lambda: query.execute(), few)
+    parallel_s = median_time(lambda: query.execute(parallel=config), few)
+    return {
+        "notes": size,
+        "covers": size,
+        "mentions": doc_count * 6,
+        "result_rows": len(parallel_rows),
+        "parallelized": parallelized,
+        "shards": config.shards,
+        "backend": config.resolved_backend(),
+        "bruteforce_s": serial_s,
+        "indexed_s": parallel_s,
+        "speedup": round(serial_s / parallel_s, 1) if parallel_s else None,
+    }
+
+
 def bench_durability(size: int, repeats: int) -> dict:
     """Durable check-in: write-ahead delta vs full-image checkpoint.
 
@@ -894,7 +1007,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR7.json",
+        default=REPO_ROOT / "BENCH_PR8.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -911,7 +1024,7 @@ def main(argv=None) -> int:
     repeats = 3 if args.quick else 7
 
     report = {
-        "benchmark": "PR7: sessions + concurrent multi-user service",
+        "benchmark": "PR8: parallel query execution over partitioned extents",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "repeats": repeats,
@@ -919,6 +1032,15 @@ def main(argv=None) -> int:
     }
     for size in sizes:
         print(f"benchmarking size {size} ...", flush=True)
+        if size >= PARALLEL_ONLY_SIZE:
+            # 1M tier: the other sections' brute-force baselines are
+            # infeasible here; only the parallel scan section runs
+            report["results"][str(size)] = {
+                "objects": size,
+                "parallel_only_tier": True,
+                "multijoin_parallel": bench_multijoin_parallel(size, repeats),
+            }
+            continue
         data = bench_size(size, repeats)
         data["version_walk"] = bench_version_walk(size, repeats)
         data["completeness_incremental"] = bench_completeness(size, repeats)
@@ -929,6 +1051,7 @@ def main(argv=None) -> int:
         data["multiuser_concurrent"] = bench_multiuser_concurrent(
             size, repeats
         )
+        data["multijoin_parallel"] = bench_multijoin_parallel(size, repeats)
         report["results"][str(size)] = data
 
     acceptance = {}
@@ -997,11 +1120,39 @@ def main(argv=None) -> int:
         acceptance["multiuser_reads_nonblocking_ok"] = (
             at_10k["multiuser_concurrent"]["reads_during_apply"] > 0
         )
+        # 10k sits below the parallel costing threshold: the config must
+        # resolve to the serial plan, i.e. stay within noise of x1.0
+        acceptance["multijoin_parallel_speedup_at_10k"] = at_10k[
+            "multijoin_parallel"
+        ]["speedup"]
+        acceptance["multijoin_parallel_serial_below_threshold"] = (
+            not at_10k["multijoin_parallel"]["parallelized"]
+        )
+        acceptance["multijoin_parallel_no_overhead_ok"] = (
+            at_10k["multijoin_parallel"]["speedup"] >= 0.8
+        )
+    at_1m = report["results"].get("1000000")
+    if at_1m:
+        acceptance["multijoin_parallel_speedup_at_1m"] = at_1m[
+            "multijoin_parallel"
+        ]["speedup"]
+        acceptance["multijoin_parallel_speedup_ok"] = (
+            at_1m["multijoin_parallel"]["speedup"] >= 2
+        )
     report["acceptance"] = acceptance
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     for size, data in report["results"].items():
+        if data.get("parallel_only_tier"):
+            print(
+                f"  {size}: multijoin parallel "
+                f"x{data['multijoin_parallel']['speedup']} "
+                f"({data['multijoin_parallel']['backend']}, "
+                f"{data['multijoin_parallel']['shards']} shards, "
+                "parallel-only tier)"
+            )
+            continue
         print(
             f"  {size}: extent x{data['query_extent']['speedup']}, "
             f"prefix x{data['query_name_prefix']['speedup']}, "
@@ -1014,7 +1165,8 @@ def main(argv=None) -> int:
             f"checkout cold x{data['checkout_cold']['speedup']}, "
             f"multijoin drift x{data['multijoin_drift']['speedup']}, "
             f"durability x{data['durability']['speedup']}, "
-            f"concurrent reads x{data['multiuser_concurrent']['speedup']}"
+            f"concurrent reads x{data['multiuser_concurrent']['speedup']}, "
+            f"multijoin parallel x{data['multijoin_parallel']['speedup']}"
         )
     if args.gate_planner:
         # compare raw medians, not the rounded display value: a 5%
@@ -1022,7 +1174,8 @@ def main(argv=None) -> int:
         slow = {
             size: data["query_multijoin"]["speedup"]
             for size, data in report["results"].items()
-            if data["query_multijoin"]["planner_s"]
+            if "query_multijoin" in data
+            and data["query_multijoin"]["planner_s"]
             >= data["query_multijoin"]["eager_s"]
         }
         if slow:

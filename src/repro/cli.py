@@ -143,6 +143,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="scan an association's instances directly")
     query.add_argument("--explain", action="store_true",
                        help="print the optimized plan tree before the rows")
+    query.add_argument("--parallel", action="store_true",
+                       help="allow sharded parallel execution of large "
+                            "scans (cost-gated; small scans stay serial)")
+    query.add_argument("--shards", type=int, default=4, metavar="N",
+                       help="shard count for --parallel (default: 4)")
+    query.add_argument("--backend", choices=("auto", "thread", "process"),
+                       default="auto",
+                       help="worker backend for --parallel (default: auto — "
+                            "threads when free-threaded or single-core, "
+                            "forked processes otherwise)")
     return parser
 
 
@@ -328,10 +338,16 @@ def _run_query(args: argparse.Namespace) -> int:
     """Build, optionally explain, and execute a planned query."""
     from repro.core.errors import QueryError
     from repro.core.objects import SeedObject
+    from repro.core.query.parallel import ParallelConfig
     from repro.core.query.planner import on, plan
     from repro.core.query.predicates import name_prefix
 
     db = load_database(args.database)
+    parallel = (
+        ParallelConfig(shards=args.shards, backend=args.backend)
+        if args.parallel
+        else None
+    )
     if args.extent and args.association:
         raise QueryError("use either --extent or --association, not both")
     if args.association and (args.prefix or args.via):
@@ -356,13 +372,13 @@ def _run_query(args: argparse.Namespace) -> int:
                     f"{', '.join(str(r) for r in association.roles)})"
                 )
             column = matching[0]
-        query = plan(db).extent(args.extent, column=column)
+        query = plan(db, parallel).extent(args.extent, column=column)
         if args.prefix:
             query = query.select(on(column, name_prefix(args.prefix)))
         if args.via:
-            query = query.join(plan(db).relationship(args.via))
+            query = query.join(plan(db, parallel).relationship(args.via))
     elif args.association:
-        query = plan(db).relationship(args.association)
+        query = plan(db, parallel).relationship(args.association)
     else:
         raise QueryError("query needs --extent CLASS or --association ASSOC")
     if args.explain:

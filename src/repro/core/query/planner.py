@@ -98,6 +98,33 @@ testing.
    against a near-empty database can no longer stay pinned after the
    database inflates. Soundness never depends on this: a stale plan
    returns correct rows, just slower.
+
+5. **Parallel execution over partitioned scans (PR 8).** With a
+   :class:`~repro.core.query.parallel.ParallelConfig`, the optimizer
+   runs a final pass that wraps *shardable* subtrees — a chain of
+   selections over a bare extent scan or association scan — in a
+   :class:`Parallel` node. The decision is costed in scanned-row
+   units from the same maintained statistics: a base scan of ``S``
+   rows parallelizes only when
+
+   * ``S >= threshold`` (default 100 000 — small scans never
+     parallelize; pool spin-up would dominate), and
+   * ``S / shards + dispatch_overhead < S`` — the per-shard cost plus
+     a fixed dispatch constant (default 25 000 row-units per run)
+     must beat the serial scan.
+
+   ``explain()`` renders the choice deterministically
+   (``Parallel shards=4 backend=thread split=range per-shard~S/n+C``).
+   Execution partitions the scan's id list through the index layer
+   (shard-stable; ``range`` split preserves serial row order, ``hash``
+   is multiset-equal), runs a fused per-shard kernel on a thread or
+   fork-process pool, and merges in shard order — a pipeline breaker,
+   so everything above (``Project``/``Union``/``Difference``, join
+   probe/build) streams unchanged. Worker failures are bounded by
+   failpoints and a result timeout, falling back to serial execution
+   (see :mod:`repro.core.query.parallel`). Cached plans key on the
+   config, so the same logical tree can hold serial and parallel
+   optimizations side by side.
 """
 
 from __future__ import annotations
@@ -111,6 +138,7 @@ from repro.core.errors import QueryError
 from repro.core.indexes import value_key
 from repro.core.objects import SeedObject
 from repro.core.query.algebra import Relation, dereference, relationship_row
+from repro.core.query.parallel import ParallelConfig, ShardSpec, run_sharded
 from repro.core.query.predicates import (
     And,
     HasValue,
@@ -143,6 +171,8 @@ __all__ = [
     "Difference",
     "Values",
     "Reorder",
+    "Parallel",
+    "ParallelConfig",
 ]
 
 
@@ -277,6 +307,23 @@ class Reorder(PlanNode):
     columns: tuple[str, ...]
 
 
+@dataclass(frozen=True, eq=False)
+class Parallel(PlanNode):
+    """Run a shardable subtree across a worker pool (optimizer-placed).
+
+    ``backend`` is already resolved (``thread`` or ``process``) so the
+    node executes — and ``explain()`` renders — deterministically. The
+    carried config supplies the runtime failure policy (fallback,
+    timeout).
+    """
+
+    child: PlanNode
+    shards: int
+    backend: str
+    split: str
+    config: ParallelConfig
+
+
 # ----------------------------------------------------------------------
 # schema helpers
 # ----------------------------------------------------------------------
@@ -306,6 +353,8 @@ def _columns_of(db: SeedDatabase, node: PlanNode) -> tuple[str, ...]:
         return _columns_of(db, node.left)
     if isinstance(node, Values):
         return _columns_of(db, node.child) + (node.into,)
+    if isinstance(node, Parallel):
+        return _columns_of(db, node.child)
     raise AssertionError(f"unhandled node {type(node).__name__}")  # pragma: no cover
 
 
@@ -360,6 +409,8 @@ def _column_class(db: SeedDatabase, node: PlanNode, column: str) -> Optional[str
     if isinstance(node, Values):
         if column == node.into:
             return None
+        return _column_class(db, node.child, column)
+    if isinstance(node, Parallel):
         return _column_class(db, node.child, column)
     return None  # pragma: no cover - exhaustive
 
@@ -509,6 +560,8 @@ def _estimate_uncached(db: SeedDatabase, node: PlanNode, memo: dict[int, int]) -
         return _estimate(db, node.left, memo) + _estimate(db, node.right, memo)
     if isinstance(node, Difference):
         return _estimate(db, node.left, memo)
+    if isinstance(node, Parallel):
+        return _estimate(db, node.child, memo)
     raise AssertionError(f"unhandled node {type(node).__name__}")  # pragma: no cover
 
 
@@ -560,6 +613,8 @@ def _distinct_of(
         if column == node.into:
             return _estimate(db, node, memo)
         return _distinct_of(db, node.child, column, memo)
+    if isinstance(node, Parallel):
+        return _distinct_of(db, node.child, column, memo)
     return _estimate(db, node, memo)  # pragma: no cover - exhaustive
 
 
@@ -568,13 +623,19 @@ def _distinct_of(
 # ----------------------------------------------------------------------
 
 
-def optimize(db: SeedDatabase, node: PlanNode) -> PlanNode:
+def optimize(
+    db: SeedDatabase, node: PlanNode, parallel: Optional[ParallelConfig] = None
+) -> PlanNode:
     """Full rewrite pipeline: pushdown, indexed scans, semi-join
-    reduction for value dereferences, join order."""
+    reduction for value dereferences, join order, and — when a
+    :class:`ParallelConfig` is given — parallelization of shardable
+    scans that cost out (see module docstring, layer 5)."""
     node = _push_selections(db, node)
     node = _rewrite_scans(db, node)
     node = _reduce_values_joins(db, node)
     node = _reorder_joins(db, node)
+    if parallel is not None:
+        node = _parallelize(db, node, parallel)
     return node
 
 
@@ -749,6 +810,12 @@ def _strip_reorders(node: PlanNode) -> PlanNode:
     return node
 
 
+def _strip_parallel(node: PlanNode) -> PlanNode:
+    while isinstance(node, Parallel):
+        node = node.child
+    return node
+
+
 def _hoist_values(db: SeedDatabase, node: PlanNode) -> PlanNode:
     """Pull Values nodes out of a join tree (see _reduce_values_joins).
 
@@ -855,6 +922,94 @@ def _flatten_join(node: PlanNode) -> list[PlanNode]:
 
 
 # ----------------------------------------------------------------------
+# parallelization pass
+# ----------------------------------------------------------------------
+
+
+def _shard_spec(db: SeedDatabase, node: PlanNode) -> Optional[ShardSpec]:
+    """Decompose a shardable subtree into a kernel spec, else ``None``.
+
+    Shardable = a (possibly empty) chain of selections over a bare
+    extent scan or association scan. Prefix-rewritten extent scans are
+    excluded — they already read a bisected slice of the name index,
+    which the oid-keyed partitioner cannot split.
+    """
+    columns = _columns_of(db, node)
+    cell_tests: list[tuple[int, Any]] = []
+    row_tests: list[Any] = []
+    while isinstance(node, Select):
+        predicate = node.predicate
+        if isinstance(predicate, ColumnPredicate):
+            cell_tests.append(
+                (columns.index(predicate.column), predicate.predicate)
+            )
+        else:
+            row_tests.append(predicate)
+        node = node.child
+    cell_tests.reverse()  # bottom-up, matching the serial nesting order
+    row_tests.reverse()
+    if isinstance(node, ExtentScan) and node.prefix is None:
+        return ShardSpec(
+            kind="extent",
+            name=node.class_name,
+            include_specials=node.include_specials,
+            with_attributes=(),
+            columns=columns,
+            cell_tests=tuple(cell_tests),
+            row_tests=tuple(row_tests),
+        )
+    if isinstance(node, RelScan):
+        return ShardSpec(
+            kind="rel",
+            name=node.association,
+            include_specials=node.include_specials,
+            with_attributes=node.with_attributes,
+            columns=columns,
+            cell_tests=tuple(cell_tests),
+            row_tests=tuple(row_tests),
+        )
+    return None
+
+
+def _base_scan_size(db: SeedDatabase, spec: ShardSpec) -> int:
+    """Rows the spec's base scan reads — the unit of the parallel cost
+    model (parallelism saves scan + predicate work, not output rows)."""
+    if spec.kind == "extent":
+        wanted = db.schema.entity_class(spec.name)
+        return db.indexes.extent_size(wanted, spec.include_specials)
+    return db.indexes.association_size(spec.name)
+
+
+def _parallelize(
+    db: SeedDatabase, node: PlanNode, config: ParallelConfig
+) -> PlanNode:
+    """Wrap shardable subtrees whose scans cost out in Parallel nodes."""
+    backend = config.resolved_backend()
+
+    def wrap(current: PlanNode) -> PlanNode:
+        spec = _shard_spec(db, current)
+        if spec is not None:
+            scanned = _base_scan_size(db, spec)
+            if (
+                scanned >= config.threshold
+                and scanned / config.shards + config.dispatch_overhead < scanned
+            ):
+                return Parallel(
+                    current, config.shards, backend, config.split, config
+                )
+            return current  # the whole chain shares one base: decided
+        if isinstance(current, (Select, Project, Rename, Values, Reorder)):
+            return replace(current, child=wrap(current.child))
+        if isinstance(current, (Join, Union, Difference)):
+            return replace(
+                current, left=wrap(current.left), right=wrap(current.right)
+            )
+        return current
+
+    return wrap(node)
+
+
+# ----------------------------------------------------------------------
 # plan cache
 # ----------------------------------------------------------------------
 
@@ -903,6 +1058,14 @@ def _plan_key(node: PlanNode) -> tuple:
         return ("union", _plan_key(node.left), _plan_key(node.right))
     if isinstance(node, Difference):
         return ("difference", _plan_key(node.left), _plan_key(node.right))
+    if isinstance(node, Parallel):
+        return (
+            "parallel",
+            _plan_key(node.child),
+            node.shards,
+            node.backend,
+            node.split,
+        )
     raise AssertionError(f"unhandled node {type(node).__name__}")  # pragma: no cover
 
 
@@ -1025,7 +1188,7 @@ def _stats_snapshot(db: SeedDatabase, node: PlanNode) -> tuple:
             )
             walk(current.child)
             return
-        if isinstance(current, (Project, Rename, Values, Reorder)):
+        if isinstance(current, (Project, Rename, Values, Reorder, Parallel)):
             walk(current.child)
             return
         walk(current.left)  # Join / Union / Difference
@@ -1087,13 +1250,23 @@ class PlanCache:
                 return True
         return False
 
-    def optimized(self, db: SeedDatabase, node: PlanNode) -> PlanNode:
-        """The optimized tree for *node*, cached while statistics hold."""
+    def optimized(
+        self,
+        db: SeedDatabase,
+        node: PlanNode,
+        parallel: Optional[ParallelConfig] = None,
+    ) -> PlanNode:
+        """The optimized tree for *node*, cached while statistics hold.
+
+        The parallel config participates in the key — the same logical
+        tree optimized serially and under a config are distinct entries
+        (a ``ParallelConfig`` is a frozen, hashable dataclass).
+        """
         try:
-            key = (_plan_key(node), db.versions.current_schema_index)
+            key = (_plan_key(node), db.versions.current_schema_index, parallel)
         except TypeError:
             self.bypasses += 1
-            return optimize(db, node)
+            return optimize(db, node, parallel)
         entry = self._entries.get(key)
         current: Optional[tuple] = None
         if entry is not None:
@@ -1106,7 +1279,7 @@ class PlanCache:
             self.reoptimizations += 1
         else:
             self.misses += 1
-        result = optimize(db, node)
+        result = optimize(db, node, parallel)
         if current is None:
             current = _stats_snapshot(db, node)
         self._entries[key] = (result, current)
@@ -1164,6 +1337,8 @@ class _Executor:
             yield from self._difference(node)
         elif isinstance(node, Values):
             yield from self._values(node)
+        elif isinstance(node, Parallel):
+            yield from self._parallel(node)
         else:  # pragma: no cover - exhaustive
             raise AssertionError(f"unhandled node {type(node).__name__}")
 
@@ -1190,6 +1365,28 @@ class _Executor:
             node.association, include_specials=node.include_specials
         ):
             yield relationship_row(rel, node.with_attributes)
+
+    def _parallel(self, node: Parallel) -> Iterator[tuple]:
+        """Dispatch a Parallel node to the sharded worker runtime.
+
+        A pipeline breaker: the shards materialize before the first row
+        is yielded, so worker pools wind down deterministically instead
+        of living as long as a half-consumed generator.
+        """
+        spec = _shard_spec(self._db, node.child)
+        if spec is None:  # pragma: no cover - optimizer only wraps shardable
+            yield from self.rows(node.child)
+            return
+        yield from run_sharded(
+            self._db,
+            spec,
+            shards=node.shards,
+            backend=node.backend,
+            split=node.split,
+            timeout_s=node.config.timeout_s,
+            fallback=node.config.fallback,
+            serial=lambda: self.rows(node.child),
+        )
 
     # -- streaming operators -------------------------------------------
 
@@ -1245,8 +1442,14 @@ class _Executor:
         # size of the association (what a hash join would actually
         # read), not the post-selection output estimate — a highly
         # selective filter over a huge scan still costs the scan
+        # an index join never scans the association, so a Parallel
+        # wrapper on the scan side is looked through (and dropped when
+        # the index join is chosen — probing incidence lists beats
+        # sharding a scan the join would not perform)
         if len(shared) == 1:
-            right_base, right_filter = self._peel_selects(node.right, right_columns)
+            right_base, right_filter = self._peel_selects(
+                _strip_parallel(node.right), right_columns
+            )
             if (
                 isinstance(right_base, RelScan)
                 and left_estimate
@@ -1265,7 +1468,9 @@ class _Executor:
                     + tuple(rel_row[i] for i in right_extra),
                 )
                 return
-            left_base, left_filter = self._peel_selects(node.left, left_columns)
+            left_base, left_filter = self._peel_selects(
+                _strip_parallel(node.left), left_columns
+            )
             if (
                 isinstance(left_base, RelScan)
                 and right_estimate
@@ -1452,13 +1657,22 @@ def _node_label(db: SeedDatabase, node: PlanNode, memo: dict[int, int]) -> str:
         detail = "Difference"
     elif isinstance(node, Values):
         detail = f"Values {node.column}.{node.role_path} -> {node.into}"
+    elif isinstance(node, Parallel):
+        spec = _shard_spec(db, node.child)
+        scanned = _base_scan_size(db, spec) if spec is not None else estimate
+        per_shard = scanned // node.shards
+        detail = (
+            f"Parallel shards={node.shards} backend={node.backend} "
+            f"split={node.split} "
+            f"per-shard~{per_shard}+{node.config.dispatch_overhead} dispatch"
+        )
     else:  # pragma: no cover - exhaustive
         raise AssertionError(f"unhandled node {type(node).__name__}")
     return f"{detail}  est~{estimate}"
 
 
 def _children_of(node: PlanNode) -> tuple[PlanNode, ...]:
-    if isinstance(node, (Select, Project, Rename, Values, Reorder)):
+    if isinstance(node, (Select, Project, Rename, Values, Reorder, Parallel)):
         return (node.child,)
     if isinstance(node, (Join, Union, Difference)):
         return (node.left, node.right)
@@ -1502,6 +1716,10 @@ def explain(db: SeedDatabase, node: PlanNode) -> str:
 # ----------------------------------------------------------------------
 
 
+#: sentinel distinguishing "parameter not passed" from an explicit None
+_UNSET: Any = object()
+
+
 class Plan:
     """An immutable logical query plan bound to one database.
 
@@ -1512,9 +1730,17 @@ class Plan:
     stream, or :meth:`explain` for the optimized plan tree.
     """
 
-    def __init__(self, db: SeedDatabase, node: PlanNode) -> None:
+    def __init__(
+        self,
+        db: SeedDatabase,
+        node: PlanNode,
+        parallel: Optional[ParallelConfig] = None,
+    ) -> None:
         self._db = db
         self.node = node
+        #: default ParallelConfig for evaluation (None = serial); every
+        #: composition inherits it, every evaluation can override it
+        self._parallel = parallel
 
     # -- composition (mirrors Relation) --------------------------------
 
@@ -1531,7 +1757,7 @@ class Plan:
         """
         if isinstance(predicate, ColumnPredicate):
             self._require_column(predicate.column)
-        return Plan(self._db, Select(self.node, predicate))
+        return Plan(self._db, Select(self.node, predicate), self._parallel)
 
     def project(self, *columns: str) -> "Plan":
         """Keep only *columns* (duplicate rows removed)."""
@@ -1539,7 +1765,7 @@ class Plan:
             self._require_column(column)
         if len(set(columns)) != len(columns):
             raise QueryError(f"duplicate column names: {tuple(columns)}")
-        return Plan(self._db, Project(self.node, tuple(columns)))
+        return Plan(self._db, Project(self.node, tuple(columns)), self._parallel)
 
     def rename(self, **renames: str) -> "Plan":
         """Rename columns: ``plan.rename(by="reader")``."""
@@ -1551,25 +1777,27 @@ class Plan:
         if len(set(renamed)) != len(renamed):
             raise QueryError(f"duplicate column names: {renamed}")
         return Plan(
-            self._db, Rename(self.node, tuple(sorted(renames.items())))
+            self._db,
+            Rename(self.node, tuple(sorted(renames.items()))),
+            self._parallel,
         )
 
     def join(self, other: "Plan") -> "Plan":
         """Natural join on all shared columns (object identity)."""
         self._require_same_db(other)
-        return Plan(self._db, Join(self.node, other.node))
+        return Plan(self._db, Join(self.node, other.node), self._parallel)
 
     def union(self, other: "Plan") -> "Plan":
         """Set union (columns must match)."""
         self._require_same_db(other)
         self._require_same_columns(other)
-        return Plan(self._db, Union(self.node, other.node))
+        return Plan(self._db, Union(self.node, other.node), self._parallel)
 
     def difference(self, other: "Plan") -> "Plan":
         """Set difference (columns must match)."""
         self._require_same_db(other)
         self._require_same_columns(other)
-        return Plan(self._db, Difference(self.node, other.node))
+        return Plan(self._db, Difference(self.node, other.node), self._parallel)
 
     def values(self, column: str, role_path: str, into: str) -> "Plan":
         """Add a column of values dereferenced from an object column."""
@@ -1578,20 +1806,30 @@ class Plan:
             raise QueryError("empty role path")
         if into in self.columns:
             raise QueryError(f"duplicate column names: {self.columns + (into,)}")
-        return Plan(self._db, Values(self.node, column, role_path, into))
+        return Plan(
+            self._db,
+            Values(self.node, column, role_path, into),
+            self._parallel,
+        )
 
     # -- evaluation ----------------------------------------------------
 
-    def optimized(self) -> PlanNode:
+    def _parallel_config(self, parallel: Any) -> Optional[ParallelConfig]:
+        return self._parallel if parallel is _UNSET else parallel
+
+    def optimized(self, *, parallel: Any = _UNSET) -> PlanNode:
         """The optimizer's output for this plan (a new node tree).
 
         Served from the database's :class:`PlanCache` when the logical
         tree is keyable, so persistent/repeated queries skip
-        re-optimization.
+        re-optimization. *parallel* overrides the plan's default
+        :class:`ParallelConfig` (pass ``None`` to force serial).
         """
-        return plan_cache(self._db).optimized(self._db, self.node)
+        return plan_cache(self._db).optimized(
+            self._db, self.node, self._parallel_config(parallel)
+        )
 
-    def explain(self, *, optimized: bool = True) -> str:
+    def explain(self, *, optimized: bool = True, parallel: Any = _UNSET) -> str:
         """Deterministic plan-tree rendering with cardinality estimates.
 
         Example::
@@ -1601,17 +1839,24 @@ class Plan:
             ...          .explain())
             ExtentScan Data as d prefix='Al'  est~1
         """
-        node = self.optimized() if optimized else self.node
+        node = self.optimized(parallel=parallel) if optimized else self.node
         return explain(self._db, node)
 
-    def rows(self, *, optimized: bool = True) -> Iterator[tuple]:
+    def rows(
+        self, *, optimized: bool = True, parallel: Any = _UNSET
+    ) -> Iterator[tuple]:
         """Stream result rows (tuples aligned with :attr:`columns`)."""
-        node = self.optimized() if optimized else self.node
+        node = self.optimized(parallel=parallel) if optimized else self.node
         return _Executor(self._db).rows(node)
 
-    def execute(self, *, optimized: bool = True) -> Relation:
+    def execute(
+        self, *, optimized: bool = True, parallel: Any = _UNSET
+    ) -> Relation:
         """Materialize the (by default optimized) plan into a Relation."""
-        return Relation(self.columns, tuple(self.rows(optimized=optimized)))
+        return Relation(
+            self.columns,
+            tuple(self.rows(optimized=optimized, parallel=parallel)),
+        )
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         columns = self.columns
@@ -1639,10 +1884,18 @@ class Plan:
 
 
 class PlanBuilder:
-    """Entry point producing leaf plans for one database."""
+    """Entry point producing leaf plans for one database.
 
-    def __init__(self, db: SeedDatabase) -> None:
+    A :class:`ParallelConfig` given here becomes the default for every
+    plan built through the builder (inherited by composition, still
+    overridable per evaluation call).
+    """
+
+    def __init__(
+        self, db: SeedDatabase, parallel: Optional[ParallelConfig] = None
+    ) -> None:
         self._db = db
+        self._parallel = parallel
 
     def extent(
         self,
@@ -1655,7 +1908,9 @@ class PlanBuilder:
         self._db.schema.entity_class(class_name)  # validate early
         name = column or class_name.lower()
         return Plan(
-            self._db, ExtentScan(class_name, name, include_specials)
+            self._db,
+            ExtentScan(class_name, name, include_specials),
+            self._parallel,
         )
 
     def relationship(
@@ -1673,9 +1928,16 @@ class PlanBuilder:
         return Plan(
             self._db,
             RelScan(association, include_specials, tuple(with_attributes)),
+            self._parallel,
         )
 
 
-def plan(db: SeedDatabase) -> PlanBuilder:
-    """Start building a planned query: ``plan(db).extent("Data")...``."""
-    return PlanBuilder(db)
+def plan(
+    db: SeedDatabase, parallel: Optional[ParallelConfig] = None
+) -> PlanBuilder:
+    """Start building a planned query: ``plan(db).extent("Data")...``.
+
+    With *parallel*, evaluation may use the sharded worker runtime
+    (cost-gated): ``plan(db, ParallelConfig()).extent(...)``.
+    """
+    return PlanBuilder(db, parallel)

@@ -24,6 +24,7 @@ from typing import Iterator, Optional
 from repro.core.database import SeedDatabase
 from repro.core.errors import SeedError
 from repro.core.objects import SeedObject
+from repro.core.query.parallel import ParallelConfig
 from repro.core.query.planner import PlanBuilder
 from repro.core.query.predicates import (
     InClass,
@@ -82,14 +83,16 @@ class Retrieval:
 
     # -- planned queries ---------------------------------------------------
 
-    def plan(self) -> PlanBuilder:
+    def plan(self, parallel: "ParallelConfig | None" = None) -> PlanBuilder:
         """Start a planned ER-algebra query over this database.
 
         ``retrieval.plan().extent("Data").select(...)`` builds a logical
         plan the cost-based optimizer evaluates through the index layer;
-        see :mod:`repro.core.query.planner`.
+        see :mod:`repro.core.query.planner`. With *parallel* (a
+        :class:`~repro.core.query.parallel.ParallelConfig`) the built
+        plans may execute large shardable scans on a worker pool.
         """
-        return PlanBuilder(self._db)
+        return PlanBuilder(self._db, parallel)
 
     # -- by name -----------------------------------------------------------
 

@@ -59,17 +59,77 @@ def test_gate_fails_on_regression(tmp_path, capsys):
     assert "REGRESSED" in capsys.readouterr().out
 
 
-def test_new_sections_are_reported_not_gated(tmp_path, capsys):
-    write_report(tmp_path / "BENCH_PR1.json", {"query_extent": 100.0})
-    write_report(
-        tmp_path / "fresh.json",
-        {"query_extent": 100.0, "brand_new_section": 2.0},
-    )
-    code = compare_bench.main(
-        [str(tmp_path / "fresh.json"), "--baseline-dir", str(tmp_path)]
-    )
-    assert code == 0
-    assert "no baseline yet" in capsys.readouterr().out
+class TestNewSections:
+    """A gated section no baseline knows must be declared via --allow-new."""
+
+    def test_undeclared_new_section_fails_the_gate(self, tmp_path, capsys):
+        write_report(tmp_path / "BENCH_PR1.json", {"query_extent": 100.0})
+        write_report(
+            tmp_path / "fresh.json",
+            {"query_extent": 100.0, "brand_new_section": 2.0},
+        )
+        code = compare_bench.main(
+            [str(tmp_path / "fresh.json"), "--baseline-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NEW" in out and "brand_new_section" in out
+        assert "undeclared new section" in out
+
+    def test_allow_new_waives_declared_sections(self, tmp_path, capsys):
+        write_report(tmp_path / "BENCH_PR1.json", {"query_extent": 100.0})
+        write_report(
+            tmp_path / "fresh.json",
+            {"query_extent": 100.0, "brand_new_section": 2.0},
+        )
+        code = compare_bench.main(
+            [
+                str(tmp_path / "fresh.json"),
+                "--baseline-dir", str(tmp_path),
+                "--allow-new", "brand_new_section",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "allowed" in out and "--allow-new" in out
+
+    def test_allow_new_does_not_waive_other_sections(self, tmp_path):
+        write_report(tmp_path / "BENCH_PR1.json", {"query_extent": 100.0})
+        write_report(
+            tmp_path / "fresh.json",
+            {"query_extent": 100.0, "declared": 2.0, "undeclared": 3.0},
+        )
+        code = compare_bench.main(
+            [
+                str(tmp_path / "fresh.json"),
+                "--baseline-dir", str(tmp_path),
+                "--allow-new", "declared",
+            ]
+        )
+        assert code == 1  # undeclared still trips the gate
+
+    def test_new_size_of_known_section_stays_informational(
+        self, tmp_path, capsys
+    ):
+        # nightly growing a tier measures a known section at a size no
+        # baseline covers — that is growth, not a rename
+        write_report(tmp_path / "BENCH_PR1.json", {"query_extent": 100.0})
+        (tmp_path / "fresh.json").write_text(
+            json.dumps(
+                {
+                    "results": {
+                        "1000": {"query_extent": {"speedup": 100.0}},
+                        "1000000": {"query_extent": {"speedup": 250.0}},
+                    }
+                }
+            )
+        )
+        code = compare_bench.main(
+            [str(tmp_path / "fresh.json"), "--baseline-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "new-size" in out
 
 
 def test_no_overlap_is_an_error(tmp_path):

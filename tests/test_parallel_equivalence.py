@@ -1,0 +1,465 @@
+"""Parallel executor equivalence, determinism, and failure handling.
+
+The sharded runtime (:mod:`repro.core.query.parallel`) must be
+row-multiset identical to the serial streaming executor for *any*
+query, on both backends, across shard counts — including mid-transaction
+reads and the vague/undefined data shapes the randomized planner
+populations carry. Beyond equivalence, this suite pins down:
+
+* explain determinism — the ``Parallel`` rendering is byte-identical
+  run to run;
+* the costing threshold — small scans never parallelize under the
+  default config;
+* the failure contract — failpoint-injected I/O errors, poisoned
+  (exiting) workers, and hung workers fall back to serial execution
+  (or surface a clean ``QueryError`` when fallback is disabled), and
+  :class:`~repro.core.faults.SimulatedCrash` always propagates;
+* process-backend hygiene — structured predicates pickle round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import time
+
+import pytest
+
+from _planner_gen import build_population, random_query, row_multiset
+from repro.core import SchemaBuilder, SeedDatabase
+from repro.core import faults
+from repro.core.errors import QueryError
+from repro.core.query import parallel as parallel_mod
+from repro.core.query.parallel import ParallelConfig, Partitioner
+from repro.core.query.planner import (
+    Parallel,
+    _children_of,
+    on,
+    plan,
+)
+from repro.core.query.predicates import (
+    And,
+    FunctionPredicate,
+    HasValue,
+    InClass,
+    NamePrefix,
+    Not,
+    Or,
+    ParticipatesIn,
+    ValueEquals,
+    both,
+    has_value,
+    name_prefix,
+    value_is,
+)
+
+#: force parallelization of every shardable subtree, however small
+FORCE = dict(threshold=0, dispatch_overhead=0)
+
+_MAIN_PID = os.getpid()
+
+
+def _sleepy(obj) -> bool:
+    time.sleep(0.05)
+    return True
+
+
+def _exit_in_worker(obj) -> bool:
+    """Kill forked workers abruptly; behave normally in the parent."""
+    if os.getpid() != _MAIN_PID:
+        os._exit(3)
+    return True
+
+
+def count_parallel(node) -> int:
+    total = 1 if isinstance(node, Parallel) else 0
+    return total + sum(count_parallel(child) for child in _children_of(node))
+
+
+def small_db(size: int = 120) -> SeedDatabase:
+    schema = (
+        SchemaBuilder("par")
+        .entity_class("Doc")
+        .entity_class("Note", sort="STRING")
+        .association("Covers", ("doc", "Doc", "0..*"), ("note", "Note", "0..*"))
+        .build()
+    )
+    db = SeedDatabase(schema, name="par")
+    objects = [
+        {"class": "Note", "name": f"N{i}", "value": f"tag{i % 5}"}
+        for i in range(size)
+    ]
+    objects += [{"class": "Doc", "name": f"D{i}"} for i in range(max(size // 10, 1))]
+    relationships = [
+        {
+            "association": "Covers",
+            "bindings": {"doc": f"D{i % max(size // 10, 1)}", "note": f"N{i}"},
+        }
+        for i in range(size)
+    ]
+    db.bulk_load(objects, relationships)
+    return db
+
+
+_populations: dict[int, object] = {}
+
+
+def population(seed: int):
+    if seed not in _populations:
+        _populations[seed] = build_population(seed)
+    return _populations[seed]
+
+
+class TestRandomizedParallelEquivalence:
+    """Parallel vs. serial on the seeded random populations/queries.
+
+    Shard counts {1, 2, 7} and both backends rotate deterministically
+    through the (population, query) grid, so every combination is
+    exercised without forking a process pool per case.
+    """
+
+    CASES = [
+        (population_seed, query_seed)
+        for population_seed in range(8)
+        for query_seed in range(4)
+    ]
+    GRID = [
+        (shards, backend)
+        for backend in ("thread", "process")
+        for shards in (1, 2, 7)
+    ]
+
+    @pytest.mark.parametrize("population_seed,query_seed", CASES)
+    def test_parallel_matches_serial(self, population_seed, query_seed):
+        db = population(population_seed)
+        rng = random.Random(population_seed * 1009 + query_seed)
+        query = random_query(rng, db)
+        shards, backend = self.GRID[
+            (population_seed * len(self.CASES) // 8 + query_seed) % len(self.GRID)
+        ]
+        config = ParallelConfig(shards=shards, backend=backend, **FORCE)
+        parallel_result = query.plan.execute(parallel=config)
+        assert parallel_result.columns == query.relation.columns
+        assert row_multiset(parallel_result) == row_multiset(query.relation), (
+            f"parallel ({shards} shards, {backend}) diverged for population "
+            f"{population_seed}, query {query_seed}:\n"
+            f"{query.plan.explain(parallel=config)}"
+        )
+
+    def test_grid_actually_parallelizes(self):
+        """Coverage guard: the forced config does wrap scans."""
+        db = population(0)
+        rng = random.Random(7)
+        query = random_query(rng, db)
+        config = ParallelConfig(shards=2, backend="thread", **FORCE)
+        optimized = query.plan.optimized(parallel=config)
+        assert count_parallel(optimized) >= 1
+
+
+class TestDirectedSemantics:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("shards", [1, 2, 7])
+    def test_range_split_preserves_serial_row_order(self, backend, shards):
+        db = small_db()
+        query = (
+            plan(db)
+            .extent("Note", column="note")
+            .select(on("note", value_is("tag3")))
+        )
+        config = ParallelConfig(
+            shards=shards, backend=backend, split="range", **FORCE
+        )
+        serial_rows = list(query.rows(parallel=None))
+        parallel_rows = list(query.rows(parallel=config))
+        assert parallel_rows == serial_rows  # order, not just multiset
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_hash_split_is_multiset_equal(self, backend):
+        db = small_db()
+        query = (
+            plan(db)
+            .extent("Note", column="note")
+            .select(on("note", has_value()))
+        )
+        config = ParallelConfig(shards=3, backend=backend, split="hash", **FORCE)
+        assert row_multiset(query.execute(parallel=config)) == row_multiset(
+            query.execute(parallel=None)
+        )
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_mid_transaction_reads(self, backend):
+        db = small_db(40)
+        config = ParallelConfig(shards=2, backend=backend, **FORCE)
+        query = (
+            plan(db)
+            .extent("Note", column="note")
+            .select(on("note", value_is("fresh")))
+        )
+        with db.transaction():
+            created = db.create_object("Note", "Uncommitted")
+            created.set_value("fresh")
+            inside = query.execute(parallel=config)
+            assert row_multiset(inside) == row_multiset(
+                query.execute(parallel=None)
+            )
+            assert any(
+                str(cell.name) == "Uncommitted" for (cell,) in inside.rows
+            )
+
+    def test_structured_and_opaque_predicates_compose(self):
+        db = small_db()
+        opaque = FunctionPredicate(
+            lambda obj: str(obj.name).endswith(("0", "2")), "name-suffix"
+        )
+        query = (
+            plan(db)
+            .extent("Note", column="note")
+            .select(on("note", both(has_value(), name_prefix("N"))))
+            .select(on("note", opaque))
+            .select(lambda row: row["note"].value != "tag4")
+        )
+        config = ParallelConfig(shards=4, backend="thread", **FORCE)
+        assert row_multiset(query.execute(parallel=config)) == row_multiset(
+            query.execute(parallel=None)
+        )
+
+    def test_join_over_parallel_leaf(self):
+        db = small_db()
+        query = (
+            plan(db)
+            .extent("Note", column="note")
+            .select(on("note", value_is("tag1")))
+            .join(plan(db).relationship("Covers"))
+            .project("doc")
+        )
+        config = ParallelConfig(shards=3, backend="thread", **FORCE)
+        assert row_multiset(query.execute(parallel=config)) == row_multiset(
+            query.execute(parallel=None)
+        )
+
+
+class TestCostModel:
+    def test_small_scans_stay_serial_under_default_config(self):
+        db = small_db()  # far below the 100k threshold
+        query = (
+            plan(db)
+            .extent("Note", column="note")
+            .select(on("note", has_value()))
+        )
+        optimized = query.optimized(parallel=ParallelConfig())
+        assert count_parallel(optimized) == 0
+
+    def test_threshold_zero_parallelizes(self):
+        db = small_db()
+        query = plan(db).extent("Note", column="note")
+        optimized = query.optimized(parallel=ParallelConfig(**FORCE))
+        assert count_parallel(optimized) == 1
+
+    def test_dispatch_overhead_blocks_non_paying_scans(self):
+        db = small_db(100)
+        query = plan(db).extent("Note", column="note")
+        # threshold passes, but S/shards + overhead >= S: never pays
+        config = ParallelConfig(shards=2, threshold=0, dispatch_overhead=10_000)
+        assert count_parallel(query.optimized(parallel=config)) == 0
+
+    def test_prefix_scans_are_not_sharded(self):
+        db = small_db()
+        query = (
+            plan(db)
+            .extent("Note", column="note")
+            .select(on("note", name_prefix("N1")))
+        )
+        optimized = query.optimized(parallel=ParallelConfig(**FORCE))
+        # the rewrite wins: a bisected prefix scan stays serial
+        assert count_parallel(optimized) == 0
+        assert "prefix='N1'" in query.explain(parallel=ParallelConfig(**FORCE))
+
+    def test_cache_keeps_serial_and_parallel_plans_apart(self):
+        db = small_db()
+        query = plan(db).extent("Note", column="note")
+        config = ParallelConfig(**FORCE)
+        serial_tree = query.optimized()
+        parallel_tree = query.optimized(parallel=config)
+        assert count_parallel(serial_tree) == 0
+        assert count_parallel(parallel_tree) == 1
+        # both entries are cached independently and served stably
+        assert query.optimized() is serial_tree
+        assert query.optimized(parallel=config) is parallel_tree
+
+
+class TestExplainDeterminism:
+    def test_explain_is_byte_identical_run_to_run(self):
+        config = ParallelConfig(shards=4, backend="thread", **FORCE)
+
+        def render() -> str:
+            db = small_db()
+            query = (
+                plan(db)
+                .extent("Note", column="note")
+                .select(on("note", value_is("tag3")))
+                .join(plan(db).relationship("Covers"))
+            )
+            return query.explain(parallel=config)
+
+        first, second = render(), render()
+        assert first == second
+        assert "Parallel shards=4 backend=thread split=range" in first
+        assert "per-shard~" in first
+
+    def test_parallel_node_renders_in_tree_position(self):
+        db = small_db()
+        config = ParallelConfig(shards=2, backend="thread", **FORCE)
+        text = plan(db).extent("Note", column="note").explain(parallel=config)
+        lines = text.splitlines()
+        assert lines[0].startswith("Parallel shards=2")
+        assert lines[1].strip().startswith("└─ ExtentScan Note")
+
+
+class TestFailureContract:
+    def setup_method(self):
+        parallel_mod.stats.reset()
+
+    @pytest.mark.parametrize("point", [parallel_mod.DISPATCH_POINT,
+                                       parallel_mod.RESULT_POINT])
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_fail_io_falls_back_to_serial(self, point, backend):
+        db = small_db()
+        query = (
+            plan(db)
+            .extent("Note", column="note")
+            .select(on("note", value_is("tag2")))
+        )
+        expected = row_multiset(query.execute(parallel=None))
+        config = ParallelConfig(shards=3, backend=backend, **FORCE)
+        fault_plan = faults.FaultPlan(seed=11)
+        fault_plan.fail_io(point, at=2)
+        with fault_plan:
+            result = query.execute(parallel=config)
+        assert row_multiset(result) == expected
+        assert fault_plan.triggered, "failpoint never fired"
+        assert parallel_mod.stats.fallbacks == 1
+
+    def test_fail_io_without_fallback_raises_query_error(self):
+        db = small_db()
+        query = plan(db).extent("Note", column="note")
+        config = ParallelConfig(shards=2, backend="thread", fallback=False, **FORCE)
+        fault_plan = faults.FaultPlan(seed=5)
+        fault_plan.fail_io(parallel_mod.DISPATCH_POINT)
+        with fault_plan:
+            with pytest.raises(QueryError, match="fallback disabled"):
+                query.execute(parallel=config)
+
+    def test_simulated_crash_always_propagates(self):
+        db = small_db()
+        query = plan(db).extent("Note", column="note")
+        config = ParallelConfig(shards=2, backend="thread", **FORCE)
+        fault_plan = faults.FaultPlan(seed=5)
+        fault_plan.crash(parallel_mod.RESULT_POINT)
+        with fault_plan:
+            with pytest.raises(faults.SimulatedCrash):
+                query.execute(parallel=config)
+        assert parallel_mod.stats.fallbacks == 0
+
+    def test_poisoned_worker_falls_back(self):
+        db = small_db(30)
+        poison = FunctionPredicate(_exit_in_worker, "exit-in-worker")
+        query = plan(db).extent("Note", column="note").select(on("note", poison))
+        config = ParallelConfig(shards=2, backend="process", **FORCE)
+        result = query.execute(parallel=config)  # BrokenProcessPool inside
+        assert len(result.rows) == 30  # serial fallback in the parent
+        assert parallel_mod.stats.fallbacks == 1
+
+    def test_poisoned_worker_without_fallback_raises(self):
+        db = small_db(30)
+        poison = FunctionPredicate(_exit_in_worker, "exit-in-worker")
+        query = plan(db).extent("Note", column="note").select(on("note", poison))
+        config = ParallelConfig(
+            shards=2, backend="process", fallback=False, **FORCE
+        )
+        with pytest.raises(QueryError, match="fallback disabled"):
+            query.execute(parallel=config)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_hung_worker_times_out_instead_of_hanging_the_merge(self, backend):
+        db = small_db(6)
+        sleepy = FunctionPredicate(_sleepy, "sleepy")
+        query = plan(db).extent("Note", column="note").select(on("note", sleepy))
+        config = ParallelConfig(
+            shards=2, backend=backend, timeout_s=0.01, **FORCE
+        )
+        started = time.monotonic()
+        result = query.execute(parallel=config)
+        elapsed = time.monotonic() - started
+        assert len(result.rows) == 6
+        assert parallel_mod.stats.fallbacks == 1
+        assert elapsed < 10  # bounded: no full-queue wait, no deadlock
+
+
+class TestPartitioner:
+    def test_range_shards_concatenate_to_extent_order(self):
+        db = small_db(53)
+        partitioner = Partitioner(db, shards=7, split="range")
+        shards = partitioner.object_shards("Note")
+        wanted = db.schema.entity_class("Note")
+        flat = [oid for shard in shards for oid in shard]
+        assert flat == db.indexes.extent_oids(wanted)
+        assert len(shards) == 7
+
+    def test_hash_shards_partition_the_extent(self):
+        db = small_db(53)
+        partitioner = Partitioner(db, shards=4, split="hash")
+        shards = partitioner.object_shards("Note")
+        wanted = db.schema.entity_class("Note")
+        flat = sorted(oid for shard in shards for oid in shard)
+        assert flat == db.indexes.extent_oids(wanted)
+        for index, shard in enumerate(shards):
+            assert all(oid % 4 == index for oid in shard)
+
+    def test_more_shards_than_rows_yields_empty_shards(self):
+        db = small_db(3)
+        shards = Partitioner(db, shards=7, split="range").object_shards("Doc")
+        assert len(shards) == 7
+        assert sum(len(shard) for shard in shards) == 1  # one Doc at size 3
+
+    def test_partitioning_is_shard_stable(self):
+        db = small_db(40)
+        first = Partitioner(db, shards=3).relationship_shards("Covers")
+        second = Partitioner(db, shards=3).relationship_shards("Covers")
+        assert first == second
+
+    def test_config_validation(self):
+        with pytest.raises(QueryError):
+            ParallelConfig(shards=0)
+        with pytest.raises(QueryError):
+            ParallelConfig(backend="gpu")
+        with pytest.raises(QueryError):
+            ParallelConfig(split="modulo")
+        with pytest.raises(QueryError):
+            ParallelConfig(timeout_s=0)
+
+
+class TestProcessBackendHygiene:
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            NamePrefix("Al"),
+            InClass("Note"),
+            InClass("Note", include_specials=False),
+            HasValue(),
+            ValueEquals("tag3"),
+            ParticipatesIn("Covers"),
+            ParticipatesIn("Covers", "doc"),
+            And((NamePrefix("N"), HasValue())),
+            Or((ValueEquals("a"), ValueEquals("b"))),
+            Not(NamePrefix("X")),
+        ],
+    )
+    def test_structured_predicates_pickle_round_trip(self, predicate):
+        assert pickle.loads(pickle.dumps(predicate)) == predicate
+
+    def test_parallel_config_pickles_and_hashes(self):
+        config = ParallelConfig(shards=7, backend="process", split="hash")
+        assert pickle.loads(pickle.dumps(config)) == config
+        assert hash(config) == hash(ParallelConfig(shards=7, backend="process",
+                                                   split="hash"))
