@@ -31,10 +31,14 @@ serial streaming executor on the identical query; below the costing
 threshold the parallel config deliberately stays serial, so the small
 sizes double as a no-overhead regression check. Sizes at or above
 ``PARALLEL_ONLY_SIZE`` (the 1M tier) run **only** this section — the
-brute-force baselines of the earlier sections are infeasible there.
-Results are written to ``BENCH_PR8.json`` at the repository root so
+brute-force baselines of the earlier sections are infeasible there —
+and the PR-9 scenario ``durability_txn``: making one *direct*
+transaction durable via the post-commit write-ahead txn delta
+(O(change)) versus the only pre-PR-9 mechanism for direct mutations,
+a checkpoint per transaction (O(database)).
+Results are written to ``BENCH_PR9.json`` at the repository root so
 future PRs have a perf trajectory to compare against
-(``BENCH_PR1.json``..``BENCH_PR7.json`` hold the earlier runs;
+(``BENCH_PR1.json``..``BENCH_PR8.json`` hold the earlier runs;
 ``benchmarks/compare_bench.py`` gates CI on the trajectory, since PR 5
 fails when a gated baseline section vanishes from the fresh run, and
 since PR 8 also fails in reverse when an undeclared section name
@@ -991,6 +995,63 @@ def bench_durability(size: int, repeats: int) -> dict:
         }
 
 
+def bench_durability_txn(size: int, repeats: int) -> dict:
+    """Durable direct transaction: write-ahead txn delta vs checkpoint.
+
+    A journal-bound database with ``size`` objects, mutated *directly*
+    (no check-out/check-in). Before PR 9 a direct commit was only
+    durable from the next full-image checkpoint — O(database) per
+    transaction if every commit must survive a crash. The post-commit
+    txn sink appends one delta record covering exactly the items the
+    transaction touched — O(change), with replay equivalence proved by
+    the crash matrix (``tests/test_crash_matrix.py``). Timed here: one
+    committed single-object transaction through the sink against one
+    :meth:`~repro.core.storage.engine.JournaledDatabase.checkpoint` of
+    the same database. Byte costs are reported alongside.
+    """
+    import tempfile
+
+    from repro.core.storage import JournaledDatabase
+
+    with tempfile.TemporaryDirectory(prefix="seed-bench-") as tmp:
+        path = Path(tmp) / "txn.seed"
+        journal = JournaledDatabase.open(
+            path, schema=harness_schema(), name=f"txn-{size}"
+        )
+        db = journal.db
+        with journal.suspended_txn_sink():  # setup is not the workload
+            db.bulk_load(
+                [{"class": "Note", "name": f"Note{i}"} for i in range(size)],
+                [],
+            )
+        before = journal._file.size_bytes()  # noqa: SLF001 - byte accounting
+        journal.checkpoint()
+        image_bytes = journal._file.size_bytes() - before  # noqa: SLF001
+
+        counter = [0]
+
+        def durable_txn() -> None:
+            counter[0] += 1
+            with db.transaction():
+                db.create_object("Note", f"Txn{counter[0]}")
+
+        before = journal._file.size_bytes()  # noqa: SLF001
+        durable_txn()
+        delta_bytes = journal._file.size_bytes() - before  # noqa: SLF001
+
+        few = max(3, repeats // 2)
+        txn = median_time(durable_txn, few)
+        checkpoint = median_time(journal.checkpoint, few)
+        return {
+            "objects": size,
+            "image_bytes": image_bytes,
+            "delta_bytes": delta_bytes,
+            "bruteforce_s": checkpoint,
+            "indexed_s": txn,
+            "speedup": round(checkpoint / txn, 1) if txn else None,
+        }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1007,7 +1068,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR8.json",
+        default=REPO_ROOT / "BENCH_PR9.json",
         help="where to write the JSON report",
     )
     parser.add_argument(
@@ -1024,7 +1085,7 @@ def main(argv=None) -> int:
     repeats = 3 if args.quick else 7
 
     report = {
-        "benchmark": "PR8: parallel query execution over partitioned extents",
+        "benchmark": "PR9: transaction-level write-ahead durability",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "repeats": repeats,
@@ -1048,6 +1109,7 @@ def main(argv=None) -> int:
         data["checkout_cold"] = bench_checkout_cold(size, repeats)
         data["multijoin_drift"] = bench_multijoin_drift(size, repeats)
         data["durability"] = bench_durability(size, repeats)
+        data["durability_txn"] = bench_durability_txn(size, repeats)
         data["multiuser_concurrent"] = bench_multiuser_concurrent(
             size, repeats
         )
@@ -1107,6 +1169,22 @@ def main(argv=None) -> int:
         acceptance["durability_speedup_ok"] = (
             at_10k["durability"]["speedup"] >= 2
         )
+        acceptance["durability_txn_speedup_at_10k"] = at_10k[
+            "durability_txn"
+        ]["speedup"]
+        acceptance["durability_txn_speedup_ok"] = (
+            at_10k["durability_txn"]["speedup"] >= 2
+        )
+        # O(change): one txn delta must stay a small fraction of the image
+        acceptance["durability_txn_delta_fraction_at_10k"] = round(
+            at_10k["durability_txn"]["delta_bytes"]
+            / at_10k["durability_txn"]["image_bytes"],
+            4,
+        )
+        acceptance["durability_txn_delta_small_ok"] = (
+            at_10k["durability_txn"]["delta_bytes"]
+            < at_10k["durability_txn"]["image_bytes"] / 10
+        )
         acceptance["multiuser_concurrent_speedup_at_10k"] = at_10k[
             "multiuser_concurrent"
         ]["speedup"]
@@ -1165,6 +1243,7 @@ def main(argv=None) -> int:
             f"checkout cold x{data['checkout_cold']['speedup']}, "
             f"multijoin drift x{data['multijoin_drift']['speedup']}, "
             f"durability x{data['durability']['speedup']}, "
+            f"txn durability x{data['durability_txn']['speedup']}, "
             f"concurrent reads x{data['multiuser_concurrent']['speedup']}, "
             f"multijoin parallel x{data['multijoin_parallel']['speedup']}"
         )

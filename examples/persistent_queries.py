@@ -88,19 +88,25 @@ def main() -> None:
           [o.simple_name for o in read_only.distinct_objects("action")])
 
     # ------------------------------------------------------------------
-    # journaled mode: checkpoints survive crashes
+    # journaled mode: every committed mutation survives a crash
     # ------------------------------------------------------------------
     journal_path = workdir / "journal.seed"
     journal = JournaledDatabase.open(journal_path, schema=spades_schema())
     journal.db.create_object("Module", "ReportGenerator")
     journal.checkpoint()
+    # direct mutations are write-ahead durable the moment they commit:
+    # the journal appends a txn delta, no checkpoint call needed —
+    # kill -9 here and the next open still has the Archiver
     journal.db.create_object("Module", "Archiver")
-    journal.checkpoint()
-    print(f"\njournal: {journal.checkpoints()} checkpoints, "
+    with journal.db.transaction():  # multi-step commits are one delta
+        journal.db.create_object("Module", "Indexer")
+        journal.db.create_object("Module", "Notifier")
+    print(f"\njournal: {journal.checkpoints()} checkpoint(s) + "
+          f"{journal.txn_deltas()} txn delta(s), "
           f"{journal.compact()} bytes after compaction")
-    reopened = JournaledDatabase.open(journal_path)
+    reopened = JournaledDatabase.open(journal_path)  # the "crash"
     print("recovered modules:",
-          [m.simple_name for m in reopened.db.objects("Module")])
+          sorted(m.simple_name for m in reopened.db.objects("Module")))
 
 
 if __name__ == "__main__":

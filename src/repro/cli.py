@@ -9,13 +9,15 @@ Usage (also via ``python -m repro``)::
     python -m repro history DB.seed [NAME]         # version tree / cluster
     python -m repro snapshot DB.seed [-v VERSION]  # create a version
     python -m repro compact DB.seed [--snapshot-interval K] [--keep-last N]
-                    [--gc-tombstones]              # squash, consolidate, collect
+                    [--gc-tombstones] [--byte-budget BYTES]
+                                                   # squash, consolidate, collect
     python -m repro print DB.seed                  # database -> spec text
     python -m repro ddl DB.seed                    # schema as DDL text
     python -m repro query DB.seed --extent Data --prefix Alarm --via Access
                                                    # planned ER-algebra query
     python -m repro fsck DB.seed [--salvage]       # verify / repair storage
-    python -m repro serve DB.journal [--port P]    # multi-user wire service
+    python -m repro serve DB.journal [--port P] [--journal-byte-budget BYTES]
+                                                   # multi-user wire service
 
 The CLI operates on the SPADES schema (the paper's application); it is a
 thin layer over the library so scripted use mirrors programmatic use.
@@ -95,6 +97,14 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(store cells and live tombstone records)")
     compact.add_argument("--dry-run", action="store_true",
                          help="report store statistics without compacting")
+    compact.add_argument("--byte-budget", type=int, default=None,
+                         metavar="BYTES",
+                         help="treat the file as a journal: after the "
+                              "version-store pass, checkpoint and compact "
+                              "the journal down to at most BYTES of "
+                              "superseded growth (works even when every "
+                              "on-disk image is damaged — the live state "
+                              "is checkpointed fresh)")
 
     fsck = commands.add_parser(
         "fsck",
@@ -127,6 +137,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--maintain-every", type=int, default=8, metavar="N",
                        help="background compaction every N accepted "
                             "check-ins (default: 8; 0 = never)")
+    serve.add_argument("--journal-byte-budget", type=int, default=None,
+                       metavar="BYTES",
+                       help="auto-checkpoint-and-compact the journal "
+                            "whenever it exceeds BYTES (default: "
+                            "unbounded)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="S",
+                       help="on SIGTERM/SIGINT, wait up to S seconds for "
+                            "in-flight check-ins before closing "
+                            "(default: 10)")
 
     query = commands.add_parser(
         "query", help="run a planned ER-algebra query (cost-based planner)")
@@ -224,7 +244,14 @@ def _run_compact(args: argparse.Namespace) -> int:
     """Compact a database's version store and report what changed."""
     from repro.core.versions.compaction import RetentionPolicy
 
-    db = load_database(args.database)
+    journal = None
+    if args.byte_budget is not None:
+        from repro.core.storage import JournaledDatabase
+
+        journal = JournaledDatabase.open(args.database)
+        db = journal.db
+    else:
+        db = load_database(args.database)
 
     def store_stats() -> str:
         stats = db.statistics()
@@ -244,9 +271,18 @@ def _run_compact(args: argparse.Namespace) -> int:
         keep_last=args.keep_last,
         pins=frozenset(args.pin),
         gc_tombstones=args.gc_tombstones,
+        journal_byte_budget=args.byte_budget,
     )
     result = db.compact(policy)
-    size = save_database(db, args.database)
+    if journal is not None:
+        # persist the compacted version store, then drop every
+        # superseded journal record; works even when no on-disk image
+        # is intact (compact() falls back to the live state)
+        journal.checkpoint()
+        size = journal.compact()
+        journal.enforce_budget(args.byte_budget)
+    else:
+        size = save_database(db, args.database)
     print(f"compacted: {result.summary()}")
     print(f"after:  {store_stats()} ({size} bytes on disk)")
     return 0
@@ -289,11 +325,15 @@ def _run_fsck(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace) -> int:
     """Serve a journal-bound SPADES database over the wire protocol.
 
-    Runs until interrupted (Ctrl-C); every accepted check-in is durable
-    in the journal before it is acknowledged, so a killed server
-    restarts from its last acknowledged state.
+    Runs until SIGTERM/SIGINT; every accepted check-in is durable in
+    the journal before it is acknowledged, so a killed server restarts
+    from its last acknowledged state.  On a signal the service shuts
+    down gracefully: it refuses new connections, drains in-flight
+    check-ins (up to ``--drain-timeout`` seconds), writes a final
+    checkpoint, compacts the journal, and exits 0.
     """
     import asyncio
+    import signal
 
     from repro.multiuser.server import SeedServer
     from repro.multiuser.service import SeedService
@@ -304,6 +344,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         schema=spades_schema(),
         lease_seconds=args.lease_seconds,
         session_seconds=args.session_seconds,
+        byte_budget=args.journal_byte_budget,
     )
     service = SeedService(
         server,
@@ -311,6 +352,13 @@ def _run_serve(args: argparse.Namespace) -> int:
         port=args.port,
         maintain_every=args.maintain_every,
     )
+
+    def stopped_stats() -> str:
+        return (
+            f"stopped: {server.checkins_applied} check-in(s) applied, "
+            f"{server.checkins_rejected} rejected, "
+            f"{service.reads_served} snapshot read(s) served"
+        )
 
     async def _serve() -> None:
         await service.start()
@@ -321,16 +369,34 @@ def _run_serve(args: argparse.Namespace) -> int:
             f"{stats['relationships']} relationships; "
             f"lease {args.lease_seconds}s, session {args.session_seconds}s)"
         )
-        await service.serve_forever()
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-POSIX loop: fall back to KeyboardInterrupt
+        serving = loop.create_task(service.serve_forever())
+        await shutdown.wait()
+        # graceful: stop() closes the listener first (refusing new
+        # connections), drains in-flight check-ins, then runs the
+        # final checkpoint + compaction before closing the journal
+        await service.stop(
+            drain_timeout_s=args.drain_timeout, final_checkpoint=True
+        )
+        serving.cancel()
+        try:
+            await serving
+        except asyncio.CancelledError:
+            pass
 
     try:
         asyncio.run(_serve())
-    except KeyboardInterrupt:
-        print(
-            f"stopped: {server.checkins_applied} check-in(s) applied, "
-            f"{server.checkins_rejected} rejected, "
-            f"{service.reads_served} snapshot read(s) served"
-        )
+    except KeyboardInterrupt:  # pragma: no cover - non-POSIX fallback
+        if server.journal is not None:
+            server.checkpoint()
+            server.journal.compact()
+    print(stopped_stats())
     return 0
 
 

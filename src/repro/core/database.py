@@ -148,6 +148,14 @@ class SeedDatabase:
         self._dirty: set[ItemKey] = set()
         self._txn: Optional[_Transaction] = None
         self._bulk: Optional["BulkContext"] = None
+        #: post-commit sink seam: called with the committed transaction
+        #: after validation and completeness bookkeeping succeed, before
+        #: control returns to the caller. A journal-bound database
+        #: (:class:`~repro.core.storage.engine.JournaledDatabase`) hooks
+        #: this to append a write-ahead ``txn`` delta record, making
+        #: direct transactions durable at O(change). Rolled-back
+        #: transactions never reach the sink.
+        self._commit_sink: Optional[Any] = None
         self.indexes = IndexLayer(self)
         self.consistency = ConsistencyEngine(self)
         self.completeness = CompletenessEngine(self)
@@ -207,6 +215,7 @@ class SeedDatabase:
                 violations,
             )
         self.completeness.note_commit(txn.touched, txn.structural)
+        self._notify_commit(txn)
 
     @contextmanager
     def bulk(self) -> Iterator[BulkContext]:
@@ -268,6 +277,7 @@ class SeedDatabase:
             self.completeness.invalidate()
         else:
             self.completeness.note_commit(txn.touched, txn.structural)
+        self._notify_commit(txn)
 
     def bulk_load(
         self,
@@ -504,6 +514,19 @@ class SeedDatabase:
                 violations,
             )
         self.completeness.note_commit(txn.touched, txn.structural)
+        self._notify_commit(txn)
+
+    def _notify_commit(self, txn: _Transaction) -> None:
+        """Hand a committed transaction to the post-commit sink (if bound).
+
+        Runs after the commit is fully applied in memory; the sink's
+        durability failure (e.g. a journal append error) propagates to
+        the caller but does not unwind the in-memory commit — the
+        caller knows the change is live but not yet durable.
+        """
+        sink = self._commit_sink
+        if sink is not None and txn.touched:
+            sink(txn)
 
     def _rollback(self, txn: _Transaction) -> None:
         self._undo_to(txn, 0)

@@ -4,8 +4,9 @@ Crash-safety code is only trustworthy if its failure paths can be
 *exercised*. This module provides the machinery: production code fires
 named **failpoints** at the moments where a crash or I/O error would
 matter (``recordfile.append.pre_fsync``, ``recordfile.rewrite.replace``,
-``checkin.apply.mid``, ...), and a test arms a :class:`FaultPlan` that
-maps failpoint names to faults:
+``checkin.apply.mid``, ``txn.journal.pre_append``,
+``journal.compact.rewrite``, ...), and a test arms a :class:`FaultPlan`
+that maps failpoint names to faults:
 
 * **I/O errors** — :meth:`FaultPlan.fail_io` raises ``OSError`` with a
   chosen errno (``EIO``, ``ENOSPC``) at the Nth hit of a point;

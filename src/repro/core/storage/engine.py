@@ -1,6 +1,6 @@
-"""The storage engine: database images, check-in deltas, recovery.
+"""The storage engine: database images, write-ahead deltas, recovery.
 
-Three persistence record kinds, composable in one journal file:
+Four persistence record kinds, composable in one journal file:
 
 * **images** — :func:`save_database` / :func:`load_database` write/read
   one complete database image (a single record holding the canonical
@@ -11,6 +11,13 @@ Three persistence record kinds, composable in one journal file:
   accepted check-in is durable at O(change) cost, not O(database).
   A delta whose apply failed is neutralized by a matching
   ``{"kind": "checkin.abort", "seq": n}`` marker;
+* **transaction deltas** — ``{"kind": "txn", "seq": n, "delta": ...}``
+  records appended by the post-commit sink a :class:`JournaledDatabase`
+  binds onto its database: every committed *direct* transaction
+  (anything outside a check-in apply) is durable at O(change) before
+  control returns to the caller. Rollbacks never reach the sink, so
+  they append nothing; check-in applies run with the sink suspended
+  (the check-in delta already covers them write-ahead);
 * **checkpoints** — :class:`JournaledDatabase.checkpoint` appends a
   full image; deltas before the newest image are superseded by it.
 
@@ -21,9 +28,12 @@ Recovery contract (shared by :func:`load_database` and
 1. The **base** is the newest intact image anywhere in the file —
    corruption can no longer shadow a newer intact checkpoint, because
    the scan resynchronizes past corrupt regions instead of stopping.
-2. Check-in deltas *after* the base replay in order, each in its own
-   transaction, skipping aborted seqs; a delta that fails to apply is
-   rolled back (a live abort re-fails deterministically on replay).
+2. Deltas *after* the base replay in file order (check-in and txn
+   records interleave in their original seq order): check-in deltas
+   each in their own transaction, skipping aborted seqs (a delta that
+   fails to apply is rolled back — a live abort whose marker was lost
+   re-fails deterministically on replay); txn deltas as direct state
+   upserts of their committed after-states.
 3. Replay stops at the first corrupt region after the base: deltas
    beyond a gap may depend on the lost record, so applying them could
    not be prefix-consistent. They are counted, not applied.
@@ -34,21 +44,43 @@ Recovery contract (shared by :func:`load_database` and
    clean prefix an interrupted append leaves) stays silent: that is
    ordinary crash recovery, not data loss.
 
+The journal is self-bounding. A ``byte_budget`` (settable directly or
+via :attr:`~repro.core.versions.compaction.RetentionPolicy.
+journal_byte_budget` through the service maintenance path) makes
+:class:`JournaledDatabase` track live-vs-superseded bytes on every
+append: bytes before the newest image are superseded (a load never
+replays them), everything from it on is the live tail. When total file
+size exceeds the budget, the journal auto-compacts — first appending a
+fresh checkpoint if the live tail alone exceeds the budget, so the
+rewrite actually shrinks the file. The trigger points are post-commit
+(after a txn record's effects are already applied in memory) and
+explicit maintenance (:meth:`~JournaledDatabase.enforce_budget`) —
+never inside :meth:`~JournaledDatabase.append_delta`, where a
+checkpoint would supersede a write-ahead record whose apply has not
+happened yet. Crash safety of compaction itself rides on the atomic
+temp-and-rename of :meth:`~repro.core.storage.recordfile.RecordFile.
+rewrite` (exercised via the ``journal.compact.rewrite`` failpoint): a
+crash mid-compaction leaves either the old file or the new one, both
+of which recover the same committed state.
+
 A full write-ahead log of individual updates would exceed the paper
 ("SEED does not keep a log of every database update"); the checkpoint
-journal with per-check-in deltas matches its session-oriented saving
-style while making accepted check-ins durable. Direct mutations of a
-journaled database (outside check-ins) remain durable only from the
-next :meth:`~JournaledDatabase.checkpoint` on.
+journal with per-check-in and per-transaction deltas matches its
+session-oriented saving style while making every committed change
+durable. The remaining caveat: bulk state-replacement operations that
+bypass the transaction seam (``migrate_schema``, ``restore_from_view``,
+``create_version``) are durable only from the next checkpoint on.
 """
 
 from __future__ import annotations
 
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Iterator, Optional
 
+from repro.core import faults
 from repro.core.database import SeedDatabase
 from repro.core.errors import RecoveryWarning, SeedError, StorageError
 from repro.core.schema.attached import ProcedureRegistry
@@ -57,7 +89,12 @@ from repro.core.storage.recordfile import (
     IntegrityReport,
     RecordFile,
 )
-from repro.core.storage.serialize import database_from_dict, database_to_dict
+from repro.core.storage.serialize import (
+    apply_txn_delta,
+    database_from_dict,
+    database_to_dict,
+    txn_delta_from_txn,
+)
 
 __all__ = [
     "save_database",
@@ -76,9 +113,12 @@ class RecoveryInfo:
     base_offset: Optional[int] = None
     #: check-in deltas replayed successfully after the base image
     applied_deltas: int = 0
+    #: direct-transaction deltas replayed successfully after the base
+    applied_txn_deltas: int = 0
     #: deltas skipped via abort markers or deterministic re-failure
     aborted_deltas: int = 0
-    #: deltas after the first post-base corrupt region (not applied)
+    #: deltas (check-in or txn) after the first post-base corrupt
+    #: region (not applied)
     skipped_deltas: int = 0
     #: intact records found *after* a corrupt region (would have been
     #: lost by a stop-at-first-error scan — the pre-salvage-scan bug)
@@ -113,8 +153,8 @@ class RecoveryInfo:
             )
         if self.skipped_deltas:
             found.append(
-                f"{self.skipped_deltas} check-in delta(s) after the "
-                "corruption were not replayed (prefix consistency); run "
+                f"{self.skipped_deltas} delta(s) after the corruption "
+                "were not replayed (prefix consistency); run "
                 "`repro fsck --salvage` to quarantine the damage"
             )
         return found
@@ -220,7 +260,7 @@ def _load_journal_state(
         if gap_offset is not None
         and event.offset >= gap_offset
         and isinstance(event.record, dict)
-        and event.record.get("kind") == "checkin"
+        and event.record.get("kind") in ("checkin", "txn")
     )
 
     db = database_from_dict(base.record["image"], registry)
@@ -237,7 +277,16 @@ def _load_journal_state(
 
     for event in window:
         record = event.record
-        if not isinstance(record, dict) or record.get("kind") != "checkin":
+        if not isinstance(record, dict):
+            continue
+        kind = record.get("kind")
+        if kind == "txn":
+            # committed after-states of a direct transaction: validated
+            # when they committed, so replay is a plain state upsert
+            apply_txn_delta(db, record["delta"])
+            info.applied_txn_deltas += 1
+            continue
+        if kind != "checkin":
             continue
         if record.get("seq") in aborted_seqs:
             info.aborted_deltas += 1
@@ -275,10 +324,16 @@ class JournaledDatabase:
 
         journal = JournaledDatabase.open(path, schema=my_schema)
         db = journal.db
-        ...updates...
+        ...updates...                 # every commit appends a txn delta
         journal.checkpoint()          # appends a recoverable image
         journal.append_delta(pkg)     # durable O(change) check-in record
         journal.compact()             # drops superseded records
+
+    Binding installs a post-commit sink on the database: every
+    committed direct transaction appends a write-ahead ``txn`` delta
+    before control returns to the caller (rollbacks append nothing).
+    With a *byte_budget*, each txn append also enforces the budget —
+    see :meth:`enforce_budget`.
 
     After :meth:`open`, :attr:`recovery` describes what the load found
     (corruption skipped, deltas replayed/aborted/stranded).
@@ -291,6 +346,7 @@ class JournaledDatabase:
         *,
         recovery: Optional[RecoveryInfo] = None,
         next_seq: int = 1,
+        byte_budget: Optional[int] = None,
     ) -> None:
         self.db = db
         self._file = record_file
@@ -299,6 +355,17 @@ class JournaledDatabase:
             report=IntegrityReport(path=record_file.path)
         )
         self._next_seq = next_seq
+        #: auto-compaction threshold in bytes (None = unbounded)
+        self.byte_budget = byte_budget
+        # byte accounting: everything before the newest image record is
+        # superseded (a load never replays it); the rest is live tail
+        self._superseded_bytes = (
+            recovery.base_offset if recovery and recovery.base_offset else 0
+        )
+        # sink suspension depth: >0 while a check-in apply runs (the
+        # check-in delta already covers those commits write-ahead)
+        self._sink_suspended = 0
+        db._commit_sink = self._on_txn_commit  # noqa: SLF001 - the seam
 
     @classmethod
     def open(
@@ -309,16 +376,17 @@ class JournaledDatabase:
         name: str = "db",
         registry: Optional[ProcedureRegistry] = None,
         strict: bool = False,
+        byte_budget: Optional[int] = None,
     ) -> "JournaledDatabase":
         """Open an existing journal or start a fresh one.
 
         When the file holds an intact image, the newest one is loaded,
-        every safely replayable check-in delta after it is applied, and
-        *schema* is ignored; otherwise *schema* is required and an
-        initial image is written. A file that exists but contains no
-        intact record at all (e.g. a crash tore the very first
-        checkpoint) counts as fresh: recovering to the empty pre-first-
-        commit state is the prefix-consistent answer.
+        every safely replayable delta after it is applied, and *schema*
+        is ignored; otherwise *schema* is required and an initial image
+        is written. A file that exists but contains no intact record at
+        all (e.g. a crash tore the very first checkpoint) counts as
+        fresh: recovering to the empty pre-first-commit state is the
+        prefix-consistent answer.
         """
         record_file = RecordFile(path)
         if record_file.exists():
@@ -326,7 +394,11 @@ class JournaledDatabase:
             if db is not None:
                 _surface_recovery(info, path, strict)
                 return cls(
-                    db, record_file, recovery=info, next_seq=next_seq
+                    db,
+                    record_file,
+                    recovery=info,
+                    next_seq=next_seq,
+                    byte_budget=byte_budget,
                 )
             if info.report.intact_records > 0:
                 # intact records but no image: not a journal we can
@@ -337,9 +409,14 @@ class JournaledDatabase:
                 f"no journal at {path} and no schema given to create one"
             )
         db = SeedDatabase(schema, name)
-        journal = cls(db, record_file)
+        journal = cls(db, record_file, byte_budget=byte_budget)
         journal.checkpoint()
         return journal
+
+    @property
+    def path(self) -> Path:
+        """Where the journal lives on disk."""
+        return self._file.path
 
     def checkpoint(self) -> int:
         """Append a recovery image of the current state; returns file size.
@@ -347,7 +424,10 @@ class JournaledDatabase:
         The image supersedes every earlier record on load (deltas
         before it replay into it implicitly).
         """
-        self._file.append({"kind": "image", "image": database_to_dict(self.db)})
+        offset, __ = self._file.append(
+            {"kind": "image", "image": database_to_dict(self.db)}
+        )
+        self._superseded_bytes = offset
         return self._file.size_bytes()
 
     def append_delta(self, delta: dict[str, Any]) -> int:
@@ -358,6 +438,11 @@ class JournaledDatabase:
         O(change) cost. If the apply then fails, neutralize the record
         with :meth:`append_abort` — replay skips marked seqs (and a
         marker lost to a crash re-fails deterministically on replay).
+
+        Never auto-compacts: the record is write-ahead of its apply, so
+        a checkpoint taken here would supersede a delta whose effects
+        are not in the image yet. Budget enforcement belongs *after*
+        the apply (see :meth:`enforce_budget`).
         """
         seq = self._next_seq
         self._next_seq += 1
@@ -368,14 +453,84 @@ class JournaledDatabase:
         """Mark delta *seq* as never-applied (its check-in was rejected)."""
         self._file.append({"kind": "checkin.abort", "seq": seq})
 
+    # -- the post-commit sink ----------------------------------------------
+
+    def _on_txn_commit(self, txn) -> None:
+        """Append a write-ahead ``txn`` delta for a committed transaction.
+
+        Installed as the database's post-commit sink. Runs after the
+        commit is fully applied in memory, so auto-compaction here is
+        safe: a checkpoint taken now already contains the change.
+        """
+        if self._sink_suspended:
+            return
+        if faults._PLAN is not None:  # noqa: SLF001 - zero-cost guard
+            faults.fire("txn.journal.pre_append")
+        seq = self._next_seq
+        self._next_seq += 1
+        self._file.append(
+            {
+                "kind": "txn",
+                "seq": seq,
+                "delta": txn_delta_from_txn(self.db, txn),
+            }
+        )
+        if self.byte_budget is not None:
+            self.enforce_budget(self.byte_budget)
+
+    @contextmanager
+    def suspended_txn_sink(self) -> Iterator[None]:
+        """Suppress txn-delta appends for the duration (reentrant).
+
+        Used around check-in applies: those commits are already covered
+        write-ahead by their check-in delta, and double-journaling them
+        would double-apply on replay.
+        """
+        self._sink_suspended += 1
+        try:
+            yield
+        finally:
+            self._sink_suspended -= 1
+
+    # -- size bounding ------------------------------------------------------
+
+    def tail_bytes(self) -> int:
+        """Bytes a load would actually replay (newest image onward)."""
+        return self._file.size_bytes() - self._superseded_bytes
+
+    def enforce_budget(self, budget: Optional[int] = None) -> int:
+        """Compact if the journal exceeds *budget* bytes; returns size.
+
+        With no budget (argument and :attr:`byte_budget` both None)
+        this is a size probe. Over budget, superseded records are
+        dropped via :meth:`compact`; if the live tail alone already
+        exceeds the budget, a fresh checkpoint is appended first so the
+        deltas behind it become superseded and the rewrite shrinks the
+        file to one image. A journal whose single image is larger than
+        the budget stays over budget — the budget bounds amplification,
+        it cannot make the data smaller than itself.
+        """
+        if budget is None:
+            budget = self.byte_budget
+        size = self._file.size_bytes()
+        if budget is None or size <= budget:
+            return size
+        if self.tail_bytes() > budget:
+            self.checkpoint()
+        return self.compact()
+
     def compact(self) -> int:
         """Drop superseded records; returns the new file size.
 
-        Keeps the newest intact image plus the check-in deltas after it
-        (minus aborted delta/marker pairs). Corrupt regions are
-        implicitly dropped by the rewrite; quarantine first via
+        Keeps the newest intact image plus the deltas after it (minus
+        aborted delta/marker pairs). Corrupt regions are implicitly
+        dropped by the rewrite; quarantine first via
         :meth:`~repro.core.storage.recordfile.RecordFile.salvage` if
-        the bytes matter.
+        the bytes matter. When no intact image survives anywhere in the
+        file, falls back to checkpointing the live in-memory state and
+        compacting to that (surfaced via
+        :class:`~repro.core.errors.RecoveryWarning`) — a damaged-but-
+        loaded journal can always be bounded.
         """
         records = [
             event.record
@@ -387,24 +542,39 @@ class JournaledDatabase:
             if isinstance(record, dict) and record.get("kind") == "image":
                 base_index = index
         if base_index is None:
-            raise StorageError("journal holds no intact image to compact to")
-        tail = records[base_index:]
-        aborted = {
-            record.get("seq")
-            for record in tail
-            if isinstance(record, dict)
-            and record.get("kind") == "checkin.abort"
-        }
-        kept = [
-            record
-            for record in tail
-            if not (
-                isinstance(record, dict)
-                and record.get("kind") in ("checkin", "checkin.abort")
-                and record.get("seq") in aborted
+            dropped = self._file.size_bytes()
+            kept = [{"kind": "image", "image": database_to_dict(self.db)}]
+            warnings.warn(
+                RecoveryWarning(
+                    f"journal {self._file.path} holds no intact image; "
+                    "compacted to a fresh checkpoint of the live state "
+                    f"(dropped damaged bytes [0:{dropped}])"
+                ),
+                stacklevel=2,
             )
-        ]
+        else:
+            tail = records[base_index:]
+            aborted = {
+                record.get("seq")
+                for record in tail
+                if isinstance(record, dict)
+                and record.get("kind") == "checkin.abort"
+            }
+            kept = [
+                record
+                for record in tail
+                if not (
+                    isinstance(record, dict)
+                    and record.get("kind") in ("checkin", "checkin.abort")
+                    and record.get("seq") in aborted
+                )
+            ]
+        if faults._PLAN is not None:  # noqa: SLF001 - zero-cost guard
+            faults.fire("journal.compact.rewrite")
         self._file.rewrite(kept)
+        # the rewrite starts the file at its newest image: nothing is
+        # superseded until the next checkpoint
+        self._superseded_bytes = 0
         return self._file.size_bytes()
 
     def checkpoints(self) -> int:
@@ -425,4 +595,14 @@ class JournaledDatabase:
             if event.kind == "record"
             and isinstance(event.record, dict)
             and event.record.get("kind") == "checkin"
+        )
+
+    def txn_deltas(self) -> int:
+        """Number of intact direct-transaction delta records."""
+        return sum(
+            1
+            for event in self._file.scan()
+            if event.kind == "record"
+            and isinstance(event.record, dict)
+            and event.record.get("kind") == "txn"
         )

@@ -26,8 +26,8 @@ from typing import Any, Optional
 from repro.core.bulk import load_item_states
 from repro.core.database import SeedDatabase
 from repro.core.errors import StorageError
-from repro.core.objects import ObjectState
-from repro.core.relationships import RelationshipState
+from repro.core.objects import ObjectState, SeedObject
+from repro.core.relationships import RelationshipState, SeedRelationship
 from repro.core.schema.association import Association, Attribute, Role
 from repro.core.schema.attached import ProcedureRegistry, default_registry
 from repro.core.schema.entity_class import EntityClass
@@ -41,6 +41,8 @@ __all__ = [
     "schema_from_dict",
     "database_to_dict",
     "database_from_dict",
+    "txn_delta_from_txn",
+    "apply_txn_delta",
 ]
 
 FORMAT_VERSION = 1
@@ -264,6 +266,128 @@ def _relationship_state_from_dict(data: dict) -> RelationshipState:
         deleted=data["deleted"],
         is_pattern=data["pattern"],
     )
+
+
+# ---------------------------------------------------------------------------
+# transaction deltas (write-ahead ``txn`` journal records)
+# ---------------------------------------------------------------------------
+
+def txn_delta_from_txn(db: SeedDatabase, txn) -> dict:
+    """Serialise one committed transaction's item-state changes.
+
+    *txn* is the committed ``_Transaction`` handed to the database's
+    post-commit sink: its ``touched`` map names every item the
+    transaction changed (cascaded deletions included), and freezing
+    those items *after* commit captures exactly the states replay must
+    reproduce. ``dirty`` records which touched keys are in the dirty
+    set at commit time so the replayed database's dirty tracking (a
+    serialised part of the canonical image) matches the live one.
+    """
+    objects = []
+    relationships = []
+    for key in sorted(txn.touched):
+        item = txn.touched[key][0]
+        if key[0] == "o":
+            objects.append([key[1], _object_state_to_dict(item.freeze())])
+        else:
+            relationships.append(
+                [key[1], _relationship_state_to_dict(item.freeze())]
+            )
+    dirty = db._dirty  # noqa: SLF001 - dirty parity is part of the delta
+    return {
+        "objects": objects,
+        "relationships": relationships,
+        "dirty": [list(key) for key in sorted(txn.touched) if key in dirty],
+    }
+
+
+def apply_txn_delta(db: SeedDatabase, delta: dict) -> int:
+    """Replay one ``txn`` delta against *db*; returns items applied.
+
+    The delta carries committed *after* states keyed by stable item
+    ids, so replay is a direct state upsert — no consistency
+    re-validation (the states were validated when they committed) and
+    no id translation (unlike check-in packages, direct transactions
+    run on the master itself). Objects apply in ascending oid order,
+    which lists parents before their transaction-created children.
+    Index layers are marked stale rather than rebuilt eagerly; the
+    next index-backed read (including a later check-in delta's
+    validation) rebuilds once.
+    """
+    applied = 0
+    max_id = 0
+    for oid, data in delta.get("objects", ()):
+        state = _object_state_from_dict(data)
+        obj = db._objects.get(oid)  # noqa: SLF001
+        if obj is None:
+            parent = (
+                db._objects[state.parent_oid]  # noqa: SLF001
+                if state.parent_oid is not None
+                else None
+            )
+            obj = SeedObject(
+                db,
+                oid,
+                db.schema.entity_class(state.class_name),
+                state.name,
+                parent=parent,
+                index=state.index,
+            )
+            db._objects[oid] = obj  # noqa: SLF001
+            if parent is not None:
+                parent._attach_child(obj)  # noqa: SLF001
+            elif not state.deleted:
+                db._name_index[state.name] = oid  # noqa: SLF001
+        else:
+            if obj.parent is None:
+                old_name = obj.simple_name
+                if (
+                    db._name_index.get(old_name) == oid  # noqa: SLF001
+                    and (state.deleted or state.name != old_name)
+                ):
+                    del db._name_index[old_name]  # noqa: SLF001
+                if not state.deleted:
+                    db._name_index[state.name] = oid  # noqa: SLF001
+            obj._rename(state.name)  # noqa: SLF001
+            obj.entity_class = db.schema.entity_class(state.class_name)
+            obj.index = state.index
+        obj.value = state.value
+        obj.deleted = state.deleted
+        obj.is_pattern = state.is_pattern
+        obj.inherited_patterns = list(state.inherited_pattern_oids)
+        applied += 1
+        max_id = max(max_id, oid)
+    for rid, data in delta.get("relationships", ()):
+        state = _relationship_state_from_dict(data)
+        rel = db._relationships.get(rid)  # noqa: SLF001
+        if rel is None:
+            bindings = {
+                role: db._objects[oid]  # noqa: SLF001
+                for role, oid in state.bindings
+            }
+            rel = SeedRelationship(
+                db, rid, db.schema.association(state.association_name), bindings
+            )
+            db._relationships[rid] = rel  # noqa: SLF001
+            for endpoint in rel.bound_objects():
+                db._incidence.setdefault(  # noqa: SLF001
+                    endpoint.oid, []
+                ).append(rid)
+        else:
+            rel.association = db.schema.association(state.association_name)
+        rel.deleted = state.deleted
+        rel.is_pattern = state.is_pattern
+        rel._attributes = dict(state.attributes)  # noqa: SLF001
+        applied += 1
+        max_id = max(max_id, rid)
+    db._next_id = max(db._next_id, max_id + 1)  # noqa: SLF001
+    db._dirty.update(  # noqa: SLF001
+        tuple(key) for key in delta.get("dirty", ())
+    )
+    db.patterns.rebuild_index()
+    db.indexes.mark_stale()
+    db.completeness.invalidate()
+    return applied
 
 
 # ---------------------------------------------------------------------------

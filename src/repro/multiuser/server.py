@@ -35,16 +35,23 @@ compaction + tombstone GC between check-ins (the service schedules it
 automatically), pinning every cached snapshot so pinned readers survive
 the squash.
 
-Durability and liveness are unchanged from PR 6: bind a
+Durability: bind a
 :class:`~repro.core.storage.engine.JournaledDatabase` (``journal=`` or
 :meth:`open`) and accepted check-ins are durable at O(change) via
-write-ahead deltas; pass ``lease_seconds`` and a crashed client's locks
-— and, new in PR 7, its check-out standing — expire together.
+write-ahead deltas — and so are *direct* master transactions, through
+the journal's post-commit txn sink (suspended while a check-in package
+applies, since the check-in delta already covers those commits).
+:meth:`maintain` additionally enforces the policy's
+``journal_byte_budget`` so a long-lived server's journal stays bounded.
+Liveness is unchanged from PR 6: pass ``lease_seconds`` and a crashed
+client's locks — and, since PR 7, its check-out standing — expire
+together.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Iterable, Optional, TYPE_CHECKING
@@ -151,10 +158,12 @@ class SeedServer:
         session_seconds: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
         strict: bool = False,
+        byte_budget: Optional[int] = None,
     ) -> "SeedServer":
         """A journal-bound server: open (or create) the journal at *path*."""
         journal = JournaledDatabase.open(
-            path, schema=schema, name=name, strict=strict
+            path, schema=schema, name=name, strict=strict,
+            byte_budget=byte_budget,
         )
         return cls(
             journal=journal,
@@ -326,8 +335,11 @@ class SeedServer:
         under *policy* (default :data:`DEFAULT_MAINTENANCE`), with every
         cached snapshot version pinned so concurrent pinned readers
         survive; stale cache entries for squashed-away versions are
-        dropped afterwards. The wire service schedules this
-        automatically every ``maintain_every`` accepted check-ins.
+        dropped afterwards. When the policy sets ``journal_byte_budget``
+        (or the journal carries its own budget), the journal file is
+        bounded too — checkpoint-then-compact once it exceeds the
+        budget. The wire service schedules this automatically every
+        ``maintain_every`` accepted check-ins.
         """
         policy = policy or self.maintenance_policy
         if self._views:
@@ -338,6 +350,12 @@ class SeedServer:
         surviving = {str(v) for v in self.master.saved_versions()}
         for key in [k for k in self._views if k not in surviving]:
             del self._views[key]  # pragma: no cover - pins protect these
+        if self.journal is not None:
+            budget = policy.journal_byte_budget
+            if budget is None:
+                budget = self.journal.byte_budget
+            if budget is not None:
+                self.journal.enforce_budget(budget)
         self.maintenance_runs += 1
         return stats
 
@@ -539,8 +557,14 @@ class SeedServer:
             if faults._PLAN is not None:  # noqa: SLF001 - zero-cost guard
                 faults.fire("checkin.journal.pre_append")
             seq = self.journal.append_delta(package_to_dict(changes))
+        suspend = (
+            self.journal.suspended_txn_sink()
+            if self.journal is not None
+            # the check-in delta above already covers these commits
+            else nullcontext()
+        )
         try:
-            with boundary():
+            with suspend, boundary():
                 translation = changes.apply_to(self.master)
         except BaseException:
             self.checkins_rejected += 1
@@ -553,6 +577,10 @@ class SeedServer:
         self.locks.release(token)
         self._standing.pop(token, None)
         self.checkins_applied += 1
+        if self.journal is not None and self.journal.byte_budget is not None:
+            # safe trigger point: the delta's effects are applied, so a
+            # checkpoint taken by enforcement already contains them
+            self.journal.enforce_budget()
         return translation
 
     # -- global versions -------------------------------------------------------------------

@@ -123,19 +123,65 @@ class SeedService:
         )
         self.port = self._asyncio_server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
-        """Stop accepting, finish pending maintenance, close the socket."""
+    async def stop(
+        self,
+        *,
+        drain_timeout_s: Optional[float] = None,
+        final_checkpoint: bool = False,
+    ) -> None:
+        """Graceful shutdown: refuse, drain, optionally flush, close.
+
+        New connections are refused first; then in-flight work is
+        drained by waiting for pending maintenance and acquiring the
+        write lock (holding it proves no check-in or maintenance pass
+        is mid-apply). *drain_timeout_s* bounds each wait so a hung
+        apply cannot wedge shutdown — on timeout the work is abandoned
+        (its executor thread finishes on its own; the master rolls back
+        on failure as usual, and an un-acked check-in's journal record
+        replays on the next open). With *final_checkpoint*, a drained
+        journal-bound server appends a final checkpoint and compacts
+        the journal before the remaining connections are closed — the
+        ``repro serve`` SIGTERM/SIGINT path.
+        """
         if self._asyncio_server is None:
             return
-        if self._maintenance_task is not None:
-            try:
-                await self._maintenance_task
-            except asyncio.CancelledError:  # pragma: no cover - shutdown race
-                pass
-            self._maintenance_task = None
+        # refuse new connections; in-flight requests keep running
         self._asyncio_server.close()
         await self._asyncio_server.wait_closed()
         self._asyncio_server = None
+        if self._maintenance_task is not None:
+            try:
+                if drain_timeout_s is None:
+                    await self._maintenance_task
+                else:
+                    await asyncio.wait_for(
+                        self._maintenance_task, drain_timeout_s
+                    )
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                pass  # pragma: no cover - hung/raced maintenance
+            self._maintenance_task = None
+        drained = True
+        try:
+            if drain_timeout_s is None:
+                await self._write_lock.acquire()
+            else:
+                await asyncio.wait_for(
+                    self._write_lock.acquire(), drain_timeout_s
+                )
+        except asyncio.TimeoutError:  # pragma: no cover - hung apply
+            drained = False
+        try:
+            if (
+                drained
+                and final_checkpoint
+                and self.server.journal is not None
+            ):
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._final_flush
+                )
+        finally:
+            if drained:
+                self._write_lock.release()
         # connections still open (clients that never closed their
         # socket): cancel their handlers so session cleanup runs now
         for task in list(self._connections):
@@ -143,6 +189,12 @@ class SeedService:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._connections.clear()
+
+    def _final_flush(self) -> None:
+        """Checkpoint and compact the journal (shutdown, in executor)."""
+        journal = self.server.journal
+        journal.checkpoint()
+        journal.compact()
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled — the CLI path."""

@@ -2,8 +2,8 @@
 
 A journal corpus is built through the real multi-user write path —
 checkpoints interleaved with write-ahead check-in deltas, including a
-rejected (aborted) check-in and a direct master mutation that is only
-durable from its checkpoint on. While building, an **oracle** records
+rejected (aborted) check-in and a direct master mutation whose commit
+appends a write-ahead txn delta. While building, an **oracle** records
 the committed state at every append boundary. Then, for *every*
 truncation offset and *every* single-byte flip of the corpus file,
 ``JournaledDatabase.open`` must succeed (no unhandled error) and load
@@ -140,12 +140,15 @@ def corpus(tmp_path_factory):
     server.checkpoint()  # image 3
     snap()
 
-    # a direct master mutation is durable only from its checkpoint on —
-    # and it makes the stale client's later check-in fail
+    # a direct master mutation journals a write-ahead txn delta at
+    # commit (durable immediately, no checkpoint needed) — and it makes
+    # the stale client's later check-in fail
     stale = server.connect("c4")
     stale_local = stale.check_out("B")
     server.master.get_object("B").set_value("server-side")
-    server.checkpoint()  # image 4 (captures the direct mutation)
+    snap()  # the txn delta is an append boundary of its own
+
+    server.checkpoint()  # image 4 (supersedes the txn delta)
     snap()
 
     # rejected check-in: delta seq 4 + abort marker; replay re-fails it
@@ -174,7 +177,103 @@ def corpus(tmp_path_factory):
     # sanity: the corpus has the advertised shape
     assert sum(1 for __, ___, kind in records if kind == "image") == 5
     assert sum(1 for __, ___, kind in records if kind == "checkin") == 5
+    assert sum(1 for __, ___, kind in records if kind == "txn") == 1
     assert sum(1 for __, ___, kind in records if kind == "checkin.abort") == 1
+    assert records[-1][1] == len(data) == boundaries[-1][0]
+    return Corpus(path, data, boundaries, records)
+
+
+@pytest.fixture(scope="module")
+def budget_corpus(tmp_path_factory):
+    """A journal with txn deltas, check-ins, an abort, and one real
+    byte-budget auto-compaction (checkpoint + rewrite) mid-stream."""
+    path = tmp_path_factory.mktemp("crash") / "budget.seed"
+    record_file = RecordFile(path)
+    server = SeedServer.open(path, schema=matrix_schema(), name="central")
+    journal = server.journal
+    empty_state = canonical(server.master)
+    boundaries = [(record_file.size_bytes(), empty_state)]
+    compactions = 0
+
+    def snap():
+        nonlocal compactions
+        size = record_file.size_bytes()
+        if size < boundaries[-1][0]:
+            # the journal auto-compacted: the file was rewritten, so
+            # earlier byte boundaries no longer describe it — restart
+            # the oracle at the rewritten base (a truncation inside
+            # that base image recovers the fresh pre-commit state)
+            compactions += 1
+            boundaries.clear()
+            boundaries.append((0, empty_state))
+        boundaries.append((size, canonical(server.master)))
+
+    # phase 1: interleaved check-in and txn deltas on the initial image
+    writer = server.connect("c1")
+    local = writer.check_out()
+    local.create_object("Item", "A").set_value("a1")
+    writer.check_in()  # delta seq 1
+    snap()
+
+    server.master.get_object("A").set_value("a2")  # txn delta seq 2
+    snap()
+
+    writer = server.connect("c2")
+    local = writer.check_out()
+    local.create_object("Item", "B").set_value("b1")
+    writer.check_in()  # delta seq 3
+    snap()
+
+    # phase 2: one real auto-compaction — the next txn append puts the
+    # file over budget, so the post-commit sink checkpoints and
+    # rewrites the journal down to that fresh image
+    journal.byte_budget = record_file.size_bytes()
+    server.master.get_object("B").set_value("b2")  # txn delta seq 4
+    journal.byte_budget = None
+    snap()
+    assert compactions == 1
+
+    # phase 3: more interleaved records on the compacted base
+    writer = server.connect("c3")
+    local = writer.check_out("A")
+    local.get_object("A").set_value("a3")
+    writer.check_in()  # delta seq 5
+    snap()
+
+    stale = server.connect("c4")
+    stale_local = stale.check_out("B")
+    server.master.get_object("B").set_value("b3")  # txn delta seq 6
+    snap()
+
+    # rejected check-in: delta seq 7 + abort marker
+    stale_local.get_object("B").set_value("from c4")
+    with pytest.raises(Exception):
+        stale.check_in()
+    snap()
+
+    writer = server.connect("c5")
+    local = writer.check_out()
+    local.create_object("Item", "C").set_value("c1")
+    writer.check_in()  # delta seq 8
+    snap()
+
+    server.checkpoint()  # final image: any base flip stays loadable
+    snap()
+
+    records = [
+        (event.offset, event.end, event.record.get("kind"))
+        for event in record_file.scan()
+        if event.kind == "record"
+    ]
+    data = path.read_bytes()
+    kinds = [kind for __, ___, kind in records]
+    # sanity: the compacted base survives at the front, interleaved
+    # txn/check-in/abort records and a final checkpoint follow
+    assert kinds[0] == "image" and kinds[-1] == "image"
+    assert kinds.count("image") == 2
+    assert kinds.count("txn") == 1  # phase-3 direct mutation
+    assert kinds.count("checkin") == 3
+    assert kinds.count("checkin.abort") == 1
     assert records[-1][1] == len(data) == boundaries[-1][0]
     return Corpus(path, data, boundaries, records)
 
@@ -184,32 +283,40 @@ def load_state(path):
     return canonical(journal.db)
 
 
+def sweep_truncations(corpus, work):
+    """Every truncation offset must recover the oracle's prefix state."""
+    mismatches = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for size in range(len(corpus.data) + 1):
+            work.write_bytes(corpus.data[:size])
+            if load_state(work) != corpus.expected_after_truncation(size):
+                mismatches.append(size)
+    return mismatches
+
+
+def sweep_flips(corpus, work):
+    """Every single-byte flip must recover the oracle's prefix state."""
+    data = bytearray(corpus.data)
+    mismatches = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for offset in range(len(data)):
+            original = data[offset]
+            data[offset] ^= 0xFF
+            work.write_bytes(bytes(data))
+            data[offset] = original
+            if load_state(work) != corpus.expected_after_flip(offset):
+                mismatches.append(offset)
+    return mismatches
+
+
 class TestCrashMatrix:
     def test_every_truncation_recovers_the_committed_prefix(self, corpus, tmp_path):
-        work = tmp_path / "trunc.seed"
-        mismatches = []
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            for size in range(len(corpus.data) + 1):
-                work.write_bytes(corpus.data[:size])
-                if load_state(work) != corpus.expected_after_truncation(size):
-                    mismatches.append(size)
-        assert mismatches == []
+        assert sweep_truncations(corpus, tmp_path / "trunc.seed") == []
 
     def test_every_byte_flip_recovers_a_consistent_prefix(self, corpus, tmp_path):
-        work = tmp_path / "flip.seed"
-        data = bytearray(corpus.data)
-        mismatches = []
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            for offset in range(len(data)):
-                original = data[offset]
-                data[offset] ^= 0xFF
-                work.write_bytes(bytes(data))
-                data[offset] = original
-                if load_state(work) != corpus.expected_after_flip(offset):
-                    mismatches.append(offset)
-        assert mismatches == []
+        assert sweep_flips(corpus, tmp_path / "flip.seed") == []
 
     def test_flip_damage_is_surfaced_not_silent(self, corpus, tmp_path):
         # sampled: every mid-file flip must announce itself
@@ -250,3 +357,124 @@ class TestCrashMatrix:
             # exactly the one damaged record was lost, nothing else
             assert repaired.count() == total - 1
             assert work.with_name(work.name + ".corrupt").exists()
+
+
+class TestBudgetCrashMatrix:
+    """The same exhaustive sweeps over the auto-compacted corpus."""
+
+    def test_every_truncation_recovers_the_committed_prefix(
+        self, budget_corpus, tmp_path
+    ):
+        assert sweep_truncations(budget_corpus, tmp_path / "trunc.seed") == []
+
+    def test_every_byte_flip_recovers_a_consistent_prefix(
+        self, budget_corpus, tmp_path
+    ):
+        assert sweep_flips(budget_corpus, tmp_path / "flip.seed") == []
+
+    def test_auto_compacted_journal_passes_fsck(self, budget_corpus):
+        from repro.cli import main
+
+        assert main(["fsck", str(budget_corpus.path)]) == 0
+
+
+class TestDirectTransactionDurability:
+    """The hole this PR closes: a committed direct transaction survives
+    a crash with no intervening checkpoint."""
+
+    def test_committed_transaction_survives_crash(self, tmp_path):
+        path = tmp_path / "direct.seed"
+        journal = JournaledDatabase.open(path, schema=matrix_schema(), name="d")
+        journal.db.create_object("Item", "A").set_value("committed")
+        with journal.db.transaction():
+            journal.db.create_object("Item", "B").set_value("also committed")
+        expected = canonical(journal.db)
+        # no checkpoint: the process "crashes" here; only the initial
+        # image and the write-ahead txn deltas are on disk (create and
+        # set_value outside an explicit transaction commit separately)
+        assert journal.checkpoints() == 1
+        assert journal.txn_deltas() == 3
+        reopened = JournaledDatabase.open(path, name="d")
+        assert canonical(reopened.db) == expected
+
+    def test_rolled_back_transaction_appends_nothing(self, tmp_path):
+        path = tmp_path / "rollback.seed"
+        journal = JournaledDatabase.open(path, schema=matrix_schema(), name="d")
+        with pytest.raises(RuntimeError, match="nope"):
+            with journal.db.transaction():
+                journal.db.create_object("Item", "X")
+                raise RuntimeError("nope")
+        assert journal.txn_deltas() == 0
+        reopened = JournaledDatabase.open(path, name="d")
+        assert reopened.db.find_object("X") is None
+
+
+class TestCompactionCrash:
+    """A crashed compaction never loses committed state: the journal
+    rewrite is atomic (temp + rename), so a crash at any compaction
+    failpoint leaves either the old file or the finished new one."""
+
+    CRASH_POINTS = (
+        "journal.compact.rewrite",
+        "recordfile.rewrite.replace",
+        "recordfile.rewrite.post_replace",
+    )
+
+    def build(self, path):
+        journal = JournaledDatabase.open(path, schema=matrix_schema(), name="d")
+        db = journal.db
+        boundaries = []
+
+        def snap():
+            boundaries.append(
+                (journal._file.size_bytes(), canonical(db))  # noqa: SLF001
+            )
+
+        snap()
+        db.create_object("Item", "A")  # txn delta (implicit commit)
+        snap()
+        db.get_object("A").set_value("a1")  # txn delta
+        snap()
+        journal.checkpoint()
+        snap()
+        db.get_object("A").set_value("a2")  # txn delta past the image
+        snap()
+        return journal, boundaries
+
+    def test_crash_at_each_point_preserves_committed_state(self, tmp_path):
+        from repro.core.faults import FaultPlan, SimulatedCrash
+
+        for index, point in enumerate(self.CRASH_POINTS):
+            path = tmp_path / f"crash{index}.seed"
+            journal, boundaries = self.build(path)
+            expected = boundaries[-1][1]
+            plan = FaultPlan(seed=index).crash(point)
+            with plan, pytest.raises(SimulatedCrash):
+                journal.compact()
+            assert plan.hits.get(point) == 1
+            reopened = JournaledDatabase.open(path, name="d")
+            assert canonical(reopened.db) == expected
+
+    def test_every_truncation_of_a_mid_compaction_file_recovers(self, tmp_path):
+        """Truncation sweep of the journal as a crashed compaction left
+        it (crash before the atomic replace: the old file, superseded
+        records and all) — every prefix recovers its boundary state."""
+        from repro.core.faults import FaultPlan, SimulatedCrash
+
+        path = tmp_path / "mid.seed"
+        journal, boundaries = self.build(path)
+        plan = FaultPlan().crash("recordfile.rewrite.replace")
+        with plan, pytest.raises(SimulatedCrash):
+            journal.compact()
+        data = path.read_bytes()
+        # the atomic replace never ran: the file bytes are untouched
+        assert data[: boundaries[-1][0]] == data
+        records = [
+            (event.offset, event.end, event.record.get("kind"))
+            for event in RecordFile(path).scan()
+            if event.kind == "record"
+        ]
+        corpus = Corpus(path, data, boundaries, records)
+        work = tmp_path / "midwork.seed"
+        assert sweep_truncations(corpus, work) == []
+        assert sweep_flips(corpus, work) == []

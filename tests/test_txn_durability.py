@@ -1,0 +1,273 @@
+"""Transaction-level write-ahead durability (PR 9).
+
+Unit-level coverage for the post-commit txn sink, the journal byte
+budget with auto-checkpoint-then-compact, the ``compact()`` fallback
+when no on-disk image is intact, and graceful service shutdown.
+The crash matrix (:mod:`tests.test_crash_matrix`) covers the
+byte-level recovery sweeps; these tests pin the API behaviour.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import RecoveryWarning, SchemaBuilder
+from repro.core.errors import VersionError
+from repro.core.faults import FaultPlan
+from repro.core.storage import JournaledDatabase, RecordFile, database_to_dict
+from repro.core.versions.compaction import RetentionPolicy
+from repro.multiuser.server import SeedServer
+from repro.multiuser.service import SeedService, ServiceClient
+
+
+def record_kinds(path) -> list:
+    return [record.get("kind") for record in RecordFile(path).records()]
+
+
+def item_schema():
+    return SchemaBuilder("txn").entity_class("Item", sort="STRING").build()
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return JournaledDatabase.open(
+        tmp_path / "txn.journal", schema=item_schema(), name="txn"
+    )
+
+
+class TestTxnSink:
+    def test_each_commit_appends_one_txn_record(self, journal):
+        db = journal.db
+        db.create_object("Item", "A")  # commit 1
+        db.get_object("A").set_value("v")  # commit 2
+        with db.transaction():  # one commit, however many mutations
+            db.create_object("Item", "B")
+            db.create_object("Item", "C")
+        assert journal.txn_deltas() == 3
+        assert record_kinds(journal.path) == ["image", "txn", "txn", "txn"]
+
+    def test_committed_work_survives_without_checkpoint(self, journal):
+        journal.db.create_object("Item", "Direct").set_value("kept")
+        # no checkpoint: the write-ahead deltas alone must carry it
+        reopened = JournaledDatabase.open(journal.path)
+        assert reopened.db.get_object("Direct").value == "kept"
+
+    def test_rollback_appends_nothing(self, journal):
+        with pytest.raises(RuntimeError, match="boom"):
+            with journal.db.transaction():
+                journal.db.create_object("Item", "Ghost")
+                raise RuntimeError("boom")
+        assert journal.txn_deltas() == 0
+        reopened = JournaledDatabase.open(journal.path)
+        assert reopened.db.find_object("Ghost") is None
+
+    def test_read_only_commit_appends_nothing(self, journal):
+        with journal.db.transaction():
+            pass  # nothing touched
+        assert journal.txn_deltas() == 0
+
+    def test_sink_failure_propagates_commit_stays_live(self, journal):
+        with FaultPlan().fail_io("txn.journal.pre_append"):
+            with pytest.raises(OSError, match="injected"):
+                journal.db.create_object("Item", "Unlogged")
+        # the commit itself is not unwound: the object is live in
+        # memory (only its durability is lost until the next append)
+        assert journal.db.find_object("Unlogged") is not None
+        journal.checkpoint()
+        reopened = JournaledDatabase.open(journal.path)
+        assert reopened.db.find_object("Unlogged") is not None
+
+    def test_suspension_is_reentrant(self, journal):
+        with journal.suspended_txn_sink():
+            with journal.suspended_txn_sink():
+                journal.db.create_object("Item", "Quiet")
+            journal.db.create_object("Item", "StillQuiet")
+        journal.db.create_object("Item", "Loud")
+        assert journal.txn_deltas() == 1
+
+
+class TestCheckInInterplay:
+    def test_checkin_apply_does_not_double_journal(self, tmp_path):
+        server = SeedServer.open(
+            tmp_path / "srv.journal", schema=item_schema()
+        )
+        alice = server.connect("alice")
+        local = alice.check_out()
+        local.create_object("Item", "FromAlice")
+        alice.check_in()
+        # the check-in delta is the journal record; the sink stayed
+        # suspended while the package applied to the master
+        assert server.journal.txn_deltas() == 0
+        kinds = record_kinds(server.journal.path)
+        assert kinds.count("checkin") == 1
+
+    def test_direct_and_checkin_deltas_interleave(self, tmp_path):
+        server = SeedServer.open(
+            tmp_path / "srv.journal", schema=item_schema()
+        )
+        alice = server.connect("alice")
+        local = alice.check_out()
+        local.create_object("Item", "ByCheckIn")
+        alice.check_in()
+        server.master.create_object("Item", "ByTxn")
+        reopened = JournaledDatabase.open(server.journal.path)
+        assert reopened.db.find_object("ByCheckIn") is not None
+        assert reopened.db.find_object("ByTxn") is not None
+
+
+class TestByteBudget:
+    def test_tail_bytes_tracks_superseded_prefix(self, journal):
+        assert journal.tail_bytes() == journal._file.size_bytes()
+        journal.db.create_object("Item", "A")
+        journal.checkpoint()
+        # everything before the new image is superseded
+        assert journal.tail_bytes() < journal._file.size_bytes()
+        journal.compact()
+        assert journal.tail_bytes() == journal._file.size_bytes()
+
+    def test_enforce_budget_checkpoints_then_compacts(self, journal):
+        for index in range(20):
+            journal.db.create_object("Item", f"M{index}")
+        grown = journal._file.size_bytes()
+        size = journal.enforce_budget(grown // 4)
+        assert size < grown
+        assert record_kinds(journal.path) == ["image"]
+        reopened = JournaledDatabase.open(journal.path)
+        assert reopened.db.find_object("M19") is not None
+
+    def test_enforce_budget_under_budget_is_noop(self, journal):
+        journal.db.create_object("Item", "A")
+        before = record_kinds(journal.path)
+        journal.enforce_budget(10**9)
+        assert record_kinds(journal.path) == before
+
+    def test_auto_compaction_bounds_the_file(self, tmp_path):
+        path = tmp_path / "bounded.journal"
+        journal = JournaledDatabase.open(
+            path, schema=item_schema(), name="b", byte_budget=20_000
+        )
+        high_water = 0
+        for index in range(120):
+            journal.db.create_object("Item", f"M{index}")
+            high_water = max(high_water, journal._file.size_bytes())
+        # the budget self-enforces on the commit path: the transient
+        # peak is one full tail plus the checkpoint image, < 2x budget
+        # as long as an image fits in the budget
+        assert high_water < 2 * 20_000
+        reopened = JournaledDatabase.open(path)
+        assert reopened.db.find_object("M119") is not None
+
+    def test_checkin_path_enforces_budget(self, tmp_path):
+        server = SeedServer.open(
+            tmp_path / "srv.journal",
+            schema=item_schema(),
+            byte_budget=6_000,
+        )
+        for index in range(12):
+            client = server.connect(f"c{index}")
+            local = client.check_out()
+            local.create_object("Item", f"W{index}")
+            client.check_in()
+            assert server.journal._file.size_bytes() < 2 * 6_000
+        reopened = JournaledDatabase.open(server.journal.path)
+        assert reopened.db.find_object("W11") is not None
+
+    def test_maintain_enforces_policy_budget(self, tmp_path):
+        server = SeedServer.open(
+            tmp_path / "srv.journal", schema=item_schema()
+        )
+        for index in range(20):
+            server.master.create_object("Item", f"M{index}")
+        grown = server.journal._file.size_bytes()
+        server.maintain(RetentionPolicy(journal_byte_budget=grown // 4))
+        assert server.journal._file.size_bytes() < grown
+        assert record_kinds(server.journal.path) == ["image"]
+
+    def test_policy_rejects_non_positive_budget(self):
+        with pytest.raises(VersionError, match="journal_byte_budget"):
+            RetentionPolicy(journal_byte_budget=0)
+        with pytest.raises(VersionError, match="journal_byte_budget"):
+            RetentionPolicy(journal_byte_budget=-1)
+
+
+class TestCompactFallback:
+    def test_compact_without_intact_image_keeps_live_state(self, journal):
+        journal.db.create_object("Item", "Survivor").set_value("alive")
+        # damage the only on-disk image (record 0) under the live handle
+        data = bytearray(journal.path.read_bytes())
+        data[20] ^= 0xFF
+        journal.path.write_bytes(bytes(data))
+        with pytest.warns(RecoveryWarning, match="no intact image"):
+            journal.compact()
+        assert record_kinds(journal.path) == ["image"]
+        reopened = JournaledDatabase.open(journal.path)
+        assert reopened.db.get_object("Survivor").value == "alive"
+
+    def test_compact_keeps_newest_intact_image_and_tail(self, journal):
+        journal.db.create_object("Item", "A")
+        journal.checkpoint()
+        journal.db.create_object("Item", "B")  # post-image txn delta
+        journal.compact()
+        assert record_kinds(journal.path) == ["image", "txn"]
+        reopened = JournaledDatabase.open(journal.path)
+        assert reopened.db.find_object("A") is not None
+        assert reopened.db.find_object("B") is not None
+
+
+class TestGracefulStop:
+    def _stop(self, service, **kwargs) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            service.stop(**kwargs), service._loop
+        )
+        future.result(timeout=30)
+
+    def test_stop_drains_and_flushes(self, tmp_path):
+        server = SeedServer.open(
+            tmp_path / "svc.journal", schema=item_schema()
+        )
+        service = SeedService(server)
+        with service:
+            with ServiceClient.for_service(service, "alice") as alice:
+                local = alice.check_out()
+                local.create_object("Item", "Drained")
+                alice.check_in()
+            self._stop(service, drain_timeout_s=10.0, final_checkpoint=True)
+            # final flush: one fresh image, nothing else
+            assert record_kinds(server.journal.path) == ["image"]
+        reopened = JournaledDatabase.open(server.journal.path)
+        assert reopened.db.find_object("Drained") is not None
+
+    def test_stop_refuses_new_connections(self, tmp_path):
+        server = SeedServer.open(
+            tmp_path / "svc.journal", schema=item_schema()
+        )
+        service = SeedService(server)
+        with service:
+            self._stop(service, drain_timeout_s=5.0)
+            with pytest.raises(OSError):
+                ServiceClient.for_service(service, "late")
+
+    def test_stop_is_idempotent(self, tmp_path):
+        server = SeedServer.open(
+            tmp_path / "svc.journal", schema=item_schema()
+        )
+        service = SeedService(server)
+        with service:
+            self._stop(service, final_checkpoint=True)
+            self._stop(service, final_checkpoint=True)  # no-op
+
+    def test_stop_without_flush_leaves_journal_as_is(self, tmp_path):
+        server = SeedServer.open(
+            tmp_path / "svc.journal", schema=item_schema()
+        )
+        service = SeedService(server)
+        with service:
+            with ServiceClient.for_service(service, "alice") as alice:
+                local = alice.check_out()
+                local.create_object("Item", "Plain")
+                alice.check_in()
+            self._stop(service, drain_timeout_s=5.0)
+            kinds = record_kinds(server.journal.path)
+            assert "checkin" in kinds  # not flattened to an image
+        reopened = JournaledDatabase.open(server.journal.path)
+        assert reopened.db.find_object("Plain") is not None
