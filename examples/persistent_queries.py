@@ -13,6 +13,7 @@ Run:  python examples/persistent_queries.py
 import tempfile
 from pathlib import Path
 
+from repro.core import SchemaBuilder
 from repro.core.query import Retrieval, extent, relationship_relation
 from repro.core.query.predicates import participates_in
 from repro.core.storage import JournaledDatabase, load_database, save_database
@@ -107,6 +108,33 @@ def main() -> None:
     reopened = JournaledDatabase.open(journal_path)  # the "crash"
     print("recovered modules:",
           sorted(m.simple_name for m in reopened.db.objects("Module")))
+
+    # ------------------------------------------------------------------
+    # every mutation is a journaled delta: even a schema migration
+    # survives a crash with zero checkpoint calls — the migration
+    # appends one write-ahead "schema" record through the same change
+    # seam the txn deltas use, and replay re-applies it in file order
+    # ------------------------------------------------------------------
+    evolve_path = workdir / "evolving.seed"
+    v1 = SchemaBuilder("evolving").entity_class("Module", sort="STRING").build()
+    evolving = JournaledDatabase.open(evolve_path, schema=v1, name="evolving")
+    evolving.db.create_object("Module", "Core")
+    v2 = (
+        SchemaBuilder("evolving")
+        .entity_class("Module", sort="STRING")
+        .entity_class("Interface", sort="STRING")
+        .build()
+    )
+    evolving.db.migrate_schema(v2)  # one "schema" delta, no checkpoint
+    evolving.db.create_object("Interface", "CoreApi")  # only legal in v2
+    recovered = JournaledDatabase.open(evolve_path)  # the "crash"
+    assert recovered.checkpoints() == 1  # just the initial empty image
+    print(f"\nafter migration crash: schema knows "
+          f"{recovered.db.schema.entity_class('Interface').name!r}, "
+          f"{recovered.recovery.applied_change_deltas} change delta(s) "
+          "replayed, zero checkpoints written")
+    print("recovered items:",
+          sorted(o.simple_name for o in recovered.db.objects()))
 
 
 if __name__ == "__main__":

@@ -105,6 +105,11 @@ def _build_parser() -> argparse.ArgumentParser:
                               "superseded growth (works even when every "
                               "on-disk image is damaged — the live state "
                               "is checkpointed fresh)")
+    compact.add_argument("--streamed-checkpoint", action="store_true",
+                         help="journal mode only: write the fresh "
+                              "checkpoint as a streamed image group "
+                              "(O(1) extra memory) instead of one "
+                              "monolithic image record")
 
     fsck = commands.add_parser(
         "fsck",
@@ -147,6 +152,25 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="on SIGTERM/SIGINT, wait up to S seconds for "
                             "in-flight check-ins before closing "
                             "(default: 10)")
+    serve.add_argument("--group-commit", action="store_true",
+                       help="batch direct-transaction journal appends "
+                            "(one fsync per batch; check-ins, pins, and "
+                            "shutdown stay per-operation durable)")
+    serve.add_argument("--group-commit-txns", type=int, default=8,
+                       metavar="N",
+                       help="flush a group-commit batch after N buffered "
+                            "commits (default: 8)")
+    serve.add_argument("--group-commit-bytes", type=int, default=65536,
+                       metavar="BYTES",
+                       help="flush a group-commit batch at BYTES of "
+                            "encoded records (default: 65536)")
+    serve.add_argument("--group-commit-delay", type=float, default=0.05,
+                       metavar="S",
+                       help="flush a group-commit batch once its oldest "
+                            "commit is S seconds old (default: 0.05)")
+    serve.add_argument("--streamed-checkpoints", action="store_true",
+                       help="stream checkpoint images record by record "
+                            "(O(1) extra memory per checkpoint)")
 
     query = commands.add_parser(
         "query", help="run a planned ER-algebra query (cost-based planner)")
@@ -245,7 +269,9 @@ def _run_compact(args: argparse.Namespace) -> int:
     from repro.core.versions.compaction import RetentionPolicy
 
     journal = None
-    if args.byte_budget is not None:
+    if args.byte_budget is not None or args.streamed_checkpoint:
+        # a streamed checkpoint only exists as a journal record group,
+        # so the flag forces journal mode even without a budget
         from repro.core.storage import JournaledDatabase
 
         journal = JournaledDatabase.open(args.database)
@@ -278,7 +304,7 @@ def _run_compact(args: argparse.Namespace) -> int:
         # persist the compacted version store, then drop every
         # superseded journal record; works even when no on-disk image
         # is intact (compact() falls back to the live state)
-        journal.checkpoint()
+        journal.checkpoint(streamed=args.streamed_checkpoint)
         size = journal.compact()
         journal.enforce_budget(args.byte_budget)
     else:
@@ -295,12 +321,28 @@ def _run_fsck(args: argparse.Namespace) -> int:
     report-only mode — mirroring ``completeness``'s 2-means-findings.
     """
     from repro.core.storage import RecordFile
+    from repro.core.storage.engine import KNOWN_RECORD_KINDS
 
     record_file = RecordFile(args.database)
     if not record_file.exists():
         raise SeedError(f"no database file at {args.database}")
     report = record_file.verify()
     print(report.render())
+    # unknown record kinds (a journal written by a newer build) are
+    # intact records — report them as advisory, never as corruption
+    unknown: dict[str, int] = {}
+    for event in record_file.scan():
+        if event.kind != "record" or not isinstance(event.record, dict):
+            continue
+        kind = event.record.get("kind")
+        if kind not in KNOWN_RECORD_KINDS:
+            unknown[str(kind)] = unknown.get(str(kind), 0) + 1
+    for kind, count in sorted(unknown.items()):
+        print(
+            f"note: {count} intact record(s) of unknown kind {kind!r} "
+            "(written by a newer build?) — loads skip them with a "
+            "RecoveryWarning"
+        )
     if report.is_clean:
         return 0
     if not args.salvage:
@@ -335,16 +377,26 @@ def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
+    from repro.core.storage import GroupCommitPolicy
     from repro.multiuser.server import SeedServer
     from repro.multiuser.service import SeedService
     from repro.spades import spades_schema
 
+    group_commit = None
+    if args.group_commit:
+        group_commit = GroupCommitPolicy(
+            max_txns=args.group_commit_txns,
+            max_bytes=args.group_commit_bytes,
+            max_delay_s=args.group_commit_delay,
+        )
     server = SeedServer.open(
         args.journal,
         schema=spades_schema(),
         lease_seconds=args.lease_seconds,
         session_seconds=args.session_seconds,
         byte_budget=args.journal_byte_budget,
+        group_commit=group_commit,
+        streamed_checkpoints=args.streamed_checkpoints,
     )
     service = SeedService(
         server,

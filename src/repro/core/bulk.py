@@ -48,8 +48,18 @@ the table:
     records wholesale from frozen states and rewires parents, name
     index, incidence, patterns, and indexes in one pass. Version
     checkout (``restore_from_view``), image deserialization
-    (``database_from_dict``), and multi-user check-out all route
-    through it.
+    (``database_from_dict`` and the streaming
+    ``database_from_records``), replay of journaled ``restore``
+    deltas, and multi-user check-out all route through it. The state
+    arguments are consumed strictly sequentially — objects first,
+    then relationships — so lazy iterators (e.g. sections of one
+    streamed image-record cursor) work at O(1) extra memory.
+
+Bulk ingest of *streamed image records* into a **live** database
+(``SeedDatabase.bulk_load(records=...)``) is the third lane: it runs
+through :class:`BulkContext` via
+:func:`repro.core.storage.serialize.ingest_image_records`, keeping
+whole-batch failure atomicity while never materializing the item list.
 """
 
 from __future__ import annotations

@@ -148,14 +148,25 @@ class SeedDatabase:
         self._dirty: set[ItemKey] = set()
         self._txn: Optional[_Transaction] = None
         self._bulk: Optional["BulkContext"] = None
-        #: post-commit sink seam: called with the committed transaction
-        #: after validation and completeness bookkeeping succeed, before
-        #: control returns to the caller. A journal-bound database
-        #: (:class:`~repro.core.storage.engine.JournaledDatabase`) hooks
-        #: this to append a write-ahead ``txn`` delta record, making
-        #: direct transactions durable at O(change). Rolled-back
-        #: transactions never reach the sink.
-        self._commit_sink: Optional[Any] = None
+        #: the change-capture seam: a callable ``(kind, payload)`` fed
+        #: every committed mutation, typed by kind —
+        #:
+        #: * ``"txn"`` — a committed transaction (payload: the
+        #:   ``_Transaction``), fired after validation and completeness
+        #:   bookkeeping succeed, before control returns to the caller;
+        #:   rolled-back transactions never reach the sink;
+        #: * ``"schema"`` — a completed :meth:`migrate_schema` (payload:
+        #:   ``(new_schema, schema_version_index)``);
+        #: * ``"restore"`` — a completed :meth:`restore_from_view`
+        #:   (payload: the restored version id string or ``None``);
+        #: * ``"version"`` — a completed :meth:`create_version`
+        #:   (payload: the new :class:`VersionId`).
+        #:
+        #: A journal-bound database (:class:`~repro.core.storage.engine.
+        #: JournaledDatabase`) hooks this to append one write-ahead
+        #: record per event, making *every* committed mutation —
+        #: transactional or not — durable at O(change).
+        self._change_sink: Optional[Any] = None
         self.indexes = IndexLayer(self)
         self.consistency = ConsistencyEngine(self)
         self.completeness = CompletenessEngine(self)
@@ -283,6 +294,8 @@ class SeedDatabase:
         self,
         objects: Iterable[dict] = (),
         relationships: Iterable[dict] = (),
+        *,
+        records: Optional[Iterable[dict]] = None,
     ) -> dict[str, SeedObject]:
         """Create many items in one :meth:`bulk` batch.
 
@@ -292,9 +305,27 @@ class SeedDatabase:
         nested recursively). *relationships* are mappings with
         ``association`` and ``bindings`` (role → object name or
         :class:`SeedObject`) and optional ``attributes``/``pattern``.
+        Both may be lazy iterators — specs are consumed one at a time.
+
+        Alternatively, *records* takes a streamed-image record iterator
+        (the :func:`~repro.core.storage.serialize.iter_image_records`
+        format) and ingests the item states directly, never
+        materialising the stream: the O(1)-memory ingest lane for
+        specs exported by another database or emitted by a pipeline.
+
         Returns the created independent objects by name. The whole load
         is atomic: any error rolls everything back.
         """
+        if records is not None:
+            if objects or relationships:
+                raise SeedError(
+                    "bulk_load takes either specs or a record stream, "
+                    "not both"
+                )
+            # imported lazily: serialize sits above the database layer
+            from repro.core.storage.serialize import ingest_image_records
+
+            return ingest_image_records(self, records)
         created: dict[str, SeedObject] = {}
         with self.bulk() as batch:
             txn = batch.txn
@@ -517,16 +548,26 @@ class SeedDatabase:
         self._notify_commit(txn)
 
     def _notify_commit(self, txn: _Transaction) -> None:
-        """Hand a committed transaction to the post-commit sink (if bound).
+        """Hand a committed transaction to the change sink (if bound).
 
-        Runs after the commit is fully applied in memory; the sink's
-        durability failure (e.g. a journal append error) propagates to
-        the caller but does not unwind the in-memory commit — the
-        caller knows the change is live but not yet durable.
+        Runs after the commit is fully applied in memory; a no-op
+        commit (nothing touched) emits nothing.
         """
-        sink = self._commit_sink
-        if sink is not None and txn.touched:
-            sink(txn)
+        if txn.touched:
+            self._emit_change("txn", txn)
+
+    def _emit_change(self, kind: str, payload: Any) -> None:
+        """Feed one committed mutation to the change-capture seam.
+
+        Every event fires *after* its mutation is fully applied in
+        memory; the sink's durability failure (e.g. a journal append
+        error) propagates to the caller but does not unwind the
+        in-memory change — the caller knows the change is live but not
+        yet durable.
+        """
+        sink = self._change_sink
+        if sink is not None:
+            sink(kind, payload)
 
     def _rollback(self, txn: _Transaction) -> None:
         self._undo_to(txn, 0)
@@ -1509,7 +1550,9 @@ class SeedDatabase:
             raise TransactionError("cannot create a version inside a transaction")
         if self._bulk is not None:
             raise TransactionError("cannot create a version inside a bulk batch")
-        return self.versions.create_version(version)
+        vid = self.versions.create_version(version)
+        self._emit_change("version", vid)
+        return vid
 
     def select_version(
         self, version: str | VersionId, *, discard_changes: bool = False
@@ -1591,6 +1634,8 @@ class SeedDatabase:
             next_id_floor=self._next_id,
         )
         self.completeness.invalidate()
+        version = getattr(view, "version", None)
+        self._emit_change("restore", str(version) if version else None)
 
     # ------------------------------------------------------------------
     # schema evolution
@@ -1660,7 +1705,9 @@ class SeedDatabase:
         plan_cache = getattr(self, "_plan_cache", None)
         if plan_cache is not None:
             plan_cache.clear()
-        return self.versions.register_schema_version(new_schema)
+        index = self.versions.register_schema_version(new_schema)
+        self._emit_change("schema", (new_schema, index))
+        return index
 
     # ------------------------------------------------------------------
     # helpers

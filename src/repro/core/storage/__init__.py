@@ -1,6 +1,7 @@
 """Persistence: canonical serialisation, record files, storage engine."""
 
 from repro.core.storage.engine import (
+    GroupCommitPolicy,
     JournaledDatabase,
     RecoveryInfo,
     load_database,
@@ -13,12 +14,16 @@ from repro.core.storage.recordfile import (
 )
 from repro.core.storage.serialize import (
     database_from_dict,
+    database_from_records,
     database_to_dict,
+    ingest_image_records,
+    iter_image_records,
     schema_from_dict,
     schema_to_dict,
 )
 
 __all__ = [
+    "GroupCommitPolicy",
     "JournaledDatabase",
     "RecoveryInfo",
     "load_database",
@@ -27,7 +32,10 @@ __all__ = [
     "CorruptRange",
     "IntegrityReport",
     "database_from_dict",
+    "database_from_records",
     "database_to_dict",
+    "ingest_image_records",
+    "iter_image_records",
     "schema_from_dict",
     "schema_to_dict",
 ]

@@ -1,48 +1,81 @@
 """The storage engine: database images, write-ahead deltas, recovery.
 
-Four persistence record kinds, composable in one journal file:
+**Every committed mutation is a journaled delta.** A
+:class:`JournaledDatabase` binds the database's change-capture seam
+(``SeedDatabase._change_sink``) and appends one write-ahead record per
+committed mutation, whatever its shape. The record kinds, composable
+in one journal file:
 
-* **images** — :func:`save_database` / :func:`load_database` write/read
-  one complete database image (a single record holding the canonical
-  dict of :mod:`repro.core.storage.serialize`);
+* **images** — ``{"kind": "image", "image": ...}``: one complete
+  database image (the canonical dict of
+  :mod:`repro.core.storage.serialize`), appended by
+  :meth:`JournaledDatabase.checkpoint` and written/read whole by
+  :func:`save_database` / :func:`load_database`. A *streamed*
+  checkpoint instead appends a counted group —
+  ``{"kind": "image.begin", "cp": k}``, one ``{"kind": "image.rec",
+  "cp": k, "rec": ...}`` per streamed image record, ``{"kind":
+  "image.end", "cp": k, "n": count}`` — emitted straight from
+  :func:`~repro.core.storage.serialize.iter_image_records` at O(1)
+  extra memory. Only a *complete* group (matching ``cp`` and count)
+  counts as an image; a crash mid-stream leaves an incomplete group
+  that recovery ignores, exactly like a torn monolithic append;
 * **check-in deltas** — ``{"kind": "checkin", "seq": n, "delta": ...}``
-  records appended by :meth:`JournaledDatabase.append_delta` *before*
-  the master database applies a multi-user check-in (write-ahead): an
-  accepted check-in is durable at O(change) cost, not O(database).
-  A delta whose apply failed is neutralized by a matching
-  ``{"kind": "checkin.abort", "seq": n}`` marker;
+  appended by :meth:`JournaledDatabase.append_delta` *before* the
+  master applies a multi-user check-in (write-ahead); a failed apply
+  is neutralized by ``{"kind": "checkin.abort", "seq": n}``;
 * **transaction deltas** — ``{"kind": "txn", "seq": n, "delta": ...}``
-  records appended by the post-commit sink a :class:`JournaledDatabase`
-  binds onto its database: every committed *direct* transaction
-  (anything outside a check-in apply) is durable at O(change) before
-  control returns to the caller. Rollbacks never reach the sink, so
-  they append nothing; check-in applies run with the sink suspended
-  (the check-in delta already covers them write-ahead);
-* **checkpoints** — :class:`JournaledDatabase.checkpoint` appends a
-  full image; deltas before the newest image are superseded by it.
+  for every committed *direct* transaction (anything outside a
+  check-in apply, whose commits the check-in delta already covers);
+  rollbacks append nothing;
+* **mutation deltas** — the non-transactional mutators journal
+  through the same seam: ``{"kind": "schema", ...}`` (a completed
+  ``migrate_schema``: the serialized new schema + migration stats),
+  ``{"kind": "restore", ...}`` (a completed ``restore_from_view``:
+  the restored view delta), ``{"kind": "version", ...}`` (a completed
+  ``create_version``: the snapshot's recorded cells). Each appends
+  exactly one record before control returns, so these operations are
+  durable with **zero** checkpoints.
 
 Recovery contract (shared by :func:`load_database` and
 :meth:`JournaledDatabase.open`, built on the salvage scan of
 :class:`~repro.core.storage.recordfile.RecordFile`):
 
-1. The **base** is the newest intact image anywhere in the file —
-   corruption can no longer shadow a newer intact checkpoint, because
-   the scan resynchronizes past corrupt regions instead of stopping.
-2. Deltas *after* the base replay in file order (check-in and txn
-   records interleave in their original seq order): check-in deltas
-   each in their own transaction, skipping aborted seqs (a delta that
-   fails to apply is rolled back — a live abort whose marker was lost
-   re-fails deterministically on replay); txn deltas as direct state
-   upserts of their committed after-states.
+1. The **base** is the newest *complete* image anywhere in the file —
+   a monolithic image record or a complete streamed group. The scan
+   resynchronizes past corrupt regions, so corruption cannot shadow a
+   newer intact checkpoint; an incomplete streamed group is never a
+   base.
+2. Deltas *after* the base replay in file order: check-in deltas each
+   in their own transaction, skipping aborted seqs (a live abort whose
+   marker was lost re-fails deterministically); txn deltas as direct
+   state upserts of their committed after-states; schema, restore, and
+   version deltas through their
+   :mod:`~repro.core.storage.serialize` appliers, interleaved exactly
+   where they committed.
 3. Replay stops at the first corrupt region after the base: deltas
    beyond a gap may depend on the lost record, so applying them could
    not be prefix-consistent. They are counted, not applied.
-4. The result is always a **prefix-consistent committed state**, and
-   any mid-journal corruption, rotted tail, or skipped delta is
-   surfaced via :class:`~repro.core.errors.RecoveryWarning` (or raised,
-   with ``strict=True``) — never silently ignored. A *torn tail* (the
-   clean prefix an interrupted append leaves) stays silent: that is
-   ordinary crash recovery, not data loss.
+4. A record of an **unknown kind** (a journal written by a newer
+   build) is skipped, counted, and surfaced — degrade gracefully, but
+   never silently.
+5. The result is always a **prefix-consistent committed state**, and
+   any mid-journal corruption, rotted tail, skipped delta, or unknown
+   record is surfaced via :class:`~repro.core.errors.RecoveryWarning`
+   (or raised, with ``strict=True``). A *torn tail* (the clean prefix
+   an interrupted append leaves) stays silent: that is ordinary crash
+   recovery, not data loss.
+
+**Group commit.** By default every committed transaction is its own
+fsync'd append — the strict PR 9 contract. Opting in to a
+:class:`GroupCommitPolicy` batches encoded txn records in memory and
+appends each batch with one fsync, bounding the durability window by
+``max_txns`` / ``max_bytes`` / ``max_delay_s`` (checked at each
+commit against an injectable monotonic clock). Every consistency
+point is a **hard flush barrier**: check-in appends, checkpoints,
+compaction, budget enforcement, snapshot pins, and service shutdown
+drain the buffer first, so a crash can only lose the last
+partial batch of *direct* commits — never a check-in, never anything
+after a barrier. The strict default is opt-out, not weakened.
 
 The journal is self-bounding. A ``byte_budget`` (settable directly or
 via :attr:`~repro.core.versions.compaction.RetentionPolicy.
@@ -53,32 +86,31 @@ replays them), everything from it on is the live tail. When total file
 size exceeds the budget, the journal auto-compacts — first appending a
 fresh checkpoint if the live tail alone exceeds the budget, so the
 rewrite actually shrinks the file. The trigger points are post-commit
-(after a txn record's effects are already applied in memory) and
-explicit maintenance (:meth:`~JournaledDatabase.enforce_budget`) —
-never inside :meth:`~JournaledDatabase.append_delta`, where a
-checkpoint would supersede a write-ahead record whose apply has not
-happened yet. Crash safety of compaction itself rides on the atomic
-temp-and-rename of :meth:`~repro.core.storage.recordfile.RecordFile.
-rewrite` (exercised via the ``journal.compact.rewrite`` failpoint): a
-crash mid-compaction leaves either the old file or the new one, both
-of which recover the same committed state.
+(after a record's effects are already applied in memory) and explicit
+maintenance (:meth:`~JournaledDatabase.enforce_budget`) — never inside
+:meth:`~JournaledDatabase.append_delta`, where a checkpoint would
+supersede a write-ahead record whose apply has not happened yet.
+Crash safety of compaction itself rides on the atomic temp-and-rename
+of :meth:`~repro.core.storage.recordfile.RecordFile.rewrite`
+(exercised via the ``journal.compact.rewrite`` failpoint): a crash
+mid-compaction leaves either the old file or the new one, both of
+which recover the same committed state.
 
 A full write-ahead log of individual updates would exceed the paper
 ("SEED does not keep a log of every database update"); the checkpoint
-journal with per-check-in and per-transaction deltas matches its
-session-oriented saving style while making every committed change
-durable. The remaining caveat: bulk state-replacement operations that
-bypass the transaction seam (``migrate_schema``, ``restore_from_view``,
-``create_version``) are durable only from the next checkpoint on.
+journal with per-mutation deltas matches its session-oriented saving
+style while making every committed change durable at O(change).
 """
 
 from __future__ import annotations
 
+import json
+import time
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from repro.core import faults
 from repro.core.database import SeedDatabase
@@ -90,18 +122,128 @@ from repro.core.storage.recordfile import (
     RecordFile,
 )
 from repro.core.storage.serialize import (
+    apply_restore_delta,
+    apply_schema_delta,
     apply_txn_delta,
+    apply_version_delta,
     database_from_dict,
+    database_from_records,
     database_to_dict,
+    iter_image_records,
+    restore_delta_from_db,
+    schema_delta_from_migration,
     txn_delta_from_txn,
+    version_delta_from_db,
 )
 
 __all__ = [
     "save_database",
     "load_database",
+    "GroupCommitPolicy",
     "JournaledDatabase",
     "RecoveryInfo",
+    "KNOWN_RECORD_KINDS",
 ]
+
+#: record kinds the replay window treats as deltas (anything of these
+#: kinds stranded past a corrupt gap counts as skipped)
+_DELTA_KINDS = ("checkin", "txn", "schema", "restore", "version")
+#: every record kind this build understands; anything else in the
+#: replay window is an unknown-future-kind record (skip + surface)
+KNOWN_RECORD_KINDS = frozenset(
+    {
+        "image",
+        "image.begin",
+        "image.rec",
+        "image.end",
+        "checkin",
+        "checkin.abort",
+        "txn",
+        "schema",
+        "restore",
+        "version",
+    }
+)
+
+
+@dataclass(frozen=True)
+class GroupCommitPolicy:
+    """Bounds for batching direct-transaction journal appends.
+
+    With a policy installed, committed ``txn`` records are buffered in
+    memory and appended with **one fsync per batch** instead of one per
+    commit. A buffered commit is applied in memory but not yet durable:
+    the policy bounds that window — a batch flushes when it reaches
+    ``max_txns`` records, ``max_bytes`` of encoded payload, or when
+    ``max_delay_s`` has elapsed since the first buffered commit
+    (checked at each commit against the journal's monotonic clock; no
+    background timer thread — an idle journal flushes at the next
+    commit or barrier). Check-in appends, checkpoints, compaction,
+    budget enforcement, and explicit :meth:`JournaledDatabase.flush`
+    are hard barriers that drain the buffer first, so only the last
+    partial batch of direct commits can ever be lost to a crash.
+    """
+
+    #: flush after this many buffered commits
+    max_txns: int = 8
+    #: flush once the encoded batch reaches this many bytes
+    max_bytes: int = 64 * 1024
+    #: flush once the oldest buffered commit is this old (seconds)
+    max_delay_s: float = 0.05
+
+
+def _image_units(record_events: list) -> list[dict]:
+    """Find every complete image unit among *record_events*.
+
+    A unit is either a monolithic ``image`` record or a complete
+    streamed checkpoint group (``image.begin`` .. ``image.end`` with a
+    matching ``cp`` id and part count). Returns dicts with ``start`` /
+    ``end`` byte offsets, ``start_index`` into *record_events*, and
+    either ``image`` (monolithic payload) or ``parts`` (the streamed
+    image records). Incomplete groups — a crash mid-stream, or
+    corruption that ate a part or endpoint — yield no unit, exactly
+    like a torn monolithic append.
+    """
+    units: list[dict] = []
+    pending: dict[Any, dict] = {}
+    for index, event in enumerate(record_events):
+        record = event.record
+        if not isinstance(record, dict):
+            continue
+        kind = record.get("kind")
+        if kind == "image":
+            units.append(
+                {
+                    "start": event.offset,
+                    "end": event.end,
+                    "start_index": index,
+                    "image": record.get("image"),
+                    "cp": None,
+                }
+            )
+        elif kind == "image.begin":
+            pending[record.get("cp")] = {
+                "start": event.offset,
+                "start_index": index,
+                "parts": [],
+            }
+        elif kind == "image.rec":
+            group = pending.get(record.get("cp"))
+            if group is not None:
+                group["parts"].append(record.get("rec"))
+        elif kind == "image.end":
+            group = pending.pop(record.get("cp"), None)
+            if group is not None and record.get("n") == len(group["parts"]):
+                units.append(
+                    {
+                        "start": group["start"],
+                        "end": event.end,
+                        "start_index": group["start_index"],
+                        "parts": group["parts"],
+                        "cp": record.get("cp"),
+                    }
+                )
+    return units
 
 
 @dataclass
@@ -115,19 +257,31 @@ class RecoveryInfo:
     applied_deltas: int = 0
     #: direct-transaction deltas replayed successfully after the base
     applied_txn_deltas: int = 0
+    #: schema/restore/version mutation deltas replayed after the base
+    applied_change_deltas: int = 0
     #: deltas skipped via abort markers or deterministic re-failure
     aborted_deltas: int = 0
-    #: deltas (check-in or txn) after the first post-base corrupt
-    #: region (not applied)
+    #: deltas (any kind in ``_DELTA_KINDS``) after the first post-base
+    #: corrupt region (not applied)
     skipped_deltas: int = 0
     #: intact records found *after* a corrupt region (would have been
     #: lost by a stop-at-first-error scan — the pre-salvage-scan bug)
     recovered_records: int = 0
+    #: intact records in the replay window whose kind this build does
+    #: not understand (journal written by a newer build): skipped, not
+    #: applied, surfaced
+    unknown_records: int = 0
+    #: the distinct unknown kinds encountered (stringified)
+    unknown_kinds: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
         """Nothing to surface: no suspicious corruption, nothing skipped."""
-        return not self.report.needs_attention and self.skipped_deltas == 0
+        return (
+            not self.report.needs_attention
+            and self.skipped_deltas == 0
+            and self.unknown_records == 0
+        )
 
     def problems(self) -> list[str]:
         """Human-readable descriptions of everything worth surfacing."""
@@ -156,6 +310,13 @@ class RecoveryInfo:
                 f"{self.skipped_deltas} delta(s) after the corruption "
                 "were not replayed (prefix consistency); run "
                 "`repro fsck --salvage` to quarantine the damage"
+            )
+        if self.unknown_records:
+            kinds = ", ".join(sorted(set(self.unknown_kinds)))
+            found.append(
+                f"{self.unknown_records} record(s) of unknown kind(s) "
+                f"[{kinds}] were skipped (journal written by a newer "
+                "build?)"
             )
         return found
 
@@ -221,19 +382,17 @@ def _load_journal_state(
     max_seq = 0
     for event in record_events:
         if isinstance(event.record, dict):
-            seq = event.record.get("seq")
-            if isinstance(seq, int) and seq > max_seq:
-                max_seq = seq
-    base = None
-    for event in record_events:
-        if (
-            isinstance(event.record, dict)
-            and event.record.get("kind") == "image"
-        ):
-            base = event
-    if base is None:
+            # streamed checkpoints draw their ``cp`` id from the same
+            # counter, so it participates in the high-water mark too
+            for key in ("seq", "cp"):
+                value = event.record.get(key)
+                if isinstance(value, int) and value > max_seq:
+                    max_seq = value
+    units = _image_units(record_events)
+    if not units:
         return None, info, max_seq + 1
-    info.base_offset = base.offset
+    base = units[-1]
+    info.base_offset = base["start"]
 
     first_corrupt = [event for event in events if event.kind == "corrupt"]
     info.recovered_records = sum(
@@ -241,17 +400,19 @@ def _load_journal_state(
         for event in record_events
         if first_corrupt and event.offset >= first_corrupt[0].end
     )
-    # replay window: record events after the base, up to the first
-    # corrupt region after the base (prefix consistency past a gap)
+    # replay window: record events after the base unit, up to the first
+    # corrupt region after the base (prefix consistency past a gap).
+    # Corruption *inside* a streamed base group cannot happen — a group
+    # missing any part is incomplete and never becomes the base.
     gap_offset = None
     for event in first_corrupt:
-        if event.offset > base.offset:
+        if event.offset > base["start"]:
             gap_offset = event.offset
             break
     window = [
         event
         for event in record_events
-        if event.offset > base.offset
+        if event.offset >= base["end"]
         and (gap_offset is None or event.end <= gap_offset)
     ]
     info.skipped_deltas = sum(
@@ -260,10 +421,13 @@ def _load_journal_state(
         if gap_offset is not None
         and event.offset >= gap_offset
         and isinstance(event.record, dict)
-        and event.record.get("kind") in ("checkin", "txn")
+        and event.record.get("kind") in _DELTA_KINDS
     )
 
-    db = database_from_dict(base.record["image"], registry)
+    if base["cp"] is None:
+        db = database_from_dict(base["image"], registry)
+    else:
+        db = database_from_records(base["parts"], registry)
     aborted_seqs = {
         event.record.get("seq")
         for event in window
@@ -278,6 +442,8 @@ def _load_journal_state(
     for event in window:
         record = event.record
         if not isinstance(record, dict):
+            info.unknown_records += 1
+            info.unknown_kinds.append("<not a record object>")
             continue
         kind = record.get("kind")
         if kind == "txn":
@@ -286,7 +452,28 @@ def _load_journal_state(
             apply_txn_delta(db, record["delta"])
             info.applied_txn_deltas += 1
             continue
+        if kind == "schema":
+            apply_schema_delta(db, record["delta"], registry)
+            info.applied_change_deltas += 1
+            continue
+        if kind == "restore":
+            apply_restore_delta(db, record["delta"])
+            info.applied_change_deltas += 1
+            continue
+        if kind == "version":
+            apply_version_delta(db, record["delta"])
+            info.applied_change_deltas += 1
+            continue
         if kind != "checkin":
+            if kind not in KNOWN_RECORD_KINDS:
+                # a future build's record: skipping it keeps the load
+                # prefix-consistent *as this build understands state*;
+                # surface it so nobody mistakes the result for complete
+                info.unknown_records += 1
+                info.unknown_kinds.append(str(kind))
+            # image-family records in the window belong to an
+            # incomplete streamed checkpoint (crash mid-stream): state
+            # no-ops, skipped silently like a torn tail
             continue
         if record.get("seq") in aborted_seqs:
             info.aborted_deltas += 1
@@ -325,15 +512,24 @@ class JournaledDatabase:
         journal = JournaledDatabase.open(path, schema=my_schema)
         db = journal.db
         ...updates...                 # every commit appends a txn delta
+        db.migrate_schema(new)        # appends one ``schema`` delta
+        db.create_version("v")        # appends one ``version`` delta
         journal.checkpoint()          # appends a recoverable image
         journal.append_delta(pkg)     # durable O(change) check-in record
         journal.compact()             # drops superseded records
 
-    Binding installs a post-commit sink on the database: every
-    committed direct transaction appends a write-ahead ``txn`` delta
-    before control returns to the caller (rollbacks append nothing).
-    With a *byte_budget*, each txn append also enforces the budget —
+    Binding installs the database's change sink: every committed
+    mutation — direct transaction, schema migration, version restore,
+    version creation — appends a write-ahead delta before control
+    returns to the caller (rollbacks append nothing). With a
+    *byte_budget*, each post-commit append also enforces the budget —
     see :meth:`enforce_budget`.
+
+    With a :class:`GroupCommitPolicy`, direct-transaction deltas are
+    buffered and appended with one fsync per batch; everything else
+    (check-ins, mutation deltas, checkpoints, compaction) is a hard
+    flush barrier. The default (``group_commit=None``) keeps strict
+    per-commit durability.
 
     After :meth:`open`, :attr:`recovery` describes what the load found
     (corruption skipped, deltas replayed/aborted/stranded).
@@ -347,6 +543,9 @@ class JournaledDatabase:
         recovery: Optional[RecoveryInfo] = None,
         next_seq: int = 1,
         byte_budget: Optional[int] = None,
+        group_commit: Optional[GroupCommitPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+        streamed_checkpoints: bool = False,
     ) -> None:
         self.db = db
         self._file = record_file
@@ -357,6 +556,16 @@ class JournaledDatabase:
         self._next_seq = next_seq
         #: auto-compaction threshold in bytes (None = unbounded)
         self.byte_budget = byte_budget
+        #: txn batching policy (None = strict per-commit fsync)
+        self.group_commit = group_commit
+        #: default checkpoint mode (overridable per call)
+        self.streamed_checkpoints = streamed_checkpoints
+        #: batches durably appended so far (one fsync each)
+        self.group_flushes = 0
+        self._clock = clock if clock is not None else time.monotonic
+        self._pending: list[dict] = []
+        self._pending_bytes = 0
+        self._pending_since: Optional[float] = None
         # byte accounting: everything before the newest image record is
         # superseded (a load never replays it); the rest is live tail
         self._superseded_bytes = (
@@ -365,7 +574,7 @@ class JournaledDatabase:
         # sink suspension depth: >0 while a check-in apply runs (the
         # check-in delta already covers those commits write-ahead)
         self._sink_suspended = 0
-        db._commit_sink = self._on_txn_commit  # noqa: SLF001 - the seam
+        db._change_sink = self._on_change_event  # noqa: SLF001 - the seam
 
     @classmethod
     def open(
@@ -377,6 +586,9 @@ class JournaledDatabase:
         registry: Optional[ProcedureRegistry] = None,
         strict: bool = False,
         byte_budget: Optional[int] = None,
+        group_commit: Optional[GroupCommitPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+        streamed_checkpoints: bool = False,
     ) -> "JournaledDatabase":
         """Open an existing journal or start a fresh one.
 
@@ -399,6 +611,9 @@ class JournaledDatabase:
                     recovery=info,
                     next_seq=next_seq,
                     byte_budget=byte_budget,
+                    group_commit=group_commit,
+                    clock=clock,
+                    streamed_checkpoints=streamed_checkpoints,
                 )
             if info.report.intact_records > 0:
                 # intact records but no image: not a journal we can
@@ -409,7 +624,14 @@ class JournaledDatabase:
                 f"no journal at {path} and no schema given to create one"
             )
         db = SeedDatabase(schema, name)
-        journal = cls(db, record_file, byte_budget=byte_budget)
+        journal = cls(
+            db,
+            record_file,
+            byte_budget=byte_budget,
+            group_commit=group_commit,
+            clock=clock,
+            streamed_checkpoints=streamed_checkpoints,
+        )
         journal.checkpoint()
         return journal
 
@@ -418,15 +640,45 @@ class JournaledDatabase:
         """Where the journal lives on disk."""
         return self._file.path
 
-    def checkpoint(self) -> int:
+    def checkpoint(self, *, streamed: Optional[bool] = None) -> int:
         """Append a recovery image of the current state; returns file size.
 
         The image supersedes every earlier record on load (deltas
-        before it replay into it implicitly).
+        before it replay into it implicitly). Flush barrier: any
+        buffered group-commit records are appended first.
+
+        With ``streamed=True`` (or :attr:`streamed_checkpoints`), the
+        image is appended as a counted ``image.begin`` / ``image.rec``
+        / ``image.end`` group emitted straight from
+        :func:`~repro.core.storage.serialize.iter_image_records`, so
+        checkpointing never materializes the monolithic image dict —
+        O(1) extra memory in the database size. Recovery treats only a
+        complete group as an image; a crash mid-stream is a torn
+        checkpoint and the previous base still recovers the same
+        committed state (checkpoints change no state).
         """
-        offset, __ = self._file.append(
-            {"kind": "image", "image": database_to_dict(self.db)}
-        )
+        self.flush(enforce=False)
+        if streamed is None:
+            streamed = self.streamed_checkpoints
+        if not streamed:
+            offset, __ = self._file.append(
+                {"kind": "image", "image": database_to_dict(self.db)}
+            )
+            self._superseded_bytes = offset
+            return self._file.size_bytes()
+        cp = self._next_seq
+        self._next_seq += 1
+        offset = self._file.size_bytes()
+
+        def group() -> Iterator[dict]:
+            yield {"kind": "image.begin", "cp": cp}
+            count = 0
+            for rec in iter_image_records(self.db):
+                count += 1
+                yield {"kind": "image.rec", "cp": cp, "rec": rec}
+            yield {"kind": "image.end", "cp": cp, "n": count}
+
+        self._file.append_stream(group())
         self._superseded_bytes = offset
         return self._file.size_bytes()
 
@@ -439,6 +691,10 @@ class JournaledDatabase:
         with :meth:`append_abort` — replay skips marked seqs (and a
         marker lost to a crash re-fails deterministically on replay).
 
+        Hard flush barrier: buffered group-commit records land in the
+        same fsync'd batch, ahead of the check-in record, preserving
+        file order.
+
         Never auto-compacts: the record is write-ahead of its apply, so
         a checkpoint taken here would supersede a delta whose effects
         are not in the image yet. Budget enforcement belongs *after*
@@ -446,37 +702,123 @@ class JournaledDatabase:
         """
         seq = self._next_seq
         self._next_seq += 1
-        self._file.append({"kind": "checkin", "seq": seq, "delta": delta})
+        self._append_record({"kind": "checkin", "seq": seq, "delta": delta})
         return seq
 
     def append_abort(self, seq: int) -> None:
         """Mark delta *seq* as never-applied (its check-in was rejected)."""
-        self._file.append({"kind": "checkin.abort", "seq": seq})
+        self._append_record({"kind": "checkin.abort", "seq": seq})
 
-    # -- the post-commit sink ----------------------------------------------
+    # -- the change sink ----------------------------------------------------
 
-    def _on_txn_commit(self, txn) -> None:
-        """Append a write-ahead ``txn`` delta for a committed transaction.
+    def _on_change_event(self, kind: str, payload: Any) -> None:
+        """The database's change sink: journal one committed mutation.
 
-        Installed as the database's post-commit sink. Runs after the
-        commit is fully applied in memory, so auto-compaction here is
-        safe: a checkpoint taken now already contains the change.
+        Installed as ``db._change_sink``. Runs after the mutation is
+        fully applied in memory, so auto-compaction here is safe: a
+        checkpoint taken now already contains the change. Direct
+        transactions (``"txn"``) may buffer under a group-commit
+        policy; every other kind appends exactly one write-ahead record
+        — draining any buffered txns in the same fsync'd batch — before
+        returning.
         """
         if self._sink_suspended:
             return
+        if kind == "txn":
+            self._on_txn_commit(payload)
+            return
+        if kind == "schema":
+            new_schema, index = payload
+            delta = schema_delta_from_migration(self.db, new_schema, index)
+        elif kind == "restore":
+            delta = restore_delta_from_db(self.db, payload)
+        elif kind == "version":
+            delta = version_delta_from_db(self.db, payload)
+        else:
+            raise StorageError(
+                f"change sink received unknown event kind {kind!r}: "
+                "refusing to drop a committed mutation silently"
+            )
+        if faults._PLAN is not None:  # noqa: SLF001 - zero-cost guard
+            faults.fire("change.journal.pre_append")
+        seq = self._next_seq
+        self._next_seq += 1
+        self._append_record({"kind": kind, "seq": seq, "delta": delta})
+        if self.byte_budget is not None:
+            self.enforce_budget(self.byte_budget)
+
+    def _on_txn_commit(self, txn) -> None:
+        """Append (or buffer) a ``txn`` delta for a committed transaction."""
         if faults._PLAN is not None:  # noqa: SLF001 - zero-cost guard
             faults.fire("txn.journal.pre_append")
         seq = self._next_seq
         self._next_seq += 1
-        self._file.append(
-            {
-                "kind": "txn",
-                "seq": seq,
-                "delta": txn_delta_from_txn(self.db, txn),
-            }
-        )
-        if self.byte_budget is not None:
+        record = {
+            "kind": "txn",
+            "seq": seq,
+            "delta": txn_delta_from_txn(self.db, txn),
+        }
+        policy = self.group_commit
+        if policy is None:
+            self._file.append(record)
+            if self.byte_budget is not None:
+                self.enforce_budget(self.byte_budget)
+            return
+        encoded = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        now = self._clock()
+        self._pending.append(record)
+        self._pending_bytes += len(encoded)
+        if self._pending_since is None:
+            self._pending_since = now
+        if (
+            len(self._pending) >= policy.max_txns
+            or self._pending_bytes >= policy.max_bytes
+            or now - self._pending_since >= policy.max_delay_s
+        ):
+            self.flush()
+
+    # -- group commit --------------------------------------------------------
+
+    def pending_txns(self) -> int:
+        """Buffered (applied-in-memory, not yet durable) txn records."""
+        return len(self._pending)
+
+    def flush(self, *, enforce: bool = True) -> int:
+        """Durably append every buffered txn record with one fsync.
+
+        Returns the number of records flushed (0 when the buffer is
+        empty — a no-op without touching the file). The buffer is
+        cleared only after the append succeeds, so a transient I/O
+        failure leaves the records buffered for the next barrier.
+        """
+        if not self._pending:
+            return 0
+        count = self._file.append_many(self._pending)
+        self._pending = []
+        self._pending_bytes = 0
+        self._pending_since = None
+        self.group_flushes += 1
+        if enforce and self.byte_budget is not None:
             self.enforce_budget(self.byte_budget)
+        return count
+
+    def _append_record(self, record: dict) -> None:
+        """Append one record, draining any buffered txns ahead of it.
+
+        The buffered records and *record* land in a single
+        :meth:`~repro.core.storage.recordfile.RecordFile.append_many`
+        call — one open, one fsync — preserving commit order in the
+        file. With an empty buffer this is a plain append.
+        """
+        if self._pending:
+            batch = self._pending + [record]
+            self._file.append_many(batch)
+            self._pending = []
+            self._pending_bytes = 0
+            self._pending_since = None
+            self.group_flushes += 1
+        else:
+            self._file.append(record)
 
     @contextmanager
     def suspended_txn_sink(self) -> Iterator[None]:
@@ -510,6 +852,7 @@ class JournaledDatabase:
         the budget stays over budget — the budget bounds amplification,
         it cannot make the data smaller than itself.
         """
+        self.flush(enforce=False)
         if budget is None:
             budget = self.byte_budget
         size = self._file.size_bytes()
@@ -522,26 +865,26 @@ class JournaledDatabase:
     def compact(self) -> int:
         """Drop superseded records; returns the new file size.
 
-        Keeps the newest intact image plus the deltas after it (minus
-        aborted delta/marker pairs). Corrupt regions are implicitly
-        dropped by the rewrite; quarantine first via
+        Flush barrier: buffered group-commit records are appended
+        before the scan, so none can be dropped by the rewrite. Keeps
+        the newest complete image unit (monolithic record or streamed
+        group) plus the deltas after it, minus aborted delta/marker
+        pairs and minus any incomplete streamed-checkpoint leftovers.
+        Corrupt regions are implicitly dropped by the rewrite;
+        quarantine first via
         :meth:`~repro.core.storage.recordfile.RecordFile.salvage` if
-        the bytes matter. When no intact image survives anywhere in the
-        file, falls back to checkpointing the live in-memory state and
-        compacting to that (surfaced via
+        the bytes matter. When no complete image survives anywhere in
+        the file, falls back to checkpointing the live in-memory state
+        and compacting to that (surfaced via
         :class:`~repro.core.errors.RecoveryWarning`) — a damaged-but-
         loaded journal can always be bounded.
         """
-        records = [
-            event.record
-            for event in self._file.scan()
-            if event.kind == "record"
+        self.flush(enforce=False)
+        record_events = [
+            event for event in self._file.scan() if event.kind == "record"
         ]
-        base_index = None
-        for index, record in enumerate(records):
-            if isinstance(record, dict) and record.get("kind") == "image":
-                base_index = index
-        if base_index is None:
+        units = _image_units(record_events)
+        if not units:
             dropped = self._file.size_bytes()
             kept = [{"kind": "image", "image": database_to_dict(self.db)}]
             warnings.warn(
@@ -553,22 +896,36 @@ class JournaledDatabase:
                 stacklevel=2,
             )
         else:
-            tail = records[base_index:]
+            base = units[-1]
+            tail = [
+                event.record
+                for event in record_events[base["start_index"]:]
+            ]
             aborted = {
                 record.get("seq")
                 for record in tail
                 if isinstance(record, dict)
                 and record.get("kind") == "checkin.abort"
             }
-            kept = [
-                record
-                for record in tail
-                if not (
-                    isinstance(record, dict)
-                    and record.get("kind") in ("checkin", "checkin.abort")
+            # image-family records in the tail that are not part of the
+            # (complete) base unit belong to an interrupted streamed
+            # checkpoint: state no-ops a load ignores — drop the junk
+            base_cp = base["cp"]
+
+            def keeps(record: Any) -> bool:
+                if not isinstance(record, dict):
+                    return True
+                kind = record.get("kind")
+                if (
+                    kind in ("checkin", "checkin.abort")
                     and record.get("seq") in aborted
-                )
-            ]
+                ):
+                    return False
+                if kind in ("image.begin", "image.rec", "image.end"):
+                    return base_cp is not None and record.get("cp") == base_cp
+                return True
+
+            kept = [record for record in tail if keeps(record)]
         if faults._PLAN is not None:  # noqa: SLF001 - zero-cost guard
             faults.fire("journal.compact.rewrite")
         self._file.rewrite(kept)
@@ -578,14 +935,11 @@ class JournaledDatabase:
         return self._file.size_bytes()
 
     def checkpoints(self) -> int:
-        """Number of intact images in the journal."""
-        return sum(
-            1
-            for event in self._file.scan()
-            if event.kind == "record"
-            and isinstance(event.record, dict)
-            and event.record.get("kind") == "image"
-        )
+        """Number of complete images (monolithic or streamed groups)."""
+        record_events = [
+            event for event in self._file.scan() if event.kind == "record"
+        ]
+        return len(_image_units(record_events))
 
     def deltas(self) -> int:
         """Number of intact check-in delta records in the journal."""

@@ -216,6 +216,45 @@ class RecordFile:
         self._append_blob(b"".join(chunks))
         return count
 
+    def append_stream(self, records: Iterator[Any] | list[Any]) -> int:
+        """Append records one frame at a time with a single fsync.
+
+        The streaming sibling of :meth:`append_many`: frames are
+        written to the open handle as the iterator produces them, so an
+        arbitrarily large record stream appends at O(largest record)
+        memory instead of materializing the joined blob. The
+        ``recordfile.append.pre_write`` failpoint fires once per frame
+        (a torn write crashes mid-stream, leaving the already-written
+        frames plus a torn prefix — exactly what a power loss leaves),
+        and ``recordfile.append.pre_fsync`` fires once before the
+        single fsync. Returns the number of records appended.
+        """
+        creating = not self.path.exists()
+        count = 0
+        with open(self.path, "ab") as handle:
+            for record in records:
+                blob = _frame(record)
+                if faults._PLAN is not None:  # noqa: SLF001
+                    try:
+                        blob = faults.fire("recordfile.append.pre_write", blob)
+                    except TornWrite as torn:
+                        handle.write(torn.data)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                        raise SimulatedCrash(
+                            f"torn streamed append to {self.path}: "
+                            f"{len(torn.data)}/{len(blob)} bytes survive"
+                        ) from None
+                handle.write(blob)
+                count += 1
+            if faults._PLAN is not None:  # noqa: SLF001
+                faults.fire("recordfile.append.pre_fsync")
+            handle.flush()
+            os.fsync(handle.fileno())
+        if creating:
+            _fsync_directory(self.path.parent)
+        return count
+
     def _append_blob(self, blob: bytes) -> tuple[int, int]:
         """The one durable append path (failpoint-instrumented)."""
         creating = not self.path.exists()

@@ -21,7 +21,7 @@ are tagged (``{"$date": "1986-02-05"}``).
 from __future__ import annotations
 
 import datetime
-from typing import Any, Optional
+from typing import Any, Iterable, Iterator, Optional
 
 from repro.core.bulk import load_item_states
 from repro.core.database import SeedDatabase
@@ -41,8 +41,17 @@ __all__ = [
     "schema_from_dict",
     "database_to_dict",
     "database_from_dict",
+    "iter_image_records",
+    "database_from_records",
+    "ingest_image_records",
     "txn_delta_from_txn",
     "apply_txn_delta",
+    "schema_delta_from_migration",
+    "apply_schema_delta",
+    "restore_delta_from_db",
+    "apply_restore_delta",
+    "version_delta_from_db",
+    "apply_version_delta",
 ]
 
 FORMAT_VERSION = 1
@@ -391,6 +400,186 @@ def apply_txn_delta(db: SeedDatabase, delta: dict) -> int:
 
 
 # ---------------------------------------------------------------------------
+# non-transactional mutation deltas (``schema`` / ``restore`` / ``version``
+# journal records) — the change-event payloads of the generalized seam
+# ---------------------------------------------------------------------------
+
+def schema_delta_from_migration(
+    db: SeedDatabase, new_schema: Any, schema_version: int
+) -> dict:
+    """Serialise one committed schema migration (``schema`` record).
+
+    Captured *after* the migration succeeded: the new schema plus the
+    migration stats (how many live items were re-bound, and the schema
+    version index the migration registered). Replay needs only the
+    schema — the stats make the journal self-describing.
+    """
+    return {
+        "schema": schema_to_dict(new_schema),
+        "stats": {
+            "schema_version": schema_version,
+            "objects": len(db._objects),  # noqa: SLF001
+            "relationships": len(db._relationships),  # noqa: SLF001
+        },
+    }
+
+
+def apply_schema_delta(
+    db: SeedDatabase, delta: dict, registry: Optional[ProcedureRegistry] = None
+) -> int:
+    """Replay one ``schema`` delta; returns the schema version index.
+
+    The migration was validated when it committed, so replay re-binds
+    every live item by name without re-running consistency checks —
+    the same direct-upsert stance as :func:`apply_txn_delta`. Mirrors
+    the post-validation effects of
+    :meth:`~repro.core.database.SeedDatabase.migrate_schema`: rebind,
+    index rebuild, whole-database dirty marking, completeness and plan
+    cache invalidation, schema version registration.
+    """
+    new_schema = schema_from_dict(delta["schema"], registry)
+    for obj in db._objects.values():  # noqa: SLF001
+        obj.entity_class = new_schema.entity_class(obj.entity_class.full_name)
+    for rel in db._relationships.values():  # noqa: SLF001
+        rel.association = new_schema.association(rel.association.name)
+    db.schema = new_schema
+    db.indexes.rebuild()
+    for obj in db._objects.values():  # noqa: SLF001
+        db._dirty.add(("o", obj.oid))  # noqa: SLF001
+    for rel in db._relationships.values():  # noqa: SLF001
+        db._dirty.add(("r", rel.rid))  # noqa: SLF001
+    db.completeness.invalidate()
+    plan_cache = getattr(db, "_plan_cache", None)
+    if plan_cache is not None:
+        plan_cache.clear()
+    return db.versions.register_schema_version(new_schema)
+
+
+def restore_delta_from_db(db: SeedDatabase, version: Optional[str]) -> dict:
+    """Serialise one committed view restore (``restore`` record).
+
+    Captured *after* :meth:`~repro.core.database.SeedDatabase.
+    restore_from_view` replaced the live items, so freezing the live
+    state *is* the restored view delta — the version store itself may
+    be compacted later, so replay must not depend on walking the chain
+    again. *version* is the restored version id (``None`` for a raw
+    view restore outside :meth:`select_version`).
+    """
+    return {
+        "version": version,
+        "objects": [
+            [obj.oid, _object_state_to_dict(obj.freeze())]
+            for obj in db.all_objects_raw()
+        ],
+        "relationships": [
+            [rel.rid, _relationship_state_to_dict(rel.freeze())]
+            for rel in db.all_relationships_raw()
+        ],
+        "next_id": db._next_id,  # noqa: SLF001
+    }
+
+
+def apply_restore_delta(db: SeedDatabase, delta: dict) -> int:
+    """Replay one ``restore`` delta; returns the number of items loaded.
+
+    Mirrors :meth:`~repro.core.database.SeedDatabase.restore_from_view`
+    (dirty set cleared, one-shot state materialisation, completeness
+    invalidated) and, when the restore came from
+    :meth:`select_version`, re-bases the version history on the
+    restored version exactly as the live call did.
+    """
+    db._dirty.clear()  # noqa: SLF001
+    load_item_states(
+        db,
+        (
+            (oid, _object_state_from_dict(data))
+            for oid, data in delta.get("objects", ())
+        ),
+        (
+            (rid, _relationship_state_from_dict(data))
+            for rid, data in delta.get("relationships", ())
+        ),
+        next_id_floor=delta.get("next_id", 0),
+    )
+    db.completeness.invalidate()
+    version = delta.get("version")
+    if version is not None:
+        vid = VersionId.parse(version)
+        if vid in db.versions.tree:
+            db.versions.current_base = vid
+    return len(delta.get("objects", ())) + len(delta.get("relationships", ()))
+
+
+def version_delta_from_db(db: SeedDatabase, vid: VersionId) -> dict:
+    """Serialise one committed ``create_version`` (``version`` record).
+
+    Captured *after* the manager recorded the snapshot: the delta
+    carries the version's identity (id, parent, schema version,
+    snapshot flag) plus exactly the cell states the store holds for it
+    (dirty-item deltas and any states an online snapshot consolidation
+    materialized), in store insertion order so replay reproduces the
+    canonical image byte-for-byte.
+    """
+    store = db.versions.store
+    cells = []
+    for key in store.keys():
+        kind, item_id = key
+        for version, state, materialized in store.entries_of(key):
+            if version != vid:
+                continue
+            encoded = (
+                _object_state_to_dict(state)
+                if kind == "o"
+                else _relationship_state_to_dict(state)  # type: ignore[arg-type]
+            )
+            cell = {"kind": kind, "id": item_id, "state": encoded}
+            if materialized:
+                cell["materialized"] = True
+            cells.append(cell)
+    parent = db.versions.tree.parent(vid)
+    return {
+        "version": str(vid),
+        "parent": str(parent) if parent else None,
+        "schema_version": db.versions.schema_version_of[vid],
+        "snapshot": vid in set(store.snapshot_versions()),
+        "cells": cells,
+    }
+
+
+def apply_version_delta(db: SeedDatabase, delta: dict) -> VersionId:
+    """Replay one ``version`` delta; returns the recreated version id.
+
+    Mirrors :meth:`~repro.core.versions.manager.VersionManager.
+    create_version` from its recorded outcome: tree node, stored cell
+    states (with materialisation/snapshot markers), schema version
+    stamp, the dirty-set clear, and the current base moving to the new
+    version.
+    """
+    vid = VersionId.parse(delta["version"])
+    parent = VersionId.parse(delta["parent"]) if delta.get("parent") else None
+    manager = db.versions
+    manager.tree.add(vid, parent)
+    for cell in delta.get("cells", ()):
+        key = (cell["kind"], cell["id"])
+        state = (
+            _object_state_from_dict(cell["state"])
+            if cell["kind"] == "o"
+            else _relationship_state_from_dict(cell["state"])
+        )
+        manager.store.record(vid, key, state)
+        if cell.get("materialized"):
+            manager.store.mark_materialized(vid, key)
+    if delta.get("snapshot"):
+        manager.store.mark_snapshot(vid)
+    manager.schema_version_of[vid] = delta["schema_version"]
+    # the live call snapshotted *everything* dirty (items deleted by a
+    # rolled-back creation simply stored nothing), then cleared the set
+    db.clear_dirty()
+    manager.current_base = vid
+    return vid
+
+
+# ---------------------------------------------------------------------------
 # whole database
 # ---------------------------------------------------------------------------
 
@@ -509,3 +698,310 @@ def database_from_dict(
     )
     db._dirty = {tuple(key) for key in data["dirty"]}  # noqa: SLF001
     return db
+
+
+# ---------------------------------------------------------------------------
+# streaming image format
+# ---------------------------------------------------------------------------
+#
+# The monolithic image dict materializes every item state at once; the
+# streaming format decomposes the *same* canonical content into a header
+# record, one record per object / relationship / version cell, and a
+# counted footer, so images can be emitted and ingested one record at a
+# time (O(1) extra memory — the database itself is the only O(n)
+# structure on either side). The decomposition is exact:
+# ``database_to_dict(database_from_records(iter_image_records(db)))`` is
+# byte-identical to ``database_to_dict(db)`` under canonical JSON.
+
+def iter_image_records(db: SeedDatabase) -> Iterator[dict]:
+    """Stream the canonical image of *db* as self-describing records.
+
+    Record shapes, in order:
+
+    * ``{"h": {...}}`` — the image header: everything of
+      :func:`database_to_dict` except the three per-item collections
+      (format, name, schema versions, version tree, snapshot markers,
+      schema stamps, current base, dirty set);
+    * ``{"o": oid, "s": {...}}`` — one live/tombstoned object state;
+    * ``{"r": rid, "s": {...}}`` — one relationship state;
+    * ``{"c": {...}}`` — one version-store cell (all stored states of
+      one item), in store insertion order;
+    * ``{"end": {"o": n, "r": n, "c": n}}`` — counted footer; a stream
+      that stops early is detectably truncated.
+    """
+    tree = db.versions.tree
+    store = db.versions.store
+    yield {
+        "h": {
+            "format": FORMAT_VERSION,
+            "name": db.name,
+            "schema_versions": [
+                schema_to_dict(schema) for schema in db.versions.schema_versions
+            ],
+            "version_tree": [
+                {
+                    "version": str(version),
+                    "parent": str(tree.parent(version))
+                    if tree.parent(version)
+                    else None,
+                }
+                for version in tree.in_creation_order()
+            ],
+            "snapshot_versions": [
+                str(version) for version in store.snapshot_versions()
+            ],
+            "schema_version_of": {
+                str(version): index
+                for version, index in db.versions.schema_version_of.items()
+            },
+            "current_base": str(db.versions.current_base)
+            if db.versions.current_base
+            else None,
+            "dirty": sorted(list(key) for key in db._dirty),  # noqa: SLF001
+        }
+    }
+    counts = {"o": 0, "r": 0, "c": 0}
+    for obj in db.all_objects_raw():
+        counts["o"] += 1
+        yield {"o": obj.oid, "s": _object_state_to_dict(obj.freeze())}
+    for rel in db.all_relationships_raw():
+        counts["r"] += 1
+        yield {"r": rel.rid, "s": _relationship_state_to_dict(rel.freeze())}
+    for key in store.keys():
+        kind, item_id = key
+        entries = []
+        for version, state, materialized in store.entries_of(key):
+            encoded = (
+                _object_state_to_dict(state)
+                if kind == "o"
+                else _relationship_state_to_dict(state)  # type: ignore[arg-type]
+            )
+            entry = {"version": str(version), "state": encoded}
+            if materialized:
+                entry["materialized"] = True
+            entries.append(entry)
+        counts["c"] += 1
+        yield {"c": {"kind": kind, "id": item_id, "states": entries}}
+    yield {"end": dict(counts)}
+
+
+def database_from_records(
+    records: Iterable[dict], registry: Optional[ProcedureRegistry] = None
+) -> SeedDatabase:
+    """Rebuild a database from a streamed image (single pass).
+
+    Inverse of :func:`iter_image_records`: consumes the iterator once,
+    feeding item states straight into the shared one-shot materializer
+    without ever holding the full image in memory. A stream that is
+    malformed, out of order, truncated, or whose footer counts do not
+    match raises :class:`~repro.core.errors.StorageError` — a partial
+    image must never load silently.
+    """
+    iterator = iter(records)
+    first = next(iterator, None)
+    if not isinstance(first, dict) or "h" not in first:
+        raise StorageError("image stream does not start with a header record")
+    header = first["h"]
+    if header.get("format") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported database image format {header.get('format')!r}"
+        )
+    schemas = [
+        schema_from_dict(schema_data, registry)
+        for schema_data in header["schema_versions"]
+    ]
+    db = SeedDatabase(schemas[-1], header["name"])
+    db.versions.schema_versions = schemas
+
+    cursor: dict[str, Optional[dict]] = {"record": next(iterator, None)}
+    counts = {"o": 0, "r": 0, "c": 0}
+
+    def section(tag: str) -> Iterator[dict]:
+        # yields the records of one contiguous stream section, leaving
+        # the first record of the *next* section in the cursor
+        while True:
+            record = cursor["record"]
+            if not isinstance(record, dict) or tag not in record:
+                return
+            counts[tag] += 1
+            yield record
+            cursor["record"] = next(iterator, None)
+
+    load_item_states(
+        db,
+        (
+            (record["o"], _object_state_from_dict(record["s"]))
+            for record in section("o")
+        ),
+        (
+            (record["r"], _relationship_state_from_dict(record["s"]))
+            for record in section("r")
+        ),
+    )
+    for node in header["version_tree"]:
+        db.versions.tree.add(
+            VersionId.parse(node["version"]),
+            VersionId.parse(node["parent"]) if node["parent"] else None,
+        )
+    for record in section("c"):
+        cell = record["c"]
+        key = (cell["kind"], cell["id"])
+        for entry in cell["states"]:
+            state = (
+                _object_state_from_dict(entry["state"])
+                if cell["kind"] == "o"
+                else _relationship_state_from_dict(entry["state"])
+            )
+            version = VersionId.parse(entry["version"])
+            db.versions.store.record(version, key, state)
+            if entry.get("materialized"):
+                db.versions.store.mark_materialized(version, key)
+    footer = cursor["record"]
+    if not isinstance(footer, dict) or "end" not in footer:
+        raise StorageError(
+            "truncated image stream: no footer record "
+            f"(read {counts['o']} object(s), {counts['r']} relationship(s), "
+            f"{counts['c']} version cell(s))"
+        )
+    if footer["end"] != counts:
+        raise StorageError(
+            f"incomplete image stream: footer declares {footer['end']}, "
+            f"read {counts}"
+        )
+    for version in header.get("snapshot_versions", ()):
+        db.versions.store.mark_snapshot(VersionId.parse(version))
+    db.versions.schema_version_of = {
+        VersionId.parse(version): index
+        for version, index in header["schema_version_of"].items()
+    }
+    db.versions.current_base = (
+        VersionId.parse(header["current_base"])
+        if header["current_base"]
+        else None
+    )
+    db._dirty = {tuple(key) for key in header["dirty"]}  # noqa: SLF001
+    return db
+
+
+def ingest_image_records(
+    db: SeedDatabase, records: Iterable[dict]
+) -> dict[str, SeedObject]:
+    """Bulk-ingest streamed item records into a *live* database.
+
+    The streaming counterpart of the spec-based
+    :meth:`~repro.core.database.SeedDatabase.bulk_load` raw lane
+    (which dispatches here for its ``records=`` form): consumes an
+    :func:`iter_image_records`-style iterator one record at a time
+    inside one bulk batch, so ingest never holds more than a single
+    record beyond the database being built. A header is skipped, a
+    counted footer is verified when present, and version-cell records
+    are refused — version history belongs to images, not ingest. Item
+    ids are taken from the records and must not collide with existing
+    items; the whole ingest is atomic (any error rolls the batch back).
+    Returns the ingested independent objects by name.
+    """
+    created: dict[str, SeedObject] = {}
+    with db.bulk() as batch:
+        txn = batch.txn
+        dirty = db._dirty  # noqa: SLF001
+        db.indexes.mark_stale()  # the raw lane bypasses the mutators
+
+        def register(item: Any, key: tuple[str, int]) -> None:
+            txn.touched[key] = (item, {"create"})
+            if key not in dirty:
+                dirty.add(key)
+                txn.dirty_added.add(key)
+
+        counts = {"o": 0, "r": 0}
+        footer = None
+        max_id = 0
+        for record in records:
+            if not isinstance(record, dict):
+                raise StorageError(f"not an image record: {record!r}")
+            if "h" in record:
+                continue  # the header carries no items
+            if "end" in record:
+                footer = record["end"]
+                continue
+            if "c" in record:
+                raise StorageError(
+                    "version-cell records cannot be bulk-ingested into a "
+                    "live database; load them through an image instead"
+                )
+            if "o" in record:
+                oid = record["o"]
+                if oid in db._objects:  # noqa: SLF001
+                    raise StorageError(f"object id {oid} already exists")
+                state = _object_state_from_dict(record["s"])
+                parent = (
+                    db._objects[state.parent_oid]  # noqa: SLF001
+                    if state.parent_oid is not None
+                    else None
+                )
+                obj = SeedObject(
+                    db,
+                    oid,
+                    db.schema.entity_class(state.class_name),
+                    state.name,
+                    parent=parent,
+                    index=state.index,
+                )
+                obj.value = state.value
+                obj.deleted = state.deleted
+                obj.is_pattern = state.is_pattern
+                obj.inherited_patterns = list(state.inherited_pattern_oids)
+                db._objects[oid] = obj  # noqa: SLF001
+                if parent is not None:
+                    parent._attach_child(obj)  # noqa: SLF001
+                elif not state.deleted:
+                    if state.name in db._name_index:  # noqa: SLF001
+                        raise StorageError(
+                            f"an object named {state.name!r} already exists"
+                        )
+                    db._name_index[state.name] = oid  # noqa: SLF001
+                    created[state.name] = obj
+                register(obj, ("o", oid))
+                counts["o"] += 1
+                max_id = max(max_id, oid)
+            elif "r" in record:
+                rid = record["r"]
+                if rid in db._relationships:  # noqa: SLF001
+                    raise StorageError(
+                        f"relationship id {rid} already exists"
+                    )
+                state = _relationship_state_from_dict(record["s"])
+                bindings = {
+                    role: db._objects[oid]  # noqa: SLF001
+                    for role, oid in state.bindings
+                }
+                rel = SeedRelationship(
+                    db,
+                    rid,
+                    db.schema.association(state.association_name),
+                    bindings,
+                )
+                rel.deleted = state.deleted
+                rel.is_pattern = state.is_pattern
+                rel._attributes = dict(state.attributes)  # noqa: SLF001
+                db._relationships[rid] = rel  # noqa: SLF001
+                for endpoint in rel.bound_objects():
+                    db._incidence.setdefault(  # noqa: SLF001
+                        endpoint.oid, []
+                    ).append(rid)
+                register(rel, ("r", rid))
+                counts["r"] += 1
+                max_id = max(max_id, rid)
+            else:
+                raise StorageError(
+                    f"unknown image record shape: {sorted(record)}"
+                )
+        if footer is not None and (
+            footer.get("o") != counts["o"] or footer.get("r") != counts["r"]
+        ):
+            raise StorageError(
+                f"incomplete image stream: footer declares {footer}, "
+                f"ingested {counts}"
+            )
+        db._next_id = max(db._next_id, max_id + 1)  # noqa: SLF001
+        db.patterns.rebuild_index()
+    return created

@@ -62,7 +62,7 @@ from repro.core.errors import CheckInError, SeedError, VersionError
 from repro.core.objects import ObjectState, SeedObject
 from repro.core.relationships import RelationshipState
 from repro.core.schema.schema import Schema
-from repro.core.storage.engine import JournaledDatabase
+from repro.core.storage.engine import GroupCommitPolicy, JournaledDatabase
 from repro.core.versions.compaction import CompactionStats, RetentionPolicy
 from repro.core.versions.store import ItemKey
 from repro.core.versions.version_id import VersionId
@@ -159,11 +159,24 @@ class SeedServer:
         clock: Optional[Callable[[], float]] = None,
         strict: bool = False,
         byte_budget: Optional[int] = None,
+        group_commit: Optional[GroupCommitPolicy] = None,
+        streamed_checkpoints: bool = False,
     ) -> "SeedServer":
-        """A journal-bound server: open (or create) the journal at *path*."""
+        """A journal-bound server: open (or create) the journal at *path*.
+
+        *group_commit* batches direct-transaction journal appends (one
+        fsync per batch, see
+        :class:`~repro.core.storage.engine.GroupCommitPolicy`); check-in
+        appends, snapshot pins, maintenance, and shutdown remain hard
+        flush barriers, so the bounded durability window only ever
+        covers direct commits. *streamed_checkpoints* makes every
+        checkpoint stream its image records instead of materializing
+        the monolithic image dict.
+        """
         journal = JournaledDatabase.open(
             path, schema=schema, name=name, strict=strict,
-            byte_budget=byte_budget,
+            byte_budget=byte_budget, group_commit=group_commit,
+            clock=clock, streamed_checkpoints=streamed_checkpoints,
         )
         return cls(
             journal=journal,
@@ -266,6 +279,10 @@ class SeedServer:
             published = self.master.create_version(version)
             self._published = published
             self._cache_view(published, self.master.version_view(published))
+        if self.journal is not None:
+            # pinning is a durability barrier: a reader must never see
+            # state whose commits are still buffered by group commit
+            self.journal.flush()
         assert self._published is not None
         return self._published
 
@@ -351,6 +368,9 @@ class SeedServer:
         for key in [k for k in self._views if k not in surviving]:
             del self._views[key]  # pragma: no cover - pins protect these
         if self.journal is not None:
+            # maintenance is a flush barrier whether or not a budget is
+            # set; enforce_budget flushes too, but only when it runs
+            self.journal.flush()
             budget = policy.journal_byte_budget
             if budget is None:
                 budget = self.journal.byte_budget

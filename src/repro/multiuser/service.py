@@ -138,9 +138,12 @@ class SeedService:
         apply cannot wedge shutdown — on timeout the work is abandoned
         (its executor thread finishes on its own; the master rolls back
         on failure as usual, and an un-acked check-in's journal record
-        replays on the next open). With *final_checkpoint*, a drained
-        journal-bound server appends a final checkpoint and compacts
-        the journal before the remaining connections are closed — the
+        replays on the next open). A drained journal-bound server
+        always flushes the group-commit buffer — shutdown is a hard
+        durability barrier, so buffered commits are never lost to a
+        clean stop even without a checkpoint. With *final_checkpoint*,
+        it additionally appends a final checkpoint and compacts the
+        journal before the remaining connections are closed — the
         ``repro serve`` SIGTERM/SIGINT path.
         """
         if self._asyncio_server is None:
@@ -171,14 +174,18 @@ class SeedService:
         except asyncio.TimeoutError:  # pragma: no cover - hung apply
             drained = False
         try:
-            if (
-                drained
-                and final_checkpoint
-                and self.server.journal is not None
-            ):
-                await asyncio.get_running_loop().run_in_executor(
-                    None, self._final_flush
-                )
+            if drained and self.server.journal is not None:
+                if final_checkpoint:
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, self._final_flush
+                    )
+                else:
+                    # shutdown drain is a durability barrier even
+                    # without a checkpoint: flush buffered group
+                    # commits so a clean stop never loses them
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, self.server.journal.flush
+                    )
         finally:
             if drained:
                 self._write_lock.release()

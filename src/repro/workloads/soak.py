@@ -6,6 +6,12 @@ write-ahead path), check-out/check-in cycles (the check-in delta
 path), rejected check-ins (abort markers), and periodic maintenance —
 all with a ``byte_budget`` set, so the journal must keep itself
 bounded by auto-checkpoint-then-compact while the workload runs.
+Optionally the mix also carries schema migrations and version
+snapshot/restore cycles (the PR-10 ``schema`` / ``version`` /
+``restore`` change deltas) and runs the journal under a
+:class:`~repro.core.storage.engine.GroupCommitPolicy`, so batched
+``txn`` records interleave with every other record kind across
+compaction cycles.
 
 The driver only *observes* (high-water file size, compaction count);
 the assertions live in the tests and the nightly CI job, which also
@@ -18,16 +24,28 @@ import random
 from dataclasses import dataclass
 from pathlib import Path
 
+from typing import Optional
+
 from repro.core import SchemaBuilder
 from repro.core.errors import SeedError
+from repro.core.storage.engine import GroupCommitPolicy
 from repro.multiuser.server import SeedServer
 
 __all__ = ["SoakResult", "run_durability_soak", "soak_schema"]
 
 
-def soak_schema():
-    """The soak's one-class schema (string-valued items)."""
-    return SchemaBuilder("soak").entity_class("Item", sort="STRING").build()
+def soak_schema(extra_classes: int = 0):
+    """The soak's schema: string-valued items.
+
+    *extra_classes* > 0 returns the migrated shape the soak's schema-
+    migration ops walk through: the same ``Item`` class plus that many
+    ``ExtraN`` classes (migrations are cumulative and additive, so
+    every earlier shape's items stay valid).
+    """
+    builder = SchemaBuilder("soak").entity_class("Item", sort="STRING")
+    for index in range(extra_classes):
+        builder.entity_class(f"Extra{index}", sort="STRING")
+    return builder.build()
 
 
 @dataclass
@@ -43,13 +61,25 @@ class SoakResult:
     final_bytes: int
     compactions: int  #: observed file shrinks (auto or maintenance)
     items: int  #: live objects at the end
+    migrations: int = 0  #: applied schema migrations (``schema`` deltas)
+    restores: int = 0  #: version snapshot+restore cycles (``restore``)
+    group_flushes: int = 0  #: drained group-commit batches
 
     def summary(self) -> str:
+        extras = ""
+        if self.migrations or self.restores:
+            extras = (
+                f", {self.migrations} migration(s), "
+                f"{self.restores} restore(s)"
+            )
+        if self.group_flushes:
+            extras += f", {self.group_flushes} group flush(es)"
         return (
             f"{self.transactions} txn(s), {self.checkins} check-in(s) "
             f"(+{self.rejected} rejected), {self.compactions} "
-            f"compaction(s); journal peaked at {self.high_water_bytes} "
-            f"bytes against a {self.byte_budget}-byte budget"
+            f"compaction(s){extras}; journal peaked at "
+            f"{self.high_water_bytes} bytes against a "
+            f"{self.byte_budget}-byte budget"
         )
 
 
@@ -61,6 +91,9 @@ def run_durability_soak(
     byte_budget: int = 24_000,
     maintain_every: int = 16,
     seed: int = 0,
+    migrations: int = 0,
+    restores: int = 0,
+    group_commit: Optional[GroupCommitPolicy] = None,
 ) -> SoakResult:
     """Run the soak; returns observations for the caller to assert on.
 
@@ -70,11 +103,21 @@ def run_durability_soak(
     superseded work); check-ins add fresh items; every
     *maintain_every* accepted check-ins the server runs a maintenance
     pass. One in each eight check-ins is made stale on purpose to leave
-    abort markers in the stream.
+    abort markers in the stream. *migrations* schema migrations
+    (additive, cumulative — see :func:`soak_schema`) and *restores*
+    version snapshot+restore cycles are shuffled into the same op
+    stream, so their ``schema`` / ``version`` / ``restore`` deltas land
+    interleaved with txn and check-in records across compaction
+    boundaries; *group_commit* runs the whole soak under batched txn
+    appends.
     """
     rng = random.Random(seed)
     server = SeedServer.open(
-        path, schema=soak_schema(), name="soak", byte_budget=byte_budget
+        path,
+        schema=soak_schema(),
+        name="soak",
+        byte_budget=byte_budget,
+        group_commit=group_commit,
     )
     master = server.master
     pool = [f"Item{index:02d}" for index in range(24)]
@@ -97,13 +140,34 @@ def run_durability_soak(
             compactions += 1
         last_size = size
 
-    ops: list[str] = ["txn"] * transactions + ["checkin"] * checkins
+    migrated = 0
+    restored = 0
+    ops: list[str] = (
+        ["txn"] * transactions
+        + ["checkin"] * checkins
+        + ["migrate"] * migrations
+        + ["restore"] * restores
+    )
     rng.shuffle(ops)
     for index, op in enumerate(ops):
         if op == "txn":
             name = rng.choice(pool)
             with master.transaction():
                 master.get_object(name).set_value(f"v{index}")
+        elif op == "migrate":
+            # each migration adds one more ExtraN class; the schema
+            # delta replays without a checkpoint
+            migrated += 1
+            master.migrate_schema(soak_schema(extra_classes=migrated))
+        elif op == "restore":
+            # snapshot, churn one item, then rebase back onto the
+            # snapshot: one version delta plus one restore delta
+            vid = master.create_version()
+            name = rng.choice(pool)
+            with master.transaction():
+                master.get_object(name).set_value(f"pre-restore{index}")
+            master.select_version(vid, discard_changes=True)
+            restored += 1
         else:
             client = server.connect(f"worker-{index}")
             checkin_no += 1
@@ -137,6 +201,8 @@ def run_durability_soak(
             server.maintain()
             observe()
 
+    journal.flush()  # end like a service shutdown: drain any batch
+    observe()
     return SoakResult(
         transactions=transactions,
         checkins=accepted,
@@ -147,4 +213,7 @@ def run_durability_soak(
         final_bytes=journal._file.size_bytes(),  # noqa: SLF001
         compactions=compactions,
         items=len(master.objects("Item")),
+        migrations=migrated,
+        restores=restored,
+        group_flushes=journal.group_flushes,
     )

@@ -31,7 +31,12 @@ import pytest
 
 from repro.core import SchemaBuilder
 from repro.core.errors import RecoveryWarning
-from repro.core.storage import JournaledDatabase, RecordFile, database_to_dict
+from repro.core.storage import (
+    GroupCommitPolicy,
+    JournaledDatabase,
+    RecordFile,
+    database_to_dict,
+)
 from repro.multiuser import SeedServer
 
 
@@ -478,3 +483,311 @@ class TestCompactionCrash:
         work = tmp_path / "midwork.seed"
         assert sweep_truncations(corpus, work) == []
         assert sweep_flips(corpus, work) == []
+
+
+# -- the change-delta corpus: every mutation is a journaled delta ------------
+
+
+def matrix_schema_v2():
+    return (
+        SchemaBuilder("crash")
+        .entity_class("Item", sort="STRING")
+        .entity_class("Extra", sort="STRING")
+        .build()
+    )
+
+
+class RecordCorpus:
+    """Per-record oracle for a journal with image groups and batches.
+
+    Unlike :class:`Corpus` (whose boundaries are one-record appends),
+    group-commit batches land several records in one append and a
+    streamed checkpoint is a multi-record group — so the oracle tracks
+    the committed state *per record*: ``rec_states[i]`` is the state
+    once records ``0..i`` are durable. Image-family records are state
+    no-ops (they carry the state current at their append), which makes
+    both sweeps uniform:
+
+    * truncation at ``t`` → state of the last record with ``end <= t``;
+    * a flip killing record ``j`` → base = the newest complete image
+      unit not containing ``j``; if that unit lies entirely after
+      ``j``, the full tail replays, otherwise replay stops at the gap
+      and the state is ``rec_states[j - 1]``.
+    """
+
+    def __init__(self, path, data, records, rec_states, empty_state):
+        self.path = path
+        self.data = data
+        #: (start, end, kind, cp) of every record, in file order
+        self.records = records
+        self.rec_states = rec_states
+        self.empty = empty_state
+        #: (start_index, end_index) of every complete image unit
+        self.units = self._find_units()
+
+    def _find_units(self):
+        units = []
+        pending = {}
+        for index, (__, ___, kind, cp) in enumerate(self.records):
+            if kind == "image":
+                units.append((index, index))
+            elif kind == "image.begin":
+                pending[cp] = index
+            elif kind == "image.end" and cp in pending:
+                units.append((pending.pop(cp), index))
+        return units
+
+    def expected_after_truncation(self, size):
+        state = self.empty
+        for (__, end, ___, ____), rec_state in zip(
+            self.records, self.rec_states
+        ):
+            if end <= size:
+                state = rec_state
+        return state
+
+    def expected_after_flip(self, offset):
+        killed = next(
+            index
+            for index, (start, end, __, ___) in enumerate(self.records)
+            if start <= offset < end
+        )
+        # base: the newest complete image unit whose records all
+        # survive (a kill inside a streamed group voids the group)
+        base = None
+        for start_index, end_index in self.units:
+            if not (start_index <= killed <= end_index):
+                base = (start_index, end_index)
+        if base is None:
+            return self.empty
+        if base[0] > killed:
+            # the base is entirely past the damage: the full tail
+            # replays from it (corruption cannot shadow a newer image)
+            return self.rec_states[-1]
+        if killed == 0:
+            return self.empty
+        return self.rec_states[killed - 1]
+
+
+@pytest.fixture(scope="module")
+def change_corpus(tmp_path_factory):
+    """Schema/restore/version deltas interleaved with group-commit
+    batches, a mid-stream auto-compaction, and a streamed checkpoint —
+    all driven through the live change-capture seam."""
+    path = tmp_path_factory.mktemp("crash") / "change.seed"
+    record_file = RecordFile(path)
+    journal = JournaledDatabase.open(
+        path,
+        schema=matrix_schema(),
+        name="central",
+        group_commit=GroupCommitPolicy(
+            max_txns=3, max_bytes=1 << 20, max_delay_s=1e9
+        ),
+        clock=lambda: 0.0,
+    )
+    db = journal.db
+    empty_state = canonical(db)
+    rec_states = []
+    pending_states = []
+
+    def count_records():
+        return sum(1 for e in record_file.scan() if e.kind == "record")
+
+    def buffered():
+        # a committed-but-buffered txn: its record will land at the
+        # next flush, in commit order, carrying this state
+        pending_states.append(canonical(db))
+
+    def sync():
+        # align the per-record oracle with what is actually on disk
+        count = count_records()
+        if count < len(rec_states):
+            # the journal auto-compacted down to one fresh image
+            assert count == 1
+            rec_states.clear()
+            pending_states.clear()
+        while len(rec_states) < count and pending_states:
+            rec_states.append(pending_states.pop(0))
+        current = canonical(db)
+        while len(rec_states) < count:
+            rec_states.append(current)
+        assert len(rec_states) == count
+
+    sync()  # the initial image
+
+    # a batch that flushes by max_txns (3 commits, one fsync)
+    with db.transaction():
+        db.create_object("Item", "A").set_value("a1")
+    buffered()
+    with db.transaction():
+        db.create_object("Item", "B").set_value("b1")
+    buffered()
+    with db.transaction():
+        db.get_object("A").set_value("a2")
+    buffered()
+    sync()
+    assert not pending_states  # the third commit flushed the batch
+
+    # mid-stream auto-compaction: the next flush trips the budget, so
+    # the journal checkpoints and rewrites down to one fresh image
+    journal.byte_budget = record_file.size_bytes()
+    with db.transaction():
+        db.get_object("B").set_value("b2")
+    buffered()
+    with db.transaction():
+        db.create_object("Item", "C").set_value("c1")
+    buffered()
+    with db.transaction():
+        db.get_object("C").set_value("c2")
+    buffered()
+    journal.byte_budget = None
+    sync()
+
+    # two buffered commits drained by the version delta's append (one
+    # fsync'd batch: txn, txn, version — file order = commit order)
+    with db.transaction():
+        db.get_object("A").set_value("a3")
+    buffered()
+    with db.transaction():
+        db.get_object("B").set_value("b3")
+    buffered()
+    v1 = db.create_version()
+    sync()
+
+    # schema migration: exactly one write-ahead record
+    db.migrate_schema(matrix_schema_v2())
+    sync()
+
+    # a batch under the migrated schema, flushed by max_txns
+    with db.transaction():
+        db.create_object("Extra", "X").set_value("x1")
+    buffered()
+    with db.transaction():
+        db.get_object("A").set_value("a4")
+    buffered()
+    with db.transaction():
+        db.get_object("C").set_value("c3")
+    buffered()
+    sync()
+    assert not pending_states
+
+    db.create_version()
+    sync()
+
+    # restore: exactly one write-ahead record
+    db.versions.select_version(v1)
+    sync()
+
+    # a streamed checkpoint: image.begin / image.rec... / image.end
+    journal.checkpoint(streamed=True)
+    sync()
+
+    # deltas past the streamed group, flushed explicitly (barrier)
+    with db.transaction():
+        db.get_object("A").set_value("a5")
+    buffered()
+    with db.transaction():
+        db.get_object("C").set_value("c4")
+    buffered()
+    journal.flush()
+    sync()
+
+    records = [
+        (
+            event.offset,
+            event.end,
+            event.record.get("kind"),
+            event.record.get("cp"),
+        )
+        for event in record_file.scan()
+        if event.kind == "record"
+    ]
+    data = path.read_bytes()
+    kinds = [kind for __, ___, kind, ____ in records]
+    # sanity: the corpus has the advertised shape — the compacted base
+    # up front, then schema/restore/version deltas interleaved with
+    # group-commit batches and a streamed checkpoint group
+    assert kinds[0] == "image"  # the auto-compaction's fresh base
+    assert kinds.count("image") == 1
+    assert kinds.count("schema") == 1
+    assert kinds.count("restore") == 1
+    assert kinds.count("version") == 2
+    assert kinds.count("image.begin") == 1
+    assert kinds.count("image.end") == 1
+    assert kinds.count("image.rec") >= 3
+    assert kinds.count("txn") == 7
+    assert records[-1][1] == len(data)
+    return RecordCorpus(path, data, records, rec_states, empty_state)
+
+
+class TestChangeDeltaCrashMatrix:
+    """Exhaustive sweeps over the change-delta corpus: schema, restore,
+    and version mutations recover from the journal with zero
+    checkpoints, through batches, compaction, and streamed images."""
+
+    def test_every_truncation_recovers_the_committed_prefix(
+        self, change_corpus, tmp_path
+    ):
+        assert sweep_truncations(change_corpus, tmp_path / "t.seed") == []
+
+    def test_every_byte_flip_recovers_a_consistent_prefix(
+        self, change_corpus, tmp_path
+    ):
+        assert sweep_flips(change_corpus, tmp_path / "f.seed") == []
+
+    def test_fsck_salvage_recovers_all_intact_records(
+        self, change_corpus, tmp_path
+    ):
+        from repro.cli import main
+
+        rng = random.Random(10)
+        total = len(change_corpus.records)
+        for sample, offset in enumerate(
+            rng.sample(range(len(change_corpus.data)), 8)
+        ):
+            work = tmp_path / f"fsck{sample}.seed"
+            data = bytearray(change_corpus.data)
+            data[offset] ^= 0xFF
+            work.write_bytes(bytes(data))
+            assert main(["fsck", str(work), "--salvage"]) == 0
+            repaired = RecordFile(work)
+            assert repaired.verify().is_clean
+            assert repaired.count() == total - 1
+
+    def test_mutators_replay_with_zero_checkpoints(self, tmp_path):
+        """The acceptance criterion, stated directly: one record per
+        mutator, full recovery from deltas alone."""
+        path = tmp_path / "zero.seed"
+        journal = JournaledDatabase.open(
+            path, schema=matrix_schema(), name="central"
+        )
+        db = journal.db
+        with db.transaction():
+            db.create_object("Item", "A").set_value("a1")
+
+        def records():
+            return sum(
+                1 for e in RecordFile(path).scan() if e.kind == "record"
+            )
+
+        before = records()
+        v1 = db.create_version()
+        assert records() == before + 1
+
+        before = records()
+        db.migrate_schema(matrix_schema_v2())
+        assert records() == before + 1
+
+        with db.transaction():
+            db.create_object("Extra", "X")
+        db.create_version()
+
+        before = records()
+        db.versions.select_version(v1)
+        assert records() == before + 1
+
+        expected = canonical(db)
+        reopened = JournaledDatabase.open(path, name="central")
+        assert reopened.checkpoints() == 1  # only the initial image
+        assert canonical(reopened.db) == expected
+        assert reopened.recovery.applied_change_deltas == 4
